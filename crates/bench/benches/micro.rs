@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks for the hot paths of the serving stack:
+//! cache operations, batching controllers, the RPC wire codec, selection
+//! policies, histograms, and the statestore.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use clipper_core::batching::{AimdController, BatchController, QuantileController};
+use clipper_core::cache::PredictionCache;
+use clipper_core::selection::SelectionPolicy;
+use clipper_core::{Exp3Policy, Exp4Policy, Feedback, ModelId, Output};
+use clipper_metrics::Histogram;
+use clipper_rpc::message::{Message, PredictReply, WireOutput};
+use clipper_statestore::StateStore;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.measurement_time(Duration::from_secs(2));
+
+    let cache = PredictionCache::new(4_096);
+    let model = ModelId::new("m", 1);
+    let hot: clipper_core::Input = Arc::new(vec![1.0; 784]);
+    cache.fill(&model, &hot, Ok(Output::Class(1)));
+    g.bench_function("hit_784d", |b| {
+        b.iter(|| black_box(cache.fetch(&model, &hot)))
+    });
+
+    let cold: clipper_core::Input = Arc::new(vec![2.0; 784]);
+    g.bench_function("miss_784d", |b| {
+        b.iter(|| black_box(cache.fetch(&model, &cold)))
+    });
+
+    g.bench_function("fill_with_eviction", |b| {
+        let small = PredictionCache::new(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let input: clipper_core::Input = Arc::new(vec![i as f32; 32]);
+            small.fill(&model, &input, Ok(Output::Class(0)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batching");
+    g.measurement_time(Duration::from_secs(2));
+    let slo = Duration::from_millis(20);
+
+    g.bench_function("aimd_record", |b| {
+        let mut ctl = AimdController::with_defaults(slo);
+        b.iter(|| {
+            let batch = ctl.max_batch();
+            ctl.record(batch, Duration::from_micros(1_000 + 20 * batch as u64));
+            black_box(ctl.max_batch())
+        })
+    });
+
+    g.bench_function("quantile_record", |b| {
+        let mut ctl = QuantileController::new(slo, 4_096);
+        b.iter(|| {
+            let batch = ctl.max_batch();
+            ctl.record(batch, Duration::from_micros(1_000 + 20 * batch as u64));
+            black_box(ctl.max_batch())
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_codec");
+    g.measurement_time(Duration::from_secs(2));
+
+    let batch_msg = Message::PredictRequest {
+        inputs: vec![vec![0.5f32; 784]; 64],
+    };
+    g.bench_function("encode_64x784", |b| {
+        b.iter(|| black_box(batch_msg.encode(7)))
+    });
+
+    let frame = batch_msg.encode(7);
+    g.bench_function("decode_64x784", |b| {
+        b.iter_batched(
+            || bytes::Bytes::copy_from_slice(&frame[18..]),
+            |payload| black_box(Message::decode(3, payload).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let reply = Message::PredictResponse(PredictReply {
+        outputs: vec![WireOutput::Class(3); 64],
+        queue_us: 10,
+        compute_us: 20,
+    });
+    g.bench_function("encode_reply_64", |b| b.iter(|| black_box(reply.encode(7))));
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    g.measurement_time(Duration::from_secs(2));
+
+    let ids: Vec<ModelId> = (0..5).map(|i| ModelId::new(&format!("m{i}"), 1)).collect();
+    let input: clipper_core::Input = Arc::new(vec![1.0; 32]);
+    let mut preds: HashMap<ModelId, Output> = HashMap::new();
+    for (i, id) in ids.iter().enumerate() {
+        preds.insert(id.clone(), Output::Class((i % 2) as u32));
+    }
+
+    let exp3 = Exp3Policy::new(0.1);
+    let s3 = exp3.init(&ids, 1);
+    g.bench_function("exp3_select", |b| {
+        b.iter(|| black_box(exp3.select(&s3, &input)))
+    });
+    g.bench_function("exp3_observe", |b| {
+        b.iter_batched(
+            || s3.clone(),
+            |mut s| {
+                exp3.observe(&mut s, &input, &Feedback::class(1), &preds);
+                black_box(s)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let exp4 = Exp4Policy::new(0.1);
+    let s4 = exp4.init(&ids, 1);
+    g.bench_function("exp4_combine", |b| {
+        b.iter(|| black_box(exp4.combine(&s4, &input, &preds)))
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.measurement_time(Duration::from_secs(2));
+    let h = Histogram::new();
+    let mut i = 0u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(997);
+            h.record(black_box(i % 1_000_000));
+        })
+    });
+    for v in 0..100_000u64 {
+        h.record(v * 7 % 1_000_000);
+    }
+    g.bench_function("histogram_snapshot_p99", |b| {
+        b.iter(|| black_box(h.snapshot().p99()))
+    });
+    g.finish();
+}
+
+fn bench_statestore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statestore");
+    g.measurement_time(Duration::from_secs(2));
+    let store = StateStore::new();
+    store.set("policy", vec![0u8; 256]);
+    g.bench_function("get_256b", |b| b.iter(|| black_box(store.get("policy"))));
+    let mut i = 0u64;
+    g.bench_function("set_256b", |b| {
+        b.iter(|| {
+            i += 1;
+            store.set(&format!("k{}", i % 1_024), vec![0u8; 256])
+        })
+    });
+    g.bench_function("cas_cycle", |b| {
+        b.iter(|| {
+            let (_, v) = store.get_versioned("policy").unwrap();
+            black_box(store.cas("policy", v, vec![1u8; 256]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_batching,
+    bench_codec,
+    bench_policies,
+    bench_metrics,
+    bench_statestore
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Figure 5 — throughput increase from delayed batching.
+//!
+//! Sweeps the batch-wait timeout (0–4 ms) for two containers under a
+//! bursty open-loop workload:
+//!
+//! - the Scikit-Learn linear SVM — high per-batch fixed cost, cheap
+//!   marginal items: delaying dispatch amortizes the fixed cost and
+//!   throughput climbs steeply (paper: 3.3× at 2 ms);
+//! - the PySpark linear SVM — low fixed cost: delay buys nothing.
+//!
+//! Reports goodput, mean latency, and mean dispatched batch size.
+
+use clipper_bench::{distinct_input, phase_duration, profile_transport, single_model_stack};
+use clipper_containers::Fig3Model;
+use clipper_core::BatchConfig;
+use clipper_workload::report::fmt_qps;
+use clipper_workload::{run_open_loop, ArrivalProcess, Table};
+use std::time::Duration;
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 8)]
+async fn main() {
+    println!("== Figure 5: Throughput Increase from Delayed Batching ==\n");
+    let slo = Duration::from_millis(20);
+    // Bursty load (the regime the paper motivates with Nagle's algorithm):
+    // bursts arrive faster than the SKLearn container can absorb at batch
+    // size 1, with gaps between bursts.
+    // ~3.6K qps mean in 10ms-on/10ms-off bursts: at burst onset an eager
+    // dispatcher burns the SKLearn container's 2.5ms fixed cost on tiny
+    // batches, pushing it past its capacity edge; Spark's fixed cost is
+    // small enough that the same load is comfortable without delay.
+    let arrivals = ArrivalProcess::Bursty {
+        on_rate: 7_200.0,
+        on: Duration::from_millis(10),
+        off: Duration::from_millis(10),
+    };
+
+    let mut table = Table::new(&[
+        "container",
+        "wait timeout (µs)",
+        "goodput (qps)",
+        "mean latency (µs)",
+        "mean batch",
+        "capacity headroom (qps)",
+    ]);
+
+    for model in [Fig3Model::LinearSvmPyspark, Fig3Model::LinearSvmSklearn] {
+        for wait_us in [0u64, 500, 1_000, 2_000, 3_000, 4_000] {
+            let transport = profile_transport("fig5", model, 3);
+            let (clipper, _) = single_model_stack(
+                transport,
+                BatchConfig {
+                    batch_wait_timeout: Duration::from_micros(wait_us),
+                    // Small queue so overload sheds instead of queueing
+                    // unboundedly: goodput reflects capacity.
+                    queue_capacity: 128,
+                    slo,
+                    ..Default::default()
+                },
+                // Generous app deadline: we want completion latency, not
+                // straggler substitution, in this figure.
+                Duration::from_millis(200),
+            );
+            let c = clipper.clone();
+            let report = run_open_loop(
+                arrivals.clone(),
+                phase_duration(),
+                9,
+                move |seq| {
+                    let clipper = c.clone();
+                    async move {
+                        clipper
+                            .predict("bench", None, distinct_input(0, seq, 8))
+                            .await
+                            .map(|p| p.models_used > 0)
+                            .unwrap_or(false)
+                    }
+                },
+            )
+            .await;
+            // Mean dispatched batch size from the queue's telemetry.
+            let snap = clipper.registry().snapshot();
+            let mean_batch = snap
+                .values
+                .iter()
+                .find(|(k, _)| k.ends_with("batch_size"))
+                .map(|(_, v)| match v {
+                    clipper_metrics::MetricValue::Histogram { mean, .. } => *mean,
+                    _ => 0.0,
+                })
+                .unwrap_or(0.0);
+            // Capacity headroom: the container's sustainable rate at the
+            // observed mean batch size — the quantity delayed batching
+            // actually buys (fixed cost amortized across a bigger batch).
+            let profile = clipper_containers::fig3_profile(model);
+            let busy_per_query = profile.base.as_secs_f64() / mean_batch.max(1.0)
+                + profile.per_item.as_secs_f64();
+            table.row(&[
+                model.label().to_string(),
+                format!("{wait_us}"),
+                fmt_qps(report.throughput()),
+                format!("{:.0}", report.latency.mean()),
+                format!("{mean_batch:.1}"),
+                fmt_qps(1.0 / busy_per_query),
+            ]);
+        }
+    }
+    table.print();
+    println!("\npaper reference: SKLearn SVM throughput gains ~3.3x by 2ms; Spark SVM flat; latency grows with the delay.");
+    println!("note: our work-conserving dispatcher self-batches backlog, so goodput stays flat at this offered load;");
+    println!("the delay's gain appears as capacity headroom — largest for the high-fixed-cost SKLearn container (§4.3.2).");
+}

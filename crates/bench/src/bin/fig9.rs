@@ -1,0 +1,146 @@
+//! Figure 9 — straggler mitigation as ensembles grow.
+//!
+//! Ensembles of 2–16 single-tree containers (a random forest served as an
+//! ensemble, as in the paper's SK-Learn RF on MNIST) behind transports
+//! with injected stragglers. Two configurations per size:
+//!
+//! - **blocking**: the app's deadline is far beyond any straggler, so
+//!   `combine` waits for every model — tail latency grows with ensemble
+//!   size (Figure 9a "Stragglers");
+//! - **mitigated**: a 20 ms SLO; `combine` fires at the deadline with
+//!   whatever arrived (Figure 9a "Straggler Mitigation"), trading a small
+//!   accuracy loss (9c) for bounded latency, with the missing fraction
+//!   reported (9b).
+
+use clipper_bench::phase_duration;
+use clipper_containers::{
+    ContainerConfig, ContainerLogic, LocalContainerTransport, ModelContainer, TimingModel,
+};
+use clipper_core::{AppConfig, BatchConfig, Clipper, Feedback, ModelId, PolicyKind};
+use clipper_metrics::{Counter, Histogram};
+use clipper_ml::datasets::DatasetSpec;
+use clipper_ml::models::{DecisionTree, DecisionTreeConfig};
+use clipper_rpc::faulty::{FaultConfig, FaultyTransport};
+use clipper_workload::Table;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 8)]
+async fn main() {
+    println!("== Figure 9: Straggler Mitigation vs Ensemble Size ==\n");
+    let ds = DatasetSpec::mnist_like()
+        .with_train_size(900)
+        .with_test_size(400)
+        .with_difficulty(0.12)
+        .generate(23);
+
+    let mut table = Table::new(&[
+        "ensemble",
+        "mode",
+        "mean lat (ms)",
+        "p99 lat (ms)",
+        "% missing (mean)",
+        "accuracy",
+    ]);
+
+    for &size in &[2usize, 4, 8, 12, 16] {
+        for (mode, slo) in [
+            ("blocking", Duration::from_millis(400)),
+            ("mitigated", Duration::from_millis(20)),
+        ] {
+            let clipper = Clipper::builder().build();
+            let mut ids = Vec::new();
+            for t in 0..size {
+                // One bootstrap tree per container.
+                let mut bag = ds.clone();
+                let n = bag.train.len();
+                bag.train.rotate_left((t * 97) % n);
+                bag.train.truncate(n / 2);
+                let tree = Arc::new(DecisionTree::train_on(
+                    &bag.train,
+                    ds.num_classes(),
+                    &DecisionTreeConfig {
+                        max_depth: 8,
+                        feature_subsample: Some(48),
+                        ..Default::default()
+                    },
+                    t as u64,
+                ));
+                let id = ModelId::new(&format!("tree-{t}"), 1);
+                clipper.add_model(id.clone(), BatchConfig::default());
+                let container = ModelContainer::new(ContainerConfig {
+                    name: format!("tree-{t}:0"),
+                    model_name: format!("tree-{t}"),
+                    model_version: 1,
+                    logic: ContainerLogic::Classifier(tree),
+                    timing: TimingModel::Measured,
+                    seed: t as u64,
+                });
+                // Straggler injection: every container occasionally stalls
+                // well past the SLO (the paper's stragglers come from load
+                // interference across many containers).
+                let faulty = Arc::new(FaultyTransport::new(
+                    LocalContainerTransport::new(container),
+                    FaultConfig {
+                        base_delay: Duration::from_millis(2),
+                        jitter: Duration::from_millis(6),
+                        straggler_prob: 0.03,
+                        straggler_delay: Duration::from_millis(60),
+                        drop_prob: 0.0,
+                    },
+                    1_000 + t as u64,
+                ));
+                clipper.add_replica(&id, faulty).expect("replica");
+                ids.push(id);
+            }
+            clipper.register_app(
+                AppConfig::new("forest", ids)
+                    .with_policy(PolicyKind::MajorityVote)
+                    .with_slo(slo),
+            );
+
+            let latency = Histogram::new();
+            let missing_pct = Histogram::new();
+            let correct = Counter::new();
+            let total = Counter::new();
+
+            let deadline = std::time::Instant::now() + phase_duration();
+            let mut i = 0usize;
+            while std::time::Instant::now() < deadline {
+                let ex = &ds.test[i % ds.test.len()];
+                let input: clipper_core::Input = Arc::new(ex.x.clone());
+                let p = clipper.predict("forest", None, input.clone()).await.unwrap();
+                latency.record(p.latency.as_micros() as u64);
+                missing_pct.record((100 * p.models_missing / size) as u64);
+                total.inc();
+                if p.output.label() == ex.y {
+                    correct.inc();
+                }
+                // Light feedback traffic keeps the join path realistic.
+                if i % 10 == 0 {
+                    let _ = clipper
+                        .feedback("forest", None, input, Feedback::class(ex.y))
+                        .await;
+                }
+                i += 1;
+            }
+
+            let lat = latency.snapshot();
+            let miss = missing_pct.snapshot();
+            table.row(&[
+                format!("{size}"),
+                mode.to_string(),
+                format!("{:.1}", lat.mean() / 1_000.0),
+                format!("{:.1}", lat.p99() as f64 / 1_000.0),
+                format!("{:.1}", miss.mean()),
+                format!(
+                    "{:.3}",
+                    correct.get() as f64 / total.get().max(1) as f64
+                ),
+            ]);
+        }
+    }
+    table.print();
+    println!("\npaper reference: blocking P99 rises sharply with ensemble size (≫20ms); mitigation holds latency at the SLO,");
+    println!("missing stays small (most predictions arrive), and accuracy dips only slightly vs blocking");
+}

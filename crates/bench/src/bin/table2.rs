@@ -1,0 +1,27 @@
+//! Table 2 — the deep-learning model zoo used by the ImageNet ensemble
+//! experiments, as simulated GPU specs.
+
+use clipper_containers::table2_zoo;
+use clipper_workload::{report::fmt_qps, Table};
+
+fn main() {
+    println!("== Table 2: Deep Learning Models (simulated GPU zoo) ==\n");
+    let mut table = Table::new(&[
+        "model",
+        "layers (paper)",
+        "wave size",
+        "wave time",
+        "peak throughput",
+    ]);
+    for spec in table2_zoo() {
+        table.row(&[
+            spec.name.clone(),
+            spec.layers.clone(),
+            format!("{}", spec.wave_size),
+            format!("{:.0} ms", spec.wave_time.as_secs_f64() * 1e3),
+            format!("{} qps", fmt_qps(spec.peak_throughput())),
+        ]);
+    }
+    table.print();
+    println!("\npaper zoo: VGG 13C+3FC, GoogLeNet 96C+5FC, ResNet 151C+1FC, CaffeNet 5C+3FC, Inception 6C+1FC+3I");
+}

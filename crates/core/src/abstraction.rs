@@ -1,0 +1,497 @@
+//! The model abstraction layer (§4): cache over adaptive batching over
+//! replicated container transports.
+//!
+//! `predict(model, x)` resolves through three stages:
+//!
+//! 1. **prediction cache** — hit returns immediately; a miss either joins
+//!    an in-flight computation or claims responsibility for one;
+//! 2. **replica choice** — round-robin over the model's healthy replicas
+//!    (each with independently tuned batching, §4.4.1);
+//! 3. **batching queue** — the replica's dispatcher forms batches and
+//!    ships them over the transport.
+//!
+//! The layer also tracks each model's *running default output* — the
+//! substitution value used when straggler mitigation renders a prediction
+//! without that model (§5.2.2).
+
+use crate::batching::queue::{
+    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
+};
+pub use crate::batching::queue::PredictError;
+use crate::cache::{CacheKey, Lookup, PredictionCache};
+use crate::types::{Input, ModelId, Output};
+use clipper_metrics::Registry;
+use clipper_rpc::transport::BatchTransport;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::sync::oneshot;
+
+/// Per-model batching configuration (applied to each replica's queue).
+pub type BatchConfig = QueueConfig;
+
+/// Running summary of a model's outputs, used to substitute for missing
+/// predictions under straggler mitigation. For class outputs the default
+/// is the modal label; for score outputs the running mean vector.
+#[derive(Default)]
+struct DefaultTracker {
+    label_counts: HashMap<u32, u64>,
+    score_sums: Vec<f64>,
+    score_count: u64,
+}
+
+impl DefaultTracker {
+    fn record(&mut self, out: &Output) {
+        match out {
+            Output::Class(c) => {
+                *self.label_counts.entry(*c).or_insert(0) += 1;
+            }
+            Output::Scores(s) => {
+                if self.score_sums.len() != s.len() {
+                    self.score_sums = vec![0.0; s.len()];
+                    self.score_count = 0;
+                }
+                for (acc, &v) in self.score_sums.iter_mut().zip(s.iter()) {
+                    *acc += v as f64;
+                }
+                self.score_count += 1;
+                *self
+                    .label_counts
+                    .entry(out.label())
+                    .or_insert(0) += 1;
+            }
+            Output::Labels(_) => {
+                // Sequences have no meaningful average; straggler handling
+                // drops missing transcriptions instead.
+            }
+        }
+    }
+
+    fn default_output(&self) -> Option<Output> {
+        if self.score_count > 0 {
+            let mean: Vec<f32> = self
+                .score_sums
+                .iter()
+                .map(|&s| (s / self.score_count as f64) as f32)
+                .collect();
+            return Some(Output::Scores(mean));
+        }
+        self.label_counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&label, _)| Output::Class(label))
+    }
+}
+
+struct Replica {
+    queue: Arc<ReplicaQueue>,
+    transport: Arc<dyn BatchTransport>,
+}
+
+struct ModelHandle {
+    id: ModelId,
+    cfg: QueueConfig,
+    replicas: RwLock<Vec<Replica>>,
+    next_replica: AtomicUsize,
+    defaults: Mutex<DefaultTracker>,
+}
+
+/// The model abstraction layer.
+pub struct ModelAbstractionLayer {
+    cache: PredictionCache,
+    models: RwLock<HashMap<ModelId, Arc<ModelHandle>>>,
+    registry: Registry,
+}
+
+impl ModelAbstractionLayer {
+    /// Create a layer with a prediction cache of `cache_capacity` entries.
+    pub fn new(cache_capacity: usize, registry: Registry) -> Arc<Self> {
+        Arc::new(ModelAbstractionLayer {
+            cache: PredictionCache::new(cache_capacity),
+            models: RwLock::new(HashMap::new()),
+            registry,
+        })
+    }
+
+    /// Register a model with its batching configuration. Idempotent: a
+    /// second registration with the same id keeps the original.
+    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
+        let mut models = self.models.write();
+        models.entry(id.clone()).or_insert_with(|| {
+            Arc::new(ModelHandle {
+                id,
+                cfg,
+                replicas: RwLock::new(Vec::new()),
+                next_replica: AtomicUsize::new(0),
+                defaults: Mutex::new(DefaultTracker::default()),
+            })
+        });
+    }
+
+    /// Attach a container replica to a registered model. Returns the
+    /// replica's queue id.
+    pub fn add_replica(
+        &self,
+        id: &ModelId,
+        transport: Arc<dyn BatchTransport>,
+    ) -> Result<String, PredictError> {
+        let handle = self
+            .models
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or(PredictError::ModelUnknown)?;
+        let mut replicas = handle.replicas.write();
+        let idx = replicas.len();
+        let queue_id = format!("{}:{}", handle.id, idx);
+        let metrics = QueueMetrics::register(&self.registry, &format!("queue/{queue_id}"));
+        let queue = spawn_replica_queue(
+            queue_id.clone(),
+            transport.clone(),
+            handle.cfg.clone(),
+            metrics,
+        );
+        replicas.push(Replica { queue, transport });
+        Ok(queue_id)
+    }
+
+    /// Remove all replicas of a model (failure injection / decommission).
+    pub fn remove_replicas(&self, id: &ModelId) {
+        if let Some(handle) = self.models.read().get(id) {
+            let mut replicas = handle.replicas.write();
+            for r in replicas.drain(..) {
+                r.queue.shutdown();
+            }
+        }
+    }
+
+    /// Registered model ids.
+    pub fn models(&self) -> Vec<ModelId> {
+        self.models.read().keys().cloned().collect()
+    }
+
+    /// Number of live replicas for a model.
+    pub fn replica_count(&self, id: &ModelId) -> usize {
+        self.models
+            .read()
+            .get(id)
+            .map_or(0, |h| h.replicas.read().len())
+    }
+
+    /// The shared prediction cache.
+    pub fn cache(&self) -> &PredictionCache {
+        &self.cache
+    }
+
+    /// The metrics registry this layer reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The model's substitution output for straggler mitigation (§5.2.2),
+    /// if the model has produced any outputs yet.
+    pub fn default_output(&self, id: &ModelId) -> Option<Output> {
+        self.models
+            .read()
+            .get(id)
+            .and_then(|h| h.defaults.lock().default_output())
+    }
+
+    /// Evaluate `Predict(model, input)`, using the cache when `use_cache`.
+    pub async fn predict(
+        &self,
+        model: &ModelId,
+        input: Input,
+        use_cache: bool,
+    ) -> Result<Output, PredictError> {
+        let handle = self
+            .models
+            .read()
+            .get(model)
+            .cloned()
+            .ok_or(PredictError::ModelUnknown)?;
+
+        let result = if use_cache {
+            match self.cache.lookup_or_pending(model, &input) {
+                Lookup::Hit(out) => return Ok(out),
+                Lookup::Pending(rx) => await_fill(rx).await,
+                Lookup::MustCompute(rx) => {
+                    let sink = ReplySink::Cache {
+                        cache: self.cache.clone(),
+                        key: CacheKey::new(model, &input),
+                    };
+                    if let Err(e) = enqueue(&handle, input.clone(), sink) {
+                        // Nobody will ever fill the pending entry; do it
+                        // ourselves so waiters see the failure.
+                        self.cache.fill(
+                            model,
+                            &input,
+                            Err(crate::cache::CacheFillError::Failed(e.to_string())),
+                        );
+                        return Err(e);
+                    }
+                    await_fill(rx).await
+                }
+            }
+        } else {
+            let (tx, rx) = oneshot::channel();
+            enqueue(&handle, input, ReplySink::Direct(tx))?;
+            match rx.await {
+                Ok(r) => r,
+                Err(_) => Err(PredictError::Failed("reply channel dropped".into())),
+            }
+        };
+
+        if let Ok(ref out) = result {
+            handle.defaults.lock().record(out);
+        }
+        result
+    }
+}
+
+async fn await_fill(
+    rx: oneshot::Receiver<Result<Output, crate::cache::CacheFillError>>,
+) -> Result<Output, PredictError> {
+    match rx.await {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(crate::cache::CacheFillError::Failed(m))) => Err(PredictError::Failed(m)),
+        Err(_) => Err(PredictError::Failed("cache fill dropped".into())),
+    }
+}
+
+/// Pick the next healthy replica round-robin and submit.
+fn enqueue(handle: &ModelHandle, input: Input, sink: ReplySink) -> Result<(), PredictError> {
+    let replicas = handle.replicas.read();
+    if replicas.is_empty() {
+        return Err(PredictError::NoReplicas);
+    }
+    let start = handle.next_replica.fetch_add(1, Ordering::Relaxed);
+    for offset in 0..replicas.len() {
+        let r = &replicas[(start + offset) % replicas.len()];
+        if r.transport.is_healthy() {
+            r.queue.submit(QueueItem {
+                input,
+                sink,
+                enqueued: Instant::now(),
+            });
+            return Ok(());
+        }
+    }
+    Err(PredictError::NoReplicas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clipper_rpc::message::{PredictReply, WireOutput};
+    use clipper_rpc::transport::FnTransport;
+    use std::sync::atomic::AtomicU64;
+
+    fn echo() -> Arc<dyn BatchTransport> {
+        Arc::new(FnTransport::new("echo", |inputs| {
+            Ok(PredictReply {
+                outputs: inputs
+                    .iter()
+                    .map(|x| WireOutput::Class(x[0] as u32))
+                    .collect(),
+                queue_us: 0,
+                compute_us: 1,
+            })
+        }))
+    }
+
+    fn layer() -> Arc<ModelAbstractionLayer> {
+        ModelAbstractionLayer::new(64, Registry::new())
+    }
+
+    #[tokio::test]
+    async fn predict_through_cache_and_queue() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, echo()).unwrap();
+        let out = mal.predict(&m, Arc::new(vec![7.0]), true).await.unwrap();
+        assert_eq!(out, Output::Class(7));
+        // Second call: cache hit (no new evaluation).
+        let out2 = mal.predict(&m, Arc::new(vec![7.0]), true).await.unwrap();
+        assert_eq!(out2, Output::Class(7));
+        let (hits, _, _) = mal.cache().stats();
+        assert!(hits >= 1);
+    }
+
+    #[tokio::test]
+    async fn unknown_model_is_an_error() {
+        let mal = layer();
+        let err = mal
+            .predict(&ModelId::new("ghost", 1), Arc::new(vec![1.0]), true)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::ModelUnknown);
+    }
+
+    #[tokio::test]
+    async fn model_without_replicas_errors() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        let err = mal
+            .predict(&m, Arc::new(vec![1.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::NoReplicas);
+    }
+
+    #[tokio::test]
+    async fn cache_pending_failure_wakes_waiters_with_error() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        // No replicas: the MustCompute path must fail-fill the pending
+        // entry so the cache doesn't wedge.
+        let err = mal
+            .predict(&m, Arc::new(vec![1.0]), true)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::NoReplicas);
+        assert_eq!(mal.cache().pending_len(), 0, "no stuck pending entries");
+    }
+
+    #[tokio::test]
+    async fn round_robin_spreads_across_replicas() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        let c1 = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::new(AtomicU64::new(0));
+        for counter in [c1.clone(), c2.clone()] {
+            let t: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("counted", move |inputs| {
+                counter.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+                Ok(PredictReply {
+                    outputs: vec![WireOutput::Class(0); inputs.len()],
+                    queue_us: 0,
+                    compute_us: 0,
+                })
+            }));
+            mal.add_replica(&m, t).unwrap();
+        }
+        assert_eq!(mal.replica_count(&m), 2);
+        for i in 0..20 {
+            // Distinct inputs so the cache doesn't collapse them.
+            mal.predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .unwrap();
+        }
+        let (n1, n2) = (c1.load(Ordering::Relaxed), c2.load(Ordering::Relaxed));
+        assert_eq!(n1 + n2, 20);
+        assert!(n1 >= 5 && n2 >= 5, "round robin should spread: {n1}/{n2}");
+    }
+
+    #[tokio::test]
+    async fn unhealthy_replicas_are_skipped() {
+        struct Dead;
+        impl BatchTransport for Dead {
+            fn predict_batch(
+                &self,
+                _inputs: Vec<Vec<f32>>,
+            ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+                Box::pin(async { Err(clipper_rpc::RpcError::ConnectionClosed) })
+            }
+            fn id(&self) -> String {
+                "dead".into()
+            }
+            fn is_healthy(&self) -> bool {
+                false
+            }
+        }
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, Arc::new(Dead)).unwrap();
+        mal.add_replica(&m, echo()).unwrap();
+        // All queries should route to the healthy replica.
+        for i in 0..10 {
+            let out = mal
+                .predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .unwrap();
+            assert_eq!(out, Output::Class(i as u32));
+        }
+    }
+
+    #[tokio::test]
+    async fn default_output_tracks_modal_label() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, echo()).unwrap();
+        // 3 queries answer Class(5), 1 answers Class(2).
+        for v in [5.0, 5.0, 5.0, 2.0] {
+            // distinct inputs: add small noise in second element
+            mal.predict(&m, Arc::new(vec![v, rand::random::<f32>()]), false)
+                .await
+                .unwrap();
+        }
+        assert_eq!(mal.default_output(&m), Some(Output::Class(5)));
+    }
+
+    #[tokio::test]
+    async fn remove_replicas_causes_no_replica_errors() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, echo()).unwrap();
+        mal.remove_replicas(&m);
+        assert_eq!(mal.replica_count(&m), 0);
+        let err = mal
+            .predict(&m, Arc::new(vec![1.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::NoReplicas);
+    }
+
+    #[tokio::test]
+    async fn concurrent_identical_queries_collapse_to_one_evaluation() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        let evals = Arc::new(AtomicU64::new(0));
+        let e2 = evals.clone();
+        let t: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("slowcount", move |inputs| {
+            e2.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(20));
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(1); inputs.len()],
+                queue_us: 0,
+                compute_us: 0,
+            })
+        }));
+        use std::time::Duration;
+        mal.add_replica(&m, t).unwrap();
+        let input: Input = Arc::new(vec![42.0]);
+        let mut tasks = Vec::new();
+        for _ in 0..16 {
+            let mal = mal.clone();
+            let m = m.clone();
+            let input = input.clone();
+            tasks.push(tokio::spawn(async move {
+                mal.predict(&m, input, true).await.unwrap()
+            }));
+        }
+        for t in tasks {
+            assert_eq!(t.await.unwrap(), Output::Class(1));
+        }
+        assert_eq!(
+            evals.load(Ordering::Relaxed),
+            1,
+            "16 identical concurrent queries must evaluate once"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Adaptive batching (§4.3).
+//!
+//! Each model-container replica gets its own batching queue and its own
+//! controller that learns the largest batch size whose evaluation latency
+//! stays inside the application's SLO:
+//!
+//! - [`AimdController`] — the paper's default: additive increase, gentle
+//!   10% multiplicative backoff on SLO violation (§4.3.1);
+//! - [`QuantileController`] — the alternative the paper evaluates: online
+//!   quantile regression estimating P99 latency as a linear function of
+//!   batch size (pinball-loss SGD), inverted against the SLO;
+//! - fixed-size and no-batching strategies for baselines (Figure 4).
+//!
+//! Delayed batching (§4.3.2) is a queue-level knob
+//! ([`queue::QueueConfig::batch_wait_timeout`]): under moderate load the
+//! dispatcher briefly waits for more queries before sending an under-full
+//! batch, trading a bounded delay for amortized fixed costs — the Nagle's
+//! algorithm analogy.
+
+pub mod aimd;
+pub mod queue;
+pub mod quantile;
+
+pub use aimd::AimdController;
+pub use quantile::QuantileController;
+pub use queue::{spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink};
+
+use std::time::Duration;
+
+/// Strategy configuration for a replica's batching controller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchStrategy {
+    /// Additive-increase / multiplicative-decrease (the default).
+    Aimd {
+        /// Additive step per successful full batch.
+        step: f64,
+        /// Multiplicative backoff factor on SLO violation (paper: 0.9).
+        backoff: f64,
+    },
+    /// Online P99 quantile regression.
+    QuantileRegression,
+    /// Static maximum batch size (TensorFlow-Serving style).
+    Fixed(usize),
+    /// Every query is its own batch (the Figure-4 baseline).
+    NoBatching,
+}
+
+impl Default for BatchStrategy {
+    fn default() -> Self {
+        BatchStrategy::Aimd {
+            step: 2.0,
+            backoff: 0.9,
+        }
+    }
+}
+
+impl BatchStrategy {
+    /// Instantiate the controller for this strategy under `slo`.
+    pub fn build(&self, slo: Duration, cap: usize) -> Box<dyn BatchController> {
+        match *self {
+            BatchStrategy::Aimd { step, backoff } => {
+                Box::new(AimdController::new(slo, step, backoff, cap))
+            }
+            BatchStrategy::QuantileRegression => Box::new(QuantileController::new(slo, cap)),
+            BatchStrategy::Fixed(n) => Box::new(FixedController(n.clamp(1, cap))),
+            BatchStrategy::NoBatching => Box::new(FixedController(1)),
+        }
+    }
+}
+
+/// A batching controller: proposes the current maximum batch size and
+/// learns from observed `(batch, latency)` outcomes.
+pub trait BatchController: Send {
+    /// Current maximum batch size (≥ 1).
+    fn max_batch(&self) -> usize;
+    /// Record one completed batch evaluation.
+    fn record(&mut self, batch_size: usize, latency: Duration);
+    /// Controller name for metrics/reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Static controller used for `Fixed` and `NoBatching`.
+struct FixedController(usize);
+
+impl BatchController for FixedController {
+    fn max_batch(&self) -> usize {
+        self.0
+    }
+    fn record(&mut self, _batch_size: usize, _latency: Duration) {}
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_builds_matching_controller() {
+        let slo = Duration::from_millis(20);
+        assert_eq!(BatchStrategy::default().build(slo, 4096).name(), "aimd");
+        assert_eq!(
+            BatchStrategy::QuantileRegression.build(slo, 4096).name(),
+            "quantile"
+        );
+        assert_eq!(BatchStrategy::Fixed(64).build(slo, 4096).max_batch(), 64);
+        assert_eq!(BatchStrategy::NoBatching.build(slo, 4096).max_batch(), 1);
+    }
+
+    #[test]
+    fn fixed_is_clamped_to_cap() {
+        let c = BatchStrategy::Fixed(10_000).build(Duration::from_millis(20), 256);
+        assert_eq!(c.max_batch(), 256);
+    }
+
+    #[test]
+    fn fixed_ignores_feedback() {
+        let mut c = BatchStrategy::Fixed(8).build(Duration::from_millis(20), 4096);
+        c.record(8, Duration::from_secs(10));
+        assert_eq!(c.max_batch(), 8);
+    }
+}

@@ -1,0 +1,561 @@
+//! The per-replica batching queue and dispatcher.
+//!
+//! Queries destined for a model container replica land in its queue; a
+//! dispatcher task drains up to the controller's current maximum batch
+//! size, optionally waits `batch_wait_timeout` for an under-full batch to
+//! fill (delayed batching, §4.3.2), ships the batch over the replica's
+//! transport, and distributes outputs to each query's reply sink — either
+//! a direct oneshot or a prediction-cache fill that wakes every joined
+//! waiter.
+//!
+//! Timing decomposition recorded per batch (the Figure-11 bars):
+//! - `queue_us`: time queries waited in this queue before dispatch;
+//! - `remote_queue_us` / `predict_us`: container-reported device queueing
+//!   and model compute;
+//! - `overhead_us`: everything else in the round trip (serialization, RPC,
+//!   scheduling).
+
+use super::BatchController;
+use crate::cache::{CacheFillError, CacheKey, PredictionCache};
+use crate::types::{Input, Output};
+use clipper_metrics::{Counter, Gauge, Histogram, Meter, Registry};
+use clipper_rpc::transport::BatchTransport;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::{mpsc, oneshot, Semaphore};
+
+/// Cloneable prediction failure (fans out to many waiters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PredictError {
+    /// The query waited past its deadline (straggler path).
+    Timeout,
+    /// The replica queue is full — shed load instead of growing latency.
+    Overloaded,
+    /// The model has no live replicas.
+    NoReplicas,
+    /// The model is not registered.
+    ModelUnknown,
+    /// The application is not registered.
+    AppUnknown,
+    /// Evaluation failed (RPC or container error).
+    Failed(String),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Timeout => write!(f, "prediction timed out"),
+            PredictError::Overloaded => write!(f, "replica queue overloaded"),
+            PredictError::NoReplicas => write!(f, "no replicas available"),
+            PredictError::ModelUnknown => write!(f, "unknown model"),
+            PredictError::AppUnknown => write!(f, "unknown application"),
+            PredictError::Failed(m) => write!(f, "prediction failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Where a completed output goes.
+pub enum ReplySink {
+    /// Fill the prediction cache (waking all joined waiters).
+    Cache {
+        /// The shared cache.
+        cache: PredictionCache,
+        /// Precomputed key for this (model, input).
+        key: CacheKey,
+    },
+    /// Complete a direct oneshot (cache-bypass path).
+    Direct(oneshot::Sender<Result<Output, PredictError>>),
+}
+
+impl ReplySink {
+    fn complete(self, result: Result<Output, PredictError>) {
+        match self {
+            ReplySink::Cache { cache, key } => {
+                let fill = result.map_err(|e| CacheFillError::Failed(e.to_string()));
+                cache.fill_key(key, fill);
+            }
+            ReplySink::Direct(tx) => {
+                let _ = tx.send(result);
+            }
+        }
+    }
+}
+
+/// One query waiting in a replica queue.
+pub struct QueueItem {
+    /// The feature vector.
+    pub input: Input,
+    /// Where the output goes.
+    pub sink: ReplySink,
+    /// When the query entered the queue.
+    pub enqueued: Instant,
+}
+
+/// Queue configuration (per replica).
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Batching strategy.
+    pub strategy: super::BatchStrategy,
+    /// Latency objective the controller tunes against.
+    pub slo: Duration,
+    /// Delayed batching: how long an under-full batch waits for more
+    /// queries (0 = dispatch immediately).
+    pub batch_wait_timeout: Duration,
+    /// Queue depth before load shedding.
+    pub queue_capacity: usize,
+    /// Hard cap on batch size.
+    pub max_batch_cap: usize,
+    /// Outstanding batches per replica (2 keeps a GPU's next batch queued
+    /// while the current one runs, as both systems do in §6).
+    pub pipeline_depth: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            strategy: super::BatchStrategy::default(),
+            slo: Duration::from_millis(20),
+            batch_wait_timeout: Duration::ZERO,
+            queue_capacity: 8_192,
+            max_batch_cap: 4_096,
+            pipeline_depth: 1,
+        }
+    }
+}
+
+/// Telemetry for one replica queue.
+#[derive(Clone)]
+pub struct QueueMetrics {
+    /// Dispatched batch sizes.
+    pub batch_size: Histogram,
+    /// Full RPC round-trip per batch (µs).
+    pub rpc_us: Histogram,
+    /// Local queue wait per query (µs).
+    pub queue_us: Histogram,
+    /// Container-reported device queueing per batch (µs).
+    pub remote_queue_us: Histogram,
+    /// Container-reported compute per batch (µs).
+    pub predict_us: Histogram,
+    /// Round-trip minus container time per batch (µs).
+    pub overhead_us: Histogram,
+    /// Completed queries.
+    pub completed: Meter,
+    /// Failed queries.
+    pub errors: Counter,
+    /// Batches whose round trip exceeded the SLO.
+    pub slo_violations: Counter,
+    /// Controller's current max batch size.
+    pub current_max_batch: Gauge,
+    /// Queries shed because the queue was full.
+    pub shed: Counter,
+}
+
+impl QueueMetrics {
+    /// Register the queue's metrics under `prefix` in `registry`.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        QueueMetrics {
+            batch_size: registry.histogram(&format!("{prefix}/batch_size")),
+            rpc_us: registry.histogram(&format!("{prefix}/rpc_us")),
+            queue_us: registry.histogram(&format!("{prefix}/queue_us")),
+            remote_queue_us: registry.histogram(&format!("{prefix}/remote_queue_us")),
+            predict_us: registry.histogram(&format!("{prefix}/predict_us")),
+            overhead_us: registry.histogram(&format!("{prefix}/overhead_us")),
+            completed: registry.meter(&format!("{prefix}/completed")),
+            errors: registry.counter(&format!("{prefix}/errors")),
+            slo_violations: registry.counter(&format!("{prefix}/slo_violations")),
+            current_max_batch: registry.gauge(&format!("{prefix}/max_batch")),
+            shed: registry.counter(&format!("{prefix}/shed")),
+        }
+    }
+}
+
+/// Handle to a running replica queue.
+pub struct ReplicaQueue {
+    id: String,
+    tx: mpsc::Sender<QueueItem>,
+    metrics: QueueMetrics,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl ReplicaQueue {
+    /// Submit a query. On a full queue the item's sink is completed with
+    /// [`PredictError::Overloaded`] immediately (load shedding).
+    pub fn submit(&self, item: QueueItem) {
+        if let Err(mpsc::error::TrySendError::Full(item)) = self.tx.try_send(item) {
+            self.metrics.shed.inc();
+            item.sink.complete(Err(PredictError::Overloaded));
+        }
+    }
+
+    /// Replica id (`model:replica`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// This queue's telemetry.
+    pub fn metrics(&self) -> &QueueMetrics {
+        &self.metrics
+    }
+
+    /// Stop the dispatcher.
+    pub fn shutdown(&self) {
+        self.task.abort();
+    }
+}
+
+impl Drop for ReplicaQueue {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+/// Spawn the dispatcher for one replica.
+pub fn spawn_replica_queue(
+    id: String,
+    transport: Arc<dyn BatchTransport>,
+    cfg: QueueConfig,
+    metrics: QueueMetrics,
+) -> Arc<ReplicaQueue> {
+    let (tx, rx) = mpsc::channel(cfg.queue_capacity.max(1));
+    let controller = Arc::new(Mutex::new(cfg.strategy.build(cfg.slo, cfg.max_batch_cap)));
+    let task = tokio::spawn(dispatch_loop(
+        rx,
+        transport,
+        controller,
+        cfg.clone(),
+        metrics.clone(),
+    ));
+    Arc::new(ReplicaQueue {
+        id,
+        tx,
+        metrics,
+        task,
+    })
+}
+
+async fn dispatch_loop(
+    mut rx: mpsc::Receiver<QueueItem>,
+    transport: Arc<dyn BatchTransport>,
+    controller: Arc<Mutex<Box<dyn BatchController>>>,
+    cfg: QueueConfig,
+    metrics: QueueMetrics,
+) {
+    let inflight = Arc::new(Semaphore::new(cfg.pipeline_depth.max(1)));
+    loop {
+        let permit = match inflight.clone().acquire_owned().await {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let first = match rx.recv().await {
+            Some(item) => item,
+            None => return,
+        };
+        let max_batch = {
+            let c = controller.lock();
+            metrics.current_max_batch.set(c.max_batch() as i64);
+            c.max_batch().min(cfg.max_batch_cap).max(1)
+        };
+        let mut items = vec![first];
+        if cfg.batch_wait_timeout > Duration::ZERO {
+            // Delayed batching: hold the batch open briefly.
+            let wait_deadline = tokio::time::Instant::now() + cfg.batch_wait_timeout;
+            while items.len() < max_batch {
+                match tokio::time::timeout_at(wait_deadline, rx.recv()).await {
+                    Ok(Some(item)) => items.push(item),
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        } else {
+            while items.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(item) => items.push(item),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let transport = transport.clone();
+        let controller = controller.clone();
+        let metrics = metrics.clone();
+        let slo = cfg.slo;
+        tokio::spawn(async move {
+            let dispatch_time = Instant::now();
+            for item in &items {
+                metrics
+                    .queue_us
+                    .record(item.enqueued.elapsed().as_micros() as u64);
+            }
+            let inputs: Vec<Vec<f32>> = items.iter().map(|i| (*i.input).clone()).collect();
+            let n = items.len();
+            metrics.batch_size.record(n as u64);
+
+            let result = transport.predict_batch(inputs).await;
+            let rpc_elapsed = dispatch_time.elapsed();
+            controller.lock().record(n, rpc_elapsed);
+            metrics.rpc_us.record(rpc_elapsed.as_micros() as u64);
+            if rpc_elapsed > slo {
+                metrics.slo_violations.inc();
+            }
+
+            match result {
+                Ok(reply) if reply.outputs.len() == n => {
+                    metrics.remote_queue_us.record(reply.queue_us);
+                    metrics.predict_us.record(reply.compute_us);
+                    let overhead = (rpc_elapsed.as_micros() as u64)
+                        .saturating_sub(reply.queue_us + reply.compute_us);
+                    metrics.overhead_us.record(overhead);
+                    metrics.completed.mark_n(n as u64);
+                    for (item, output) in items.into_iter().zip(reply.outputs) {
+                        item.sink.complete(Ok(output));
+                    }
+                }
+                Ok(reply) => {
+                    metrics.errors.add(n as u64);
+                    let err = PredictError::Failed(format!(
+                        "container returned {} outputs for {} inputs",
+                        reply.outputs.len(),
+                        n
+                    ));
+                    for item in items {
+                        item.sink.complete(Err(err.clone()));
+                    }
+                }
+                Err(e) => {
+                    metrics.errors.add(n as u64);
+                    let err = PredictError::Failed(e.to_string());
+                    for item in items {
+                        item.sink.complete(Err(err.clone()));
+                    }
+                }
+            }
+            drop(permit);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::BatchStrategy;
+    use clipper_rpc::message::{PredictReply, WireOutput};
+    use clipper_rpc::transport::FnTransport;
+
+    fn echo_transport() -> Arc<dyn BatchTransport> {
+        Arc::new(FnTransport::new("echo", |inputs| {
+            Ok(PredictReply {
+                outputs: inputs
+                    .iter()
+                    .map(|x| WireOutput::Class(x[0] as u32))
+                    .collect(),
+                queue_us: 5,
+                compute_us: 10,
+            })
+        }))
+    }
+
+    fn test_metrics() -> QueueMetrics {
+        QueueMetrics::register(&Registry::new(), "q")
+    }
+
+    fn direct_item(v: f32) -> (QueueItem, oneshot::Receiver<Result<Output, PredictError>>) {
+        let (tx, rx) = oneshot::channel();
+        (
+            QueueItem {
+                input: Arc::new(vec![v]),
+                sink: ReplySink::Direct(tx),
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[tokio::test]
+    async fn queries_flow_through_and_answers_match() {
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            echo_transport(),
+            QueueConfig::default(),
+            test_metrics(),
+        );
+        let mut rxs = Vec::new();
+        for v in 0..20 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push((v, rx));
+        }
+        for (v, rx) in rxs {
+            let out = rx.await.unwrap().unwrap();
+            assert_eq!(out, Output::Class(v as u32));
+        }
+        assert!(q.metrics().completed.count() >= 20);
+    }
+
+    #[tokio::test]
+    async fn batches_form_under_burst() {
+        // A slow transport forces queries to pile up; later batches should
+        // be larger than 1.
+        let slow: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("slow", |inputs| {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(0); inputs.len()],
+                queue_us: 0,
+                compute_us: 5_000,
+            })
+        }));
+        let metrics = test_metrics();
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            slow,
+            QueueConfig {
+                strategy: BatchStrategy::Fixed(64),
+                ..Default::default()
+            },
+            metrics.clone(),
+        );
+        let mut rxs = Vec::new();
+        for v in 0..100 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push(rx);
+        }
+        for rx in rxs {
+            rx.await.unwrap().unwrap();
+        }
+        let snap = metrics.batch_size.snapshot();
+        assert!(
+            snap.max() > 1,
+            "burst should form multi-query batches, max was {}",
+            snap.max()
+        );
+    }
+
+    #[tokio::test]
+    async fn overload_sheds_with_overloaded_error() {
+        // A transport that never completes within the test window.
+        let stuck: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("stuck", |inputs| {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(0); inputs.len()],
+                queue_us: 0,
+                compute_us: 0,
+            })
+        }));
+        let metrics = test_metrics();
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            stuck,
+            QueueConfig {
+                strategy: BatchStrategy::NoBatching,
+                queue_capacity: 4,
+                ..Default::default()
+            },
+            metrics.clone(),
+        );
+        let mut saw_overload = false;
+        let mut rxs = Vec::new();
+        for v in 0..64 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push(rx);
+        }
+        for rx in rxs {
+            if let Ok(Err(PredictError::Overloaded)) = rx.await {
+                saw_overload = true;
+            }
+        }
+        assert!(saw_overload, "expected load shedding");
+        assert!(metrics.shed.get() > 0);
+    }
+
+    #[tokio::test]
+    async fn transport_failure_fails_the_batch() {
+        let bad: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("bad", |_| {
+            Err(clipper_rpc::RpcError::Remote("dead".into()))
+        }));
+        let q = spawn_replica_queue("m:0".into(), bad, QueueConfig::default(), test_metrics());
+        let (item, rx) = direct_item(1.0);
+        q.submit(item);
+        let err = rx.await.unwrap().unwrap_err();
+        assert!(matches!(err, PredictError::Failed(_)));
+    }
+
+    #[tokio::test]
+    async fn output_count_mismatch_is_an_error() {
+        let short: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("short", |_| {
+            Ok(PredictReply {
+                outputs: vec![], // wrong count
+                queue_us: 0,
+                compute_us: 0,
+            })
+        }));
+        let q = spawn_replica_queue("m:0".into(), short, QueueConfig::default(), test_metrics());
+        let (item, rx) = direct_item(1.0);
+        q.submit(item);
+        let err = rx.await.unwrap().unwrap_err();
+        assert!(matches!(err, PredictError::Failed(ref m) if m.contains("outputs")));
+    }
+
+    #[tokio::test]
+    async fn delayed_batching_holds_for_stragglers() {
+        // With a 20ms wait timeout and queries arriving 2ms apart, the
+        // first batch should scoop up several queries.
+        let metrics = test_metrics();
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            echo_transport(),
+            QueueConfig {
+                strategy: BatchStrategy::Fixed(64),
+                batch_wait_timeout: Duration::from_millis(20),
+                ..Default::default()
+            },
+            metrics.clone(),
+        );
+        let mut rxs = Vec::new();
+        for v in 0..5 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push(rx);
+            tokio::time::sleep(Duration::from_millis(2)).await;
+        }
+        for rx in rxs {
+            rx.await.unwrap().unwrap();
+        }
+        let snap = metrics.batch_size.snapshot();
+        assert!(
+            snap.max() >= 3,
+            "delayed batching should group arrivals, max batch {}",
+            snap.max()
+        );
+    }
+
+    #[tokio::test]
+    async fn cache_sink_fills_cache_and_wakes_waiters() {
+        let cache = PredictionCache::new(16);
+        let model = crate::types::ModelId::new("m", 1);
+        let input: Input = Arc::new(vec![3.0]);
+        let rx = match cache.lookup_or_pending(&model, &input) {
+            crate::cache::Lookup::MustCompute(rx) => rx,
+            _ => panic!(),
+        };
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            echo_transport(),
+            QueueConfig::default(),
+            test_metrics(),
+        );
+        q.submit(QueueItem {
+            input: input.clone(),
+            sink: ReplySink::Cache {
+                cache: cache.clone(),
+                key: CacheKey::new(&model, &input),
+            },
+            enqueued: Instant::now(),
+        });
+        let out = rx.await.unwrap().unwrap();
+        assert_eq!(out, Output::Class(3));
+        assert_eq!(cache.fetch(&model, &input), Some(Output::Class(3)));
+    }
+}

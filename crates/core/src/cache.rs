@@ -1,0 +1,382 @@
+//! The prediction cache (§4.2).
+//!
+//! A function cache for `Predict(m, x) -> y` with two jobs:
+//!
+//! 1. **Pre-materialization** — frequent queries are answered without
+//!    evaluating the model. Eviction is CLOCK (second-chance), the
+//!    algorithm the paper cites; selection happens *above* the cache, so
+//!    policy changes never invalidate entries.
+//! 2. **Join point** — a *pending* entry represents an in-flight
+//!    computation. Duplicate concurrent queries, and feedback joins that
+//!    arrive shortly after a prediction (§5), attach as waiters instead of
+//!    re-evaluating the model — the paper's non-blocking `request`/`fetch`
+//!    API.
+//!
+//! Keys are `(model, 128-bit input hash)`; inputs themselves are not
+//! stored. With two independent 64-bit hashes, collisions are negligible
+//! at serving scale.
+
+use crate::types::{Input, ModelId, Output};
+use clipper_metrics::Counter;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use tokio::sync::oneshot;
+
+/// Cloneable failure delivered to cache waiters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheFillError {
+    /// The model evaluation failed (carries a human-readable reason).
+    Failed(String),
+}
+
+type FillResult = Result<Output, CacheFillError>;
+
+/// 128-bit input fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    model: ModelId,
+    fingerprint: (u64, u64),
+}
+
+impl CacheKey {
+    /// Build the key for `(model, input)`.
+    pub fn new(model: &ModelId, input: &Input) -> Self {
+        let mut h1 = DefaultHasher::new();
+        0xA5A5_A5A5u64.hash(&mut h1);
+        for v in input.iter() {
+            v.to_bits().hash(&mut h1);
+        }
+        let mut h2 = DefaultHasher::new();
+        0x5A5A_5A5Au64.hash(&mut h2);
+        input.len().hash(&mut h2);
+        for v in input.iter().rev() {
+            v.to_bits().hash(&mut h2);
+        }
+        CacheKey {
+            model: model.clone(),
+            fingerprint: (h1.finish(), h2.finish()),
+        }
+    }
+}
+
+/// Outcome of a cache lookup.
+pub enum Lookup {
+    /// Value present.
+    Hit(Output),
+    /// Another caller is computing this entry; await the receiver.
+    Pending(oneshot::Receiver<FillResult>),
+    /// This caller must trigger the computation, then await the receiver
+    /// (the computation's completion flows back through [`PredictionCache::fill`]).
+    MustCompute(oneshot::Receiver<FillResult>),
+}
+
+struct Slot {
+    key: CacheKey,
+    value: Output,
+    referenced: bool,
+}
+
+struct CacheInner {
+    /// CLOCK ring. `None` slots are free.
+    slots: Vec<Option<Slot>>,
+    hand: usize,
+    /// key → slot index.
+    index: HashMap<CacheKey, usize>,
+    /// In-flight computations and their waiters.
+    pending: HashMap<CacheKey, Vec<oneshot::Sender<FillResult>>>,
+}
+
+/// Concurrent CLOCK-evicted prediction cache. Clone shares the cache.
+#[derive(Clone)]
+pub struct PredictionCache {
+    inner: std::sync::Arc<Mutex<CacheInner>>,
+    capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl PredictionCache {
+    /// Create a cache holding up to `capacity` completed predictions.
+    /// Capacity 0 disables value storage but keeps the pending-join
+    /// machinery (in-flight dedup still works).
+    pub fn new(capacity: usize) -> Self {
+        PredictionCache {
+            inner: std::sync::Arc::new(Mutex::new(CacheInner {
+                slots: (0..capacity).map(|_| None).collect(),
+                hand: 0,
+                index: HashMap::new(),
+                pending: HashMap::new(),
+            })),
+            capacity,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Non-blocking fetch (the paper's `fetch`): value if present.
+    pub fn fetch(&self, model: &ModelId, input: &Input) -> Option<Output> {
+        let key = CacheKey::new(model, input);
+        let mut inner = self.inner.lock();
+        if let Some(&slot_idx) = inner.index.get(&key) {
+            if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                slot.referenced = true;
+                self.hits.inc();
+                return Some(slot.value.clone());
+            }
+        }
+        self.misses.inc();
+        None
+    }
+
+    /// The paper's `request`: returns the value, attaches to an in-flight
+    /// computation, or instructs the caller to compute.
+    pub fn lookup_or_pending(&self, model: &ModelId, input: &Input) -> Lookup {
+        let key = CacheKey::new(model, input);
+        let mut inner = self.inner.lock();
+        if let Some(&slot_idx) = inner.index.get(&key) {
+            if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                slot.referenced = true;
+                self.hits.inc();
+                return Lookup::Hit(slot.value.clone());
+            }
+        }
+        self.misses.inc();
+        let (tx, rx) = oneshot::channel();
+        match inner.pending.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(tx);
+                Lookup::Pending(rx)
+            }
+            None => {
+                inner.pending.insert(key, vec![tx]);
+                Lookup::MustCompute(rx)
+            }
+        }
+    }
+
+    /// Complete an in-flight computation: store the value (on success),
+    /// wake every waiter.
+    pub fn fill(&self, model: &ModelId, input: &Input, result: FillResult) {
+        let key = CacheKey::new(model, input);
+        self.fill_key(key, result);
+    }
+
+    /// Like [`PredictionCache::fill`] but with a prebuilt key (the queue
+    /// dispatcher path, which avoids rehashing inputs).
+    pub fn fill_key(&self, key: CacheKey, result: FillResult) {
+        let mut inner = self.inner.lock();
+        if let Ok(ref value) = result {
+            self.store(&mut inner, key.clone(), value.clone());
+        }
+        if let Some(waiters) = inner.pending.remove(&key) {
+            for w in waiters {
+                let _ = w.send(result.clone());
+            }
+        }
+    }
+
+    /// CLOCK insert: find a victim slot (second chance), replace it.
+    fn store(&self, inner: &mut CacheInner, key: CacheKey, value: Output) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot_idx) = inner.index.get(&key) {
+            // Refresh in place.
+            if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                slot.value = value;
+                slot.referenced = true;
+            }
+            return;
+        }
+        // Advance the hand until a free slot or an unreferenced victim.
+        loop {
+            let hand = inner.hand;
+            inner.hand = (inner.hand + 1) % self.capacity;
+            match inner.slots[hand].as_mut() {
+                None => {
+                    inner.slots[hand] = Some(Slot {
+                        key: key.clone(),
+                        value,
+                        referenced: true,
+                    });
+                    inner.index.insert(key, hand);
+                    return;
+                }
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false; // second chance
+                }
+                Some(slot) => {
+                    let old_key = slot.key.clone();
+                    inner.index.remove(&old_key);
+                    self.evictions.inc();
+                    inner.slots[hand] = Some(Slot {
+                        key: key.clone(),
+                        value,
+                        referenced: true,
+                    });
+                    inner.index.insert(key, hand);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// (hits, misses, evictions) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits.get(), self.misses.get(), self.evictions.get())
+    }
+
+    /// Number of completed entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Whether the cache holds no completed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of in-flight computations.
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn input(vals: &[f32]) -> Input {
+        Arc::new(vals.to_vec())
+    }
+
+    fn model(n: &str) -> ModelId {
+        ModelId::new(n, 1)
+    }
+
+    #[test]
+    fn fetch_miss_then_fill_then_hit() {
+        let cache = PredictionCache::new(4);
+        let m = model("m");
+        let x = input(&[1.0, 2.0]);
+        assert!(cache.fetch(&m, &x).is_none());
+        cache.fill(&m, &x, Ok(Output::Class(3)));
+        assert_eq!(cache.fetch(&m, &x), Some(Output::Class(3)));
+        let (hits, misses, _) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[tokio::test]
+    async fn must_compute_then_waiters_join() {
+        let cache = PredictionCache::new(4);
+        let m = model("m");
+        let x = input(&[5.0]);
+        let first = cache.lookup_or_pending(&m, &x);
+        let rx1 = match first {
+            Lookup::MustCompute(rx) => rx,
+            _ => panic!("first lookup must be MustCompute"),
+        };
+        // Second lookup joins as a waiter.
+        let rx2 = match cache.lookup_or_pending(&m, &x) {
+            Lookup::Pending(rx) => rx,
+            _ => panic!("second lookup must be Pending"),
+        };
+        assert_eq!(cache.pending_len(), 1);
+        cache.fill(&m, &x, Ok(Output::Class(7)));
+        assert_eq!(rx1.await.unwrap().unwrap(), Output::Class(7));
+        assert_eq!(rx2.await.unwrap().unwrap(), Output::Class(7));
+        assert_eq!(cache.pending_len(), 0);
+        // Third lookup hits.
+        assert!(matches!(cache.lookup_or_pending(&m, &x), Lookup::Hit(_)));
+    }
+
+    #[tokio::test]
+    async fn fill_error_propagates_and_is_not_cached() {
+        let cache = PredictionCache::new(4);
+        let m = model("m");
+        let x = input(&[9.0]);
+        let rx = match cache.lookup_or_pending(&m, &x) {
+            Lookup::MustCompute(rx) => rx,
+            _ => panic!(),
+        };
+        cache.fill(&m, &x, Err(CacheFillError::Failed("boom".into())));
+        assert!(rx.await.unwrap().is_err());
+        assert!(cache.fetch(&m, &x).is_none(), "errors are not cached");
+    }
+
+    #[test]
+    fn distinct_models_do_not_collide() {
+        let cache = PredictionCache::new(4);
+        let x = input(&[1.0]);
+        cache.fill(&model("a"), &x, Ok(Output::Class(1)));
+        cache.fill(&model("b"), &x, Ok(Output::Class(2)));
+        assert_eq!(cache.fetch(&model("a"), &x), Some(Output::Class(1)));
+        assert_eq!(cache.fetch(&model("b"), &x), Some(Output::Class(2)));
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let cache = PredictionCache::new(2);
+        let m = model("m");
+        let (a, b, c) = (input(&[1.0]), input(&[2.0]), input(&[3.0]));
+        cache.fill(&m, &a, Ok(Output::Class(1)));
+        cache.fill(&m, &b, Ok(Output::Class(2)));
+        // Touch `a` so it has its reference bit set; `b`'s gets cleared by
+        // the first hand sweep and `b` becomes the victim.
+        cache.fetch(&m, &a);
+        cache.fill(&m, &c, Ok(Output::Class(3)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.fetch(&m, &c).is_some(), "new entry stored");
+        let survivors = [cache.fetch(&m, &a).is_some(), cache.fetch(&m, &b).is_some()];
+        assert_eq!(
+            survivors.iter().filter(|&&s| s).count(),
+            1,
+            "exactly one old entry survives"
+        );
+        let (_, _, evictions) = cache.stats();
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn refresh_same_key_does_not_grow() {
+        let cache = PredictionCache::new(2);
+        let m = model("m");
+        let x = input(&[1.0]);
+        cache.fill(&m, &x, Ok(Output::Class(1)));
+        cache.fill(&m, &x, Ok(Output::Class(2)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.fetch(&m, &x), Some(Output::Class(2)));
+    }
+
+    #[test]
+    fn zero_capacity_joins_but_never_stores() {
+        let cache = PredictionCache::new(0);
+        let m = model("m");
+        let x = input(&[1.0]);
+        assert!(matches!(
+            cache.lookup_or_pending(&m, &x),
+            Lookup::MustCompute(_)
+        ));
+        cache.fill(&m, &x, Ok(Output::Class(1)));
+        assert!(cache.fetch(&m, &x).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_under_churn_keeps_capacity_bound() {
+        let cache = PredictionCache::new(8);
+        let m = model("m");
+        for i in 0..100 {
+            let x = input(&[i as f32]);
+            cache.fill(&m, &x, Ok(Output::Class(i)));
+        }
+        assert_eq!(cache.len(), 8);
+        let (_, _, evictions) = cache.stats();
+        assert_eq!(evictions, 92);
+    }
+}

@@ -1,0 +1,639 @@
+//! The Clipper facade: applications, prediction, and feedback.
+//!
+//! `predict` walks the full §3 request path: selection policy chooses
+//! models → per-model lookups flow through the prediction cache and
+//! adaptive batching queues → results are gathered **only until the
+//! latency deadline** (straggler mitigation, §5.2.2) → the policy combines
+//! whatever arrived, substituting each missing model's running-default
+//! output and reporting agreement-based confidence.
+//!
+//! `feedback` joins ground truth against the cached predictions of every
+//! candidate model (the join the prediction cache accelerates, §4.2) and
+//! folds the result into the per-context policy state.
+
+use crate::abstraction::{BatchConfig, ModelAbstractionLayer};
+use crate::batching::queue::PredictError;
+use crate::selection::{build_policy, SelectionPolicy, SelectionStateManager};
+use crate::types::{AppConfig, Feedback, Input, ModelId, Output, Prediction};
+use clipper_metrics::{Counter, Histogram, Meter, Registry};
+use clipper_rpc::transport::BatchTransport;
+use clipper_statestore::StateStore;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::sync::mpsc;
+
+/// Builder for a [`Clipper`] instance.
+pub struct ClipperBuilder {
+    cache_capacity: usize,
+    cache_enabled: bool,
+    registry: Registry,
+    statestore: Option<Arc<StateStore>>,
+}
+
+impl Default for ClipperBuilder {
+    fn default() -> Self {
+        ClipperBuilder {
+            cache_capacity: 32_768,
+            cache_enabled: true,
+            registry: Registry::new(),
+            statestore: None,
+        }
+    }
+}
+
+impl ClipperBuilder {
+    /// Prediction-cache capacity (entries). Default 32768.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Disable the prediction cache entirely (ablation / §4.2 comparison).
+    pub fn disable_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Use an existing metrics registry.
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Use an existing statestore (e.g. one served over TCP to mirror the
+    /// paper's external-Redis deployment).
+    pub fn statestore(mut self, store: Arc<StateStore>) -> Self {
+        self.statestore = Some(store);
+        self
+    }
+
+    /// Build the instance.
+    pub fn build(self) -> Clipper {
+        let registry = self.registry;
+        let mal = ModelAbstractionLayer::new(self.cache_capacity, registry.clone());
+        let store = self
+            .statestore
+            .unwrap_or_else(|| Arc::new(StateStore::new()));
+        Clipper {
+            inner: Arc::new(Inner {
+                mal,
+                apps: RwLock::new(HashMap::new()),
+                state_mgr: SelectionStateManager::new(store),
+                cache_enabled: self.cache_enabled,
+                predictions: registry.meter("clipper/predictions"),
+                latency_us: registry.histogram("clipper/latency_us"),
+                feedback_count: registry.meter("clipper/feedback"),
+                defaults_used: registry.counter("clipper/defaults_used"),
+                substitutions: registry.counter("clipper/straggler_substitutions"),
+                registry,
+            }),
+        }
+    }
+}
+
+struct App {
+    cfg: AppConfig,
+    policy: Box<dyn SelectionPolicy>,
+}
+
+struct Inner {
+    mal: Arc<ModelAbstractionLayer>,
+    apps: RwLock<HashMap<String, Arc<App>>>,
+    state_mgr: SelectionStateManager,
+    cache_enabled: bool,
+    registry: Registry,
+    predictions: Meter,
+    latency_us: Histogram,
+    feedback_count: Meter,
+    defaults_used: Counter,
+    substitutions: Counter,
+}
+
+/// The Clipper prediction-serving system.
+#[derive(Clone)]
+pub struct Clipper {
+    inner: Arc<Inner>,
+}
+
+impl Clipper {
+    /// Start building an instance.
+    pub fn builder() -> ClipperBuilder {
+        ClipperBuilder::default()
+    }
+
+    /// Register an application (name, candidate models, policy, SLO).
+    pub fn register_app(&self, cfg: AppConfig) {
+        let policy = build_policy(&cfg.policy);
+        let name = cfg.name.clone();
+        self.inner
+            .apps
+            .write()
+            .insert(name, Arc::new(App { cfg, policy }));
+    }
+
+    /// Register a model with per-replica batching configuration.
+    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
+        self.inner.mal.add_model(id, cfg);
+    }
+
+    /// Attach a container replica to a model.
+    pub fn add_replica(
+        &self,
+        id: &ModelId,
+        transport: Arc<dyn BatchTransport>,
+    ) -> Result<String, PredictError> {
+        self.inner.mal.add_replica(id, transport)
+    }
+
+    /// The underlying model abstraction layer.
+    pub fn abstraction(&self) -> &Arc<ModelAbstractionLayer> {
+        &self.inner.mal
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The contextual selection-state manager.
+    pub fn state_manager(&self) -> &SelectionStateManager {
+        &self.inner.state_mgr
+    }
+
+    /// Registered application names.
+    pub fn apps(&self) -> Vec<String> {
+        self.inner.apps.read().keys().cloned().collect()
+    }
+
+    fn app(&self, name: &str) -> Result<Arc<App>, PredictError> {
+        self.inner
+            .apps
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(PredictError::AppUnknown)
+    }
+
+    /// Serve one prediction for `app`, optionally under a user/session
+    /// `context` (§5.3). Always returns by the app's SLO deadline (plus
+    /// scheduling noise): stragglers are substituted, and if *nothing*
+    /// arrived the app's default output is returned with zero confidence.
+    pub async fn predict(
+        &self,
+        app_name: &str,
+        context: Option<&str>,
+        input: Input,
+    ) -> Result<Prediction, PredictError> {
+        let start = Instant::now();
+        let app = self.app(app_name)?;
+        let state = self
+            .inner
+            .state_mgr
+            .get_or_init(
+                app_name,
+                context,
+                app.policy.as_ref(),
+                &app.cfg.candidate_models,
+                app.cfg.seed,
+            )
+            .map_err(|e| PredictError::Failed(e.to_string()))?;
+
+        let selected = app.policy.select(&state, &input);
+        if selected.is_empty() {
+            return Err(PredictError::Failed("policy selected no models".into()));
+        }
+        let deadline = start + app.cfg.slo;
+
+        // Fan out; each model reports back over the channel as it lands.
+        let (tx, mut rx) = mpsc::channel::<(ModelId, Result<Output, PredictError>)>(
+            selected.len().max(1),
+        );
+        for model in selected.iter().cloned() {
+            let mal = self.inner.mal.clone();
+            let input = input.clone();
+            let tx = tx.clone();
+            let use_cache = self.inner.cache_enabled;
+            tokio::spawn(async move {
+                let result = mal.predict(&model, input, use_cache).await;
+                let _ = tx.send((model, result)).await;
+            });
+        }
+        drop(tx);
+
+        // Gather until the SLO deadline (straggler mitigation).
+        let mut preds: HashMap<ModelId, Output> = HashMap::new();
+        let mut settled = 0usize;
+        while settled < selected.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match tokio::time::timeout(deadline - now, rx.recv()).await {
+                Ok(Some((model, Ok(out)))) => {
+                    preds.insert(model, out);
+                    settled += 1;
+                }
+                Ok(Some((_, Err(_)))) => {
+                    settled += 1;
+                }
+                Ok(None) => break,
+                Err(_) => break, // deadline reached
+            }
+        }
+
+        let arrived = preds.len();
+        let missing = selected.len() - arrived;
+
+        // Substitute each missing model's running default (§5.2.2) so the
+        // ensemble can still vote, with the loss of accuracy reflected in
+        // the agreement-based confidence.
+        if missing > 0 {
+            for model in &selected {
+                if !preds.contains_key(model) {
+                    if let Some(default) = self.inner.mal.default_output(model) {
+                        preds.insert(model.clone(), default);
+                        self.inner.substitutions.inc();
+                    }
+                }
+            }
+        }
+
+        let prediction = if preds.is_empty() {
+            self.inner.defaults_used.inc();
+            Prediction {
+                output: app.cfg.default_output.clone(),
+                confidence: 0.0,
+                models_used: 0,
+                models_missing: selected.len(),
+                latency: start.elapsed(),
+            }
+        } else {
+            let (output, confidence) = app.policy.combine(&state, &input, &preds);
+            Prediction {
+                output,
+                confidence,
+                models_used: arrived,
+                models_missing: missing,
+                latency: start.elapsed(),
+            }
+        };
+
+        self.inner.predictions.mark();
+        self.inner
+            .latency_us
+            .record(prediction.latency.as_micros() as u64);
+        Ok(prediction)
+    }
+
+    /// Join application feedback with the candidate models' predictions
+    /// for `input` and fold it into the context's policy state.
+    pub async fn feedback(
+        &self,
+        app_name: &str,
+        context: Option<&str>,
+        input: Input,
+        feedback: Feedback,
+    ) -> Result<(), PredictError> {
+        let app = self.app(app_name)?;
+
+        // Join feedback with predictions through the cache: recent
+        // predictions hit; unseen inputs are evaluated.
+        let (tx, mut rx) =
+            mpsc::channel::<(ModelId, Result<Output, PredictError>)>(
+                app.cfg.candidate_models.len().max(1),
+            );
+        for model in app.cfg.candidate_models.iter().cloned() {
+            let mal = self.inner.mal.clone();
+            let input = input.clone();
+            let tx = tx.clone();
+            let use_cache = self.inner.cache_enabled;
+            tokio::spawn(async move {
+                let result = mal.predict(&model, input, use_cache).await;
+                let _ = tx.send((model, result)).await;
+            });
+        }
+        drop(tx);
+        let mut preds: HashMap<ModelId, Output> = HashMap::new();
+        while let Some((model, result)) = rx.recv().await {
+            if let Ok(out) = result {
+                preds.insert(model, out);
+            }
+        }
+
+        self.inner
+            .state_mgr
+            .update(
+                app_name,
+                context,
+                app.policy.as_ref(),
+                &app.cfg.candidate_models,
+                app.cfg.seed,
+                |state| {
+                    app.policy.observe(state, &input, &feedback, &preds);
+                },
+            )
+            .map_err(|e| PredictError::Failed(e.to_string()))?;
+        self.inner.feedback_count.mark();
+        Ok(())
+    }
+
+    /// Current policy state for `(app, context)` — used by reports.
+    pub fn policy_state(
+        &self,
+        app_name: &str,
+        context: Option<&str>,
+    ) -> Result<crate::selection::PolicyState, PredictError> {
+        let app = self.app(app_name)?;
+        self.inner
+            .state_mgr
+            .get_or_init(
+                app_name,
+                context,
+                app.policy.as_ref(),
+                &app.cfg.candidate_models,
+                app.cfg.seed,
+            )
+            .map_err(|e| PredictError::Failed(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::BatchStrategy;
+    use crate::types::PolicyKind;
+    use clipper_rpc::message::{PredictReply, WireOutput};
+    use std::time::Duration;
+
+    /// A transport answering `label`, optionally after an async delay
+    /// (async so single-threaded test runtimes keep their timers running).
+    struct ConstTransport {
+        label: u32,
+        delay: Option<Duration>,
+    }
+
+    impl BatchTransport for ConstTransport {
+        fn predict_batch(
+            &self,
+            inputs: Vec<Vec<f32>>,
+        ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+            let (label, delay, n) = (self.label, self.delay, inputs.len());
+            Box::pin(async move {
+                if let Some(d) = delay {
+                    tokio::time::sleep(d).await;
+                }
+                Ok(PredictReply {
+                    outputs: vec![WireOutput::Class(label); n],
+                    queue_us: 0,
+                    compute_us: 100,
+                })
+            })
+        }
+        fn id(&self) -> String {
+            format!("const-{}", self.label)
+        }
+    }
+
+    fn const_transport(label: u32, delay: Option<Duration>) -> Arc<dyn BatchTransport> {
+        Arc::new(ConstTransport { label, delay })
+    }
+
+    fn setup(labels: &[u32], policy: PolicyKind, slo: Duration) -> (Clipper, Vec<ModelId>) {
+        let clipper = Clipper::builder().build();
+        let models: Vec<ModelId> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ModelId::new(&format!("m{i}"), 1))
+            .collect();
+        for (i, &label) in labels.iter().enumerate() {
+            clipper.add_model(models[i].clone(), BatchConfig::default());
+            clipper
+                .add_replica(&models[i], const_transport(label, None))
+                .unwrap();
+        }
+        clipper.register_app(
+            AppConfig::new("app", models.clone())
+                .with_policy(policy)
+                .with_slo(slo),
+        );
+        (clipper, models)
+    }
+
+    #[tokio::test]
+    async fn predict_returns_the_models_answer() {
+        let (clipper, _) = setup(
+            &[4],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(100),
+        );
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(4));
+        assert_eq!(p.confidence, 1.0);
+        assert_eq!(p.models_used, 1);
+        assert_eq!(p.models_missing, 0);
+    }
+
+    #[tokio::test]
+    async fn unknown_app_errors() {
+        let (clipper, _) = setup(
+            &[1],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(100),
+        );
+        let err = clipper
+            .predict("ghost", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::AppUnknown);
+    }
+
+    #[tokio::test]
+    async fn ensemble_majority_wins_with_agreement_confidence() {
+        let (clipper, _) = setup(
+            &[7, 7, 2],
+            PolicyKind::MajorityVote,
+            Duration::from_millis(200),
+        );
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(7));
+        assert!((p.confidence - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.models_used, 3);
+    }
+
+    #[tokio::test]
+    async fn straggler_is_substituted_not_waited_for() {
+        // Model 0 answers instantly with 5; model 1 takes 150ms — far past
+        // the 40ms SLO.
+        let clipper = Clipper::builder().build();
+        let m0 = ModelId::new("fast", 1);
+        let m1 = ModelId::new("slow", 1);
+        clipper.add_model(m0.clone(), BatchConfig::default());
+        clipper.add_model(m1.clone(), BatchConfig::default());
+        clipper.add_replica(&m0, const_transport(5, None)).unwrap();
+        clipper
+            .add_replica(&m1, const_transport(9, Some(Duration::from_millis(150))))
+            .unwrap();
+        clipper.register_app(
+            AppConfig::new("app", vec![m0.clone(), m1.clone()])
+                .with_policy(PolicyKind::MajorityVote)
+                .with_slo(Duration::from_millis(40)),
+        );
+        let start = Instant::now();
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "must not wait for the straggler, took {elapsed:?}"
+        );
+        assert_eq!(p.output, Output::Class(5));
+        assert_eq!(p.models_used, 1);
+        assert_eq!(p.models_missing, 1);
+        assert!(p.confidence <= 1.0);
+    }
+
+    #[tokio::test]
+    async fn all_models_missing_returns_default_output() {
+        let clipper = Clipper::builder().build();
+        let m = ModelId::new("slow", 1);
+        clipper.add_model(m.clone(), BatchConfig::default());
+        clipper
+            .add_replica(&m, const_transport(1, Some(Duration::from_millis(200))))
+            .unwrap();
+        clipper.register_app(
+            AppConfig::new("app", vec![m])
+                .with_policy(PolicyKind::MajorityVote)
+                .with_slo(Duration::from_millis(30))
+                .with_default_output(Output::Class(42)),
+        );
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(42));
+        assert_eq!(p.confidence, 0.0);
+        assert_eq!(p.models_used, 0);
+    }
+
+    #[tokio::test]
+    async fn feedback_shifts_exp3_toward_the_accurate_model() {
+        // Model 0 always answers 0 (wrong); model 1 answers 1 (right).
+        let (clipper, models) = setup(
+            &[0, 1],
+            PolicyKind::Exp3 { eta: 0.5 },
+            Duration::from_millis(100),
+        );
+        for i in 0..60 {
+            let input: Input = Arc::new(vec![i as f32]);
+            clipper
+                .feedback("app", None, input, Feedback::class(1))
+                .await
+                .unwrap();
+        }
+        let state = clipper.policy_state("app", None).unwrap();
+        let idx_good = state.index_of(&models[1]).unwrap();
+        let probs = state.probabilities();
+        assert!(
+            probs[idx_good] > 0.8,
+            "good model should dominate: {probs:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn contexts_learn_independently() {
+        let (clipper, models) = setup(
+            &[0, 1],
+            PolicyKind::Exp3 { eta: 0.5 },
+            Duration::from_millis(100),
+        );
+        // User A's truth is 1 (model 1 right); user B's truth is 0.
+        for i in 0..50 {
+            clipper
+                .feedback("app", Some("userA"), Arc::new(vec![i as f32]), Feedback::class(1))
+                .await
+                .unwrap();
+            clipper
+                .feedback(
+                    "app",
+                    Some("userB"),
+                    Arc::new(vec![1000.0 + i as f32]),
+                    Feedback::class(0),
+                )
+                .await
+                .unwrap();
+        }
+        let sa = clipper.policy_state("app", Some("userA")).unwrap();
+        let sb = clipper.policy_state("app", Some("userB")).unwrap();
+        let good_a = sa.probabilities()[sa.index_of(&models[1]).unwrap()];
+        let good_b = sb.probabilities()[sb.index_of(&models[0]).unwrap()];
+        assert!(good_a > 0.7, "user A favors model 1: {good_a}");
+        assert!(good_b > 0.7, "user B favors model 0: {good_b}");
+    }
+
+    #[tokio::test]
+    async fn cached_predictions_accelerate_feedback() {
+        let (clipper, _) = setup(
+            &[1, 1],
+            PolicyKind::Exp4 { eta: 0.2 },
+            Duration::from_millis(100),
+        );
+        let input: Input = Arc::new(vec![5.0]);
+        clipper.predict("app", None, input.clone()).await.unwrap();
+        // Give the cache a moment to fill both models.
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        let (hits_before, _, _) = clipper.abstraction().cache().stats();
+        clipper
+            .feedback("app", None, input, Feedback::class(1))
+            .await
+            .unwrap();
+        let (hits_after, _, _) = clipper.abstraction().cache().stats();
+        assert!(
+            hits_after > hits_before,
+            "feedback join should hit the cache: {hits_before} -> {hits_after}"
+        );
+    }
+
+    #[tokio::test]
+    async fn batching_strategy_flows_to_queues() {
+        let clipper = Clipper::builder().build();
+        let m = ModelId::new("m", 1);
+        clipper.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        clipper.add_replica(&m, const_transport(1, None)).unwrap();
+        clipper.register_app(AppConfig::new("app", vec![m]).with_slo(Duration::from_millis(50)));
+        for i in 0..10 {
+            clipper
+                .predict("app", None, Arc::new(vec![i as f32]))
+                .await
+                .unwrap();
+        }
+        // NoBatching → every dispatched batch has size 1.
+        let snap = clipper.registry().snapshot();
+        let key = snap
+            .values
+            .keys()
+            .find(|k| k.contains("batch_size"))
+            .cloned()
+            .expect("batch size histogram registered");
+        if let clipper_metrics::MetricValue::Histogram { max, .. } = snap.values[&key] {
+            assert_eq!(max, 1);
+        } else {
+            panic!("expected histogram");
+        }
+    }
+}

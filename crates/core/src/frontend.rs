@@ -1,0 +1,452 @@
+//! Application-facing HTTP frontend (§3's "REST API").
+//!
+//! A deliberately small HTTP/1.1 server on tokio — request line, headers,
+//! `Content-Length` body — serving:
+//!
+//! - `POST /apps/{app}/predict` with `{"input": [..], "context": "u1"}`
+//!   → `{"output": .., "confidence": .., "latency_us": ..}`
+//! - `POST /apps/{app}/update` with `{"input": [..], "label": 3}` or
+//!   `{"labels": [..]}` (feedback, §5)
+//! - `GET /metrics` → registry snapshot JSON
+//! - `GET /health` → `ok`
+//!
+//! Connections are keep-alive; one request is served at a time per
+//! connection (standard HTTP/1.1 without pipelining).
+
+use crate::clipper::Clipper;
+use crate::types::{Feedback, Output};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Maximum accepted request body (4 MiB).
+const MAX_BODY: usize = 4 << 20;
+
+/// A running HTTP frontend.
+pub struct HttpFrontend {
+    local_addr: SocketAddr,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl HttpFrontend {
+    /// Bind to `addr` and serve `clipper` in the background.
+    pub async fn bind(addr: &str, clipper: Clipper) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let task = tokio::spawn(async move {
+            loop {
+                match listener.accept().await {
+                    Ok((conn, _)) => {
+                        let clipper = clipper.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_connection(conn, clipper).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpFrontend { local_addr, task })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for HttpFrontend {
+    fn drop(&mut self) {
+        self.task.abort();
+    }
+}
+
+#[derive(Deserialize)]
+struct PredictRequest {
+    input: Vec<f32>,
+    #[serde(default)]
+    context: Option<String>,
+}
+
+#[derive(Serialize)]
+struct PredictResponse {
+    output: JsonOutput,
+    confidence: f64,
+    models_used: usize,
+    models_missing: usize,
+    latency_us: u64,
+}
+
+#[derive(Deserialize)]
+struct UpdateRequest {
+    input: Vec<f32>,
+    #[serde(default)]
+    context: Option<String>,
+    #[serde(default)]
+    label: Option<u32>,
+    #[serde(default)]
+    labels: Option<Vec<u32>>,
+}
+
+/// JSON shape for outputs.
+#[derive(Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum JsonOutput {
+    Class { label: u32 },
+    Scores { scores: Vec<f32> },
+    Labels { labels: Vec<u32> },
+}
+
+impl From<Output> for JsonOutput {
+    fn from(o: Output) -> Self {
+        match o {
+            Output::Class(label) => JsonOutput::Class { label },
+            Output::Scores(scores) => JsonOutput::Scores { scores },
+            Output::Labels(labels) => JsonOutput::Labels { labels },
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+async fn read_request(
+    reader: &mut BufReader<tokio::net::tcp::OwnedReadHalf>,
+) -> std::io::Result<Option<Request>> {
+    // Read until the end of headers.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = reader.read(&mut byte).await?;
+        if n == 0 {
+            return Ok(None); // clean EOF between requests
+        }
+        head.push(byte[0]);
+        if head.len() > 64 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "headers too large",
+            ));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head_str = String::from_utf8_lossy(&head);
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+        if lower.starts_with("connection:") && lower.contains("close") {
+            keep_alive = false;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).await?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<()> {
+    conn.set_nodelay(true)?;
+    let (rd, mut wr) = conn.into_split();
+    let mut reader = BufReader::new(rd);
+    loop {
+        let req = match read_request(&mut reader).await {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                let _ = write_response(&mut wr, 400, &format!("{{\"error\":\"{e}\"}}"), false)
+                    .await;
+                return Ok(());
+            }
+        };
+        let keep_alive = req.keep_alive;
+        let (status, body) = route(&clipper, req).await;
+        write_response(&mut wr, status, &body, keep_alive).await?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+async fn route(clipper: &Clipper, req: Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => {
+            let snap = clipper.registry().snapshot();
+            match serde_json::to_string(&snap) {
+                Ok(body) => (200, body),
+                Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
+            }
+        }
+        ("POST", path) if path.starts_with("/apps/") => {
+            let rest = &path["/apps/".len()..];
+            let Some((app, action)) = rest.split_once('/') else {
+                return (404, "{\"error\":\"not found\"}".to_string());
+            };
+            match action {
+                "predict" => handle_predict(clipper, app, &req.body).await,
+                "update" => handle_update(clipper, app, &req.body).await,
+                _ => (404, "{\"error\":\"not found\"}".to_string()),
+            }
+        }
+        _ => (404, "{\"error\":\"not found\"}".to_string()),
+    }
+}
+
+async fn handle_predict(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, String) {
+    let parsed: PredictRequest = match serde_json::from_slice(body) {
+        Ok(p) => p,
+        Err(e) => return (400, format!("{{\"error\":\"bad request: {e}\"}}")),
+    };
+    match clipper
+        .predict(app, parsed.context.as_deref(), Arc::new(parsed.input))
+        .await
+    {
+        Ok(p) => {
+            let resp = PredictResponse {
+                output: p.output.into(),
+                confidence: p.confidence,
+                models_used: p.models_used,
+                models_missing: p.models_missing,
+                latency_us: p.latency.as_micros() as u64,
+            };
+            (200, serde_json::to_string(&resp).unwrap_or_default())
+        }
+        Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
+    }
+}
+
+async fn handle_update(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, String) {
+    let parsed: UpdateRequest = match serde_json::from_slice(body) {
+        Ok(p) => p,
+        Err(e) => return (400, format!("{{\"error\":\"bad request: {e}\"}}")),
+    };
+    let feedback = match (parsed.label, parsed.labels) {
+        (Some(label), None) => Feedback::class(label),
+        (None, Some(labels)) => Feedback::labels(labels),
+        _ => {
+            return (
+                400,
+                "{\"error\":\"provide exactly one of label / labels\"}".to_string(),
+            );
+        }
+    };
+    match clipper
+        .feedback(app, parsed.context.as_deref(), Arc::new(parsed.input), feedback)
+        .await
+    {
+        Ok(()) => (200, "{\"status\":\"ok\"}".to_string()),
+        Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
+    }
+}
+
+async fn write_response(
+    wr: &mut tokio::net::tcp::OwnedWriteHalf,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let resp = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n{body}",
+        body.len()
+    );
+    wr.write_all(resp.as_bytes()).await?;
+    wr.flush().await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::BatchConfig;
+    use crate::types::{AppConfig, ModelId, PolicyKind};
+    use clipper_rpc::message::{PredictReply, WireOutput};
+    use clipper_rpc::transport::FnTransport;
+    use std::time::Duration;
+
+    async fn start_frontend() -> (HttpFrontend, Clipper) {
+        let clipper = Clipper::builder().build();
+        let m = ModelId::new("m", 1);
+        clipper.add_model(m.clone(), BatchConfig::default());
+        clipper
+            .add_replica(
+                &m,
+                Arc::new(FnTransport::new("echo", |inputs: Vec<Vec<f32>>| {
+                    Ok(PredictReply {
+                        outputs: inputs
+                            .iter()
+                            .map(|x| WireOutput::Class(x.first().copied().unwrap_or(0.0) as u32))
+                            .collect(),
+                        queue_us: 0,
+                        compute_us: 10,
+                    })
+                })),
+            )
+            .unwrap();
+        clipper.register_app(
+            AppConfig::new("digits", vec![m])
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(100)),
+        );
+        let frontend = HttpFrontend::bind("127.0.0.1:0", clipper.clone())
+            .await
+            .unwrap();
+        (frontend, clipper)
+    }
+
+    async fn http_call(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).await.unwrap();
+        conn.write_all(raw.as_bytes()).await.unwrap();
+        conn.shutdown().await.unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).await.unwrap();
+        buf
+    }
+
+    fn post(path: &str, body: &str) -> String {
+        format!(
+            "POST {path} HTTP/1.1\r\nhost: x\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[tokio::test]
+    async fn health_endpoint_responds() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /health HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"ok\""));
+    }
+
+    #[tokio::test]
+    async fn predict_over_http() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            &post("/apps/digits/predict", "{\"input\": [7.0, 1.0]}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"label\":7"), "{resp}");
+        assert!(resp.contains("\"confidence\":1.0"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn update_over_http_records_feedback() {
+        let (frontend, clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            &post("/apps/digits/update", "{\"input\": [3.0], \"label\": 3}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let state = clipper.policy_state("digits", None).unwrap();
+        assert_eq!(state.total, 1);
+    }
+
+    #[tokio::test]
+    async fn bad_json_is_a_400() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            &post("/apps/digits/predict", "{not json"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn unknown_route_is_404() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /nope HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn metrics_endpoint_returns_json() {
+        let (frontend, _clipper) = start_frontend().await;
+        // Generate some traffic first.
+        http_call(
+            frontend.local_addr(),
+            &post("/apps/digits/predict", "{\"input\": [1.0]}"),
+        )
+        .await;
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /metrics HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("clipper/predictions"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn keep_alive_serves_multiple_requests() {
+        let (frontend, _clipper) = start_frontend().await;
+        let mut conn = TcpStream::connect(frontend.local_addr()).await.unwrap();
+        for i in 0..3 {
+            let body = format!("{{\"input\": [{i}.0]}}");
+            let req = format!(
+                "POST /apps/digits/predict HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            conn.write_all(req.as_bytes()).await.unwrap();
+            let mut buf = vec![0u8; 4096];
+            let n = conn.read(&mut buf).await.unwrap();
+            let resp = String::from_utf8_lossy(&buf[..n]);
+            assert!(resp.contains(&format!("\"label\":{i}")), "req {i}: {resp}");
+        }
+    }
+
+    #[tokio::test]
+    async fn update_requires_exactly_one_feedback_kind() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            &post("/apps/digits/update", "{\"input\": [1.0]}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Clipper core: the layered prediction-serving architecture of
+//! Crankshaw et al., NSDI 2017.
+//!
+//! Two layers sit between applications and model containers:
+//!
+//! **Model abstraction layer** ([`abstraction`]) — a uniform batch
+//! prediction interface over heterogeneous models:
+//! - [`cache`]: a CLOCK-evicted prediction cache whose pending entries
+//!   double as the join point between duplicate in-flight queries and
+//!   between predictions and later feedback (§4.2);
+//! - [`batching`]: per-replica adaptive batching queues — AIMD (the
+//!   default), online quantile regression, fixed, or none — plus delayed
+//!   batching under moderate load (§4.3);
+//! - replica routing with per-replica batch tuning (§4.4.1).
+//!
+//! **Model selection layer** ([`selection`]) — feedback-driven dispatch
+//! and combination (§5):
+//! - the four-function selection-policy interface of Listing 2
+//!   (`init` / `select` / `combine` / `observe`);
+//! - [`selection::Exp3Policy`] (single-model bandit) and
+//!   [`selection::Exp4Policy`] (ensemble weighting), plus ε-greedy, UCB1,
+//!   and static policies;
+//! - straggler mitigation: predictions render at the latency deadline from
+//!   whatever subset of the ensemble has arrived (§5.2.2);
+//! - contextualization: per-user/session policy state in an external
+//!   statestore (§5.3).
+//!
+//! The [`Clipper`] facade ties the layers together; [`frontend`] exposes
+//! them over HTTP. Start from [`ClipperBuilder`]:
+//!
+//! ```no_run
+//! # use clipper_core::*;
+//! # async fn demo() {
+//! let clipper = Clipper::builder().build();
+//! clipper.add_model(ModelId::new("my-model", 1), Default::default());
+//! // clipper.add_replica(...transport...);
+//! clipper.register_app(AppConfig::new("my-app", vec![ModelId::new("my-model", 1)]));
+//! let out = clipper
+//!     .predict("my-app", None, std::sync::Arc::new(vec![0.0; 784]))
+//!     .await;
+//! # }
+//! ```
+
+pub mod abstraction;
+pub mod batching;
+pub mod cache;
+pub mod clipper;
+pub mod frontend;
+pub mod selection;
+pub mod types;
+
+pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError};
+pub use batching::{AimdController, BatchStrategy, QuantileController};
+pub use cache::PredictionCache;
+pub use clipper::{Clipper, ClipperBuilder};
+pub use frontend::HttpFrontend;
+pub use selection::{
+    EpsilonGreedyPolicy, Exp3Policy, Exp4Policy, PolicyState, SelectionPolicy, StaticPolicy,
+    ThompsonSamplingPolicy, UcbPolicy,
+};
+pub use types::{
+    AppConfig, Feedback, Input, ModelId, Output, PolicyKind, Prediction, output_loss,
+};

@@ -1,0 +1,158 @@
+//! Throughput meters.
+//!
+//! A [`Meter`] measures event rates (queries per second) two ways:
+//! a windowed instantaneous rate used by experiment harnesses, and the
+//! lifetime mean rate used in summary tables.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exponential decay factor per tick for the one-second EWMA rate.
+/// alpha = 1 - exp(-1/5) gives a ~5-second effective window.
+const EWMA_ALPHA: f64 = 0.18126924692201818;
+
+/// A concurrent event-rate meter.
+#[derive(Clone)]
+pub struct Meter {
+    inner: Arc<MeterInner>,
+}
+
+struct MeterInner {
+    start: Instant,
+    count: AtomicU64,
+    window: Mutex<Window>,
+}
+
+struct Window {
+    last_tick: Instant,
+    tick_count: u64,
+    ewma_rate: f64,
+    initialized: bool,
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Meter {
+    /// Create a meter; the lifetime rate clock starts now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Meter {
+            inner: Arc::new(MeterInner {
+                start: now,
+                count: AtomicU64::new(0),
+                window: Mutex::new(Window {
+                    last_tick: now,
+                    tick_count: 0,
+                    ewma_rate: 0.0,
+                    initialized: false,
+                }),
+            }),
+        }
+    }
+
+    /// Record one event.
+    pub fn mark(&self) {
+        self.mark_n(1);
+    }
+
+    /// Record `n` events (e.g. a whole batch completing).
+    pub fn mark_n(&self, n: u64) {
+        self.inner.count.fetch_add(n, Ordering::Relaxed);
+        let mut w = self.inner.window.lock();
+        w.tick_count += n;
+        let elapsed = w.last_tick.elapsed();
+        if elapsed.as_secs_f64() >= 1.0 {
+            let rate = w.tick_count as f64 / elapsed.as_secs_f64();
+            w.ewma_rate = if w.initialized {
+                w.ewma_rate + EWMA_ALPHA * (rate - w.ewma_rate)
+            } else {
+                rate
+            };
+            w.initialized = true;
+            w.tick_count = 0;
+            w.last_tick = Instant::now();
+        }
+    }
+
+    /// Total events since creation.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean rate over the meter's whole lifetime, events/second.
+    pub fn mean_rate(&self) -> f64 {
+        let secs = self.inner.start.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count() as f64 / secs
+        }
+    }
+
+    /// Smoothed recent rate (EWMA over ~5 s of one-second ticks). Falls back
+    /// to the lifetime mean until the first tick completes.
+    pub fn rate(&self) -> f64 {
+        let w = self.inner.window.lock();
+        if w.initialized {
+            w.ewma_rate
+        } else {
+            drop(w);
+            self.mean_rate()
+        }
+    }
+}
+
+impl std::fmt::Debug for Meter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Meter")
+            .field("count", &self.count())
+            .field("mean_rate", &self.mean_rate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counts_events() {
+        let m = Meter::new();
+        m.mark();
+        m.mark_n(9);
+        assert_eq!(m.count(), 10);
+    }
+
+    #[test]
+    fn mean_rate_reflects_elapsed_time() {
+        let m = Meter::new();
+        m.mark_n(100);
+        std::thread::sleep(Duration::from_millis(50));
+        let r = m.mean_rate();
+        // 100 events over >= 50 ms: rate must be positive and below 100/0.05.
+        assert!(r > 0.0 && r <= 100.0 / 0.05, "rate={r}");
+    }
+
+    #[test]
+    fn rate_falls_back_to_mean_before_first_tick() {
+        let m = Meter::new();
+        m.mark_n(10);
+        assert!((m.rate() - m.mean_rate()).abs() < 1e-6 || m.rate() > 0.0);
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let m = Meter::new();
+        let m2 = m.clone();
+        m.mark();
+        m2.mark();
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! A named metric registry.
+//!
+//! Components register their counters/histograms/meters under
+//! slash-separated names (`cache/hits`, `queue/mnist:0/batch_size`), and the
+//! frontend or an experiment harness snapshots the whole registry at once.
+
+use crate::{Counter, Gauge, Histogram, Meter, MetricValue, RegistrySnapshot};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Meter(Meter),
+    Histogram(Histogram),
+}
+
+/// A concurrent, clonable collection of named metrics.
+///
+/// `get_or_*` methods are idempotent: repeated registration under the same
+/// name returns the same underlying metric, so independent components can
+/// share a metric by name alone.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Arc<RwLock<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.write();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.write();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the meter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn meter(&self, name: &str) -> Meter {
+        let mut m = self.metrics.write();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Meter(Meter::new()))
+        {
+            Metric::Meter(mm) => mm.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.write();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Names currently registered, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.read().keys().cloned().collect()
+    }
+
+    /// Snapshot every metric for reporting.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let m = self.metrics.read();
+        let mut values = BTreeMap::new();
+        for (name, metric) in m.iter() {
+            let v = match metric {
+                Metric::Counter(c) => MetricValue::Counter { value: c.get() },
+                Metric::Gauge(g) => MetricValue::Gauge { value: g.get() },
+                Metric::Meter(meter) => MetricValue::Meter {
+                    count: meter.count(),
+                    rate: meter.rate(),
+                    mean_rate: meter.mean_rate(),
+                },
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    MetricValue::Histogram {
+                        count: s.count(),
+                        mean: s.mean(),
+                        p50: s.p50(),
+                        p95: s.p95(),
+                        p99: s.p99(),
+                        max: s.max(),
+                        min: s.min(),
+                    }
+                }
+            };
+            values.insert(name.clone(), v);
+        }
+        RegistrySnapshot { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let c1 = r.counter("cache/hits");
+        let c2 = r.counter("cache/hits");
+        c1.inc();
+        c2.inc();
+        assert_eq!(c1.get(), 2);
+        assert_eq!(r.names(), vec!["cache/hits".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_includes_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(-2);
+        r.meter("m").mark_n(7);
+        r.histogram("h").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.values.len(), 4);
+        assert!(matches!(snap.values["c"], MetricValue::Counter { value: 5 }));
+        assert!(matches!(snap.values["g"], MetricValue::Gauge { value: -2 }));
+        assert!(matches!(snap.values["m"], MetricValue::Meter { count: 7, .. }));
+        assert!(matches!(
+            snap.values["h"],
+            MetricValue::Histogram { count: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = Registry::new();
+        r.counter("zeta");
+        r.counter("alpha");
+        assert_eq!(r.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

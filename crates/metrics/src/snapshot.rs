@@ -1,0 +1,131 @@
+//! Serializable snapshots of registry state.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The value of a single metric at snapshot time.
+#[derive(Clone, Debug, Serialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter {
+        /// Current count.
+        value: u64,
+    },
+    /// Instantaneous gauge value.
+    Gauge {
+        /// Current value.
+        value: i64,
+    },
+    /// Event meter: total count plus smoothed and lifetime rates.
+    Meter {
+        /// Total events recorded.
+        count: u64,
+        /// Smoothed recent rate (events/s).
+        rate: f64,
+        /// Lifetime mean rate (events/s).
+        mean_rate: f64,
+    },
+    /// Histogram summary (values in microseconds by convention).
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Median.
+        p50: u64,
+        /// 95th percentile.
+        p95: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// Exact observed maximum.
+        max: u64,
+        /// Exact observed minimum.
+        min: u64,
+    },
+}
+
+/// A snapshot of every metric in a [`crate::Registry`].
+#[derive(Clone, Debug, Serialize)]
+pub struct RegistrySnapshot {
+    /// Metric values keyed by registered name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl RegistrySnapshot {
+    /// Render as a human-readable multi-line report (used by examples and
+    /// the `/metrics` text endpoint).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.values {
+            match v {
+                MetricValue::Counter { value } => {
+                    out.push_str(&format!("{name}: {value}\n"));
+                }
+                MetricValue::Gauge { value } => {
+                    out.push_str(&format!("{name}: {value}\n"));
+                }
+                MetricValue::Meter {
+                    count,
+                    rate,
+                    mean_rate,
+                } => {
+                    out.push_str(&format!(
+                        "{name}: count={count} rate={rate:.1}/s mean={mean_rate:.1}/s\n"
+                    ));
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    p50,
+                    p95,
+                    p99,
+                    max,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "{name}: count={count} mean={mean:.1} p50={p50} p95={p95} p99={p99} max={max}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_report_contains_all_metrics() {
+        let mut values = BTreeMap::new();
+        values.insert("a".into(), MetricValue::Counter { value: 3 });
+        values.insert(
+            "b".into(),
+            MetricValue::Histogram {
+                count: 1,
+                mean: 5.0,
+                p50: 5,
+                p95: 5,
+                p99: 5,
+                max: 5,
+                min: 5,
+            },
+        );
+        let snap = RegistrySnapshot { values };
+        let text = snap.to_text();
+        assert!(text.contains("a: 3"));
+        assert!(text.contains("p99=5"));
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let mut values = BTreeMap::new();
+        values.insert("qps".into(), MetricValue::Gauge { value: 42 });
+        let snap = RegistrySnapshot { values };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"qps\""));
+        assert!(json.contains("42"));
+    }
+}

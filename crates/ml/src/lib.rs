@@ -1,0 +1,34 @@
+//! From-scratch machine-learning substrate for Clipper.
+//!
+//! The Clipper paper serves models trained in Scikit-Learn, Spark MLlib,
+//! TensorFlow, Caffe, and HTK. Those frameworks are not available here, so
+//! this crate implements the *same model families* directly in Rust:
+//!
+//! | Paper model | This crate |
+//! |---|---|
+//! | SKLearn/PySpark linear SVM | [`models::LinearSvm`] (one-vs-rest hinge SGD) |
+//! | SKLearn logistic regression | [`models::LogisticRegression`] (softmax SGD) |
+//! | SKLearn kernel SVM | [`models::KernelSvm`] (RBF over a support set) |
+//! | SKLearn random forest | [`models::RandomForest`] / [`models::DecisionTree`] |
+//! | Caffe/TensorFlow conv nets | [`models::Mlp`] + the GPU latency simulator in `clipper-containers` |
+//! | HTK HMM phoneme models | [`speech::DialectModel`] |
+//!
+//! What matters to the serving experiments is that these models have the
+//! *native computational shape* of their framework counterparts: the linear
+//! SVM really is a single dense dot product per class, and the kernel SVM
+//! really pays O(supports × dims) per query, which is why their Figure-3
+//! latency profiles differ by orders of magnitude.
+//!
+//! Datasets are seeded synthetic Gaussian mixtures shaped after Table 1
+//! (MNIST 784×10, CIFAR 3072×10, ImageNet-like high-dimensional many-class,
+//! TIMIT-like 8-dialect speech); see [`datasets`].
+
+pub mod datasets;
+pub mod eval;
+pub mod linalg;
+pub mod models;
+pub mod speech;
+
+pub use datasets::{Dataset, DatasetSpec, Example};
+pub use eval::{accuracy, top_k_accuracy, zero_one_loss};
+pub use models::{Label, Model};

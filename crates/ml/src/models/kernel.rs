@@ -1,0 +1,196 @@
+//! RBF kernel SVM (budget kernel perceptron).
+//!
+//! This is the "slow" end of Figure 3: every prediction pays
+//! O(supports × dims) kernel evaluations — a sequence of expensive
+//! nearest-neighbor-style computations, exactly why the paper's kernel SVM
+//! container fits only single-digit batch sizes inside a 20 ms SLO.
+
+use super::Model;
+use crate::datasets::Dataset;
+use crate::linalg::sq_dist;
+use rand::prelude::*;
+
+/// Hyperparameters for [`KernelSvm::train`].
+#[derive(Clone, Debug)]
+pub struct KernelSvmConfig {
+    /// Training epochs (perceptron passes).
+    pub epochs: usize,
+    /// RBF kernel width; if `None`, uses the median-distance heuristic.
+    pub gamma: Option<f32>,
+    /// Maximum number of support vectors retained (budget).
+    pub max_supports: usize,
+}
+
+impl Default for KernelSvmConfig {
+    fn default() -> Self {
+        KernelSvmConfig {
+            epochs: 3,
+            gamma: None,
+            max_supports: 1_000,
+        }
+    }
+}
+
+/// A multi-class kernel machine: one weight per (support, class).
+pub struct KernelSvm {
+    name: String,
+    num_classes: usize,
+    gamma: f32,
+    supports: Vec<Vec<f32>>,
+    /// `alphas[i][c]`: weight of support `i` toward class `c`.
+    alphas: Vec<Vec<f32>>,
+}
+
+impl KernelSvm {
+    /// Train with the multi-class kernel perceptron update, keeping at most
+    /// `max_supports` support vectors (oldest evicted first).
+    pub fn train(dataset: &Dataset, cfg: &KernelSvmConfig, seed: u64) -> Self {
+        let k = dataset.num_classes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gamma = cfg.gamma.unwrap_or_else(|| {
+            // Median heuristic over a sample of pairwise distances.
+            let n = dataset.train.len();
+            let mut dists: Vec<f32> = (0..128.min(n * (n.saturating_sub(1)) / 2))
+                .map(|_| {
+                    let a = rng.random_range(0..n);
+                    let b = rng.random_range(0..n);
+                    sq_dist(&dataset.train[a].x, &dataset.train[b].x)
+                })
+                .filter(|&d| d > 0.0)
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = dists.get(dists.len() / 2).copied().unwrap_or(1.0);
+            1.0 / median.max(1e-6)
+        });
+
+        let mut model = KernelSvm {
+            name: "kernel-svm".into(),
+            num_classes: k,
+            gamma,
+            supports: Vec::new(),
+            alphas: Vec::new(),
+        };
+
+        let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let ex = &dataset.train[i];
+                let pred = if model.supports.is_empty() {
+                    // No supports yet: predict an arbitrary wrong class to
+                    // force the first update.
+                    (ex.y + 1) % k as u32
+                } else {
+                    model.predict(&ex.x)
+                };
+                if pred != ex.y {
+                    // Perceptron update: add this example as a support that
+                    // votes +1 for the true class and -1 for the mistake.
+                    let mut alpha = vec![0.0f32; k];
+                    alpha[ex.y as usize] = 1.0;
+                    alpha[pred as usize] = -1.0;
+                    model.supports.push(ex.x.clone());
+                    model.alphas.push(alpha);
+                    if model.supports.len() > cfg.max_supports {
+                        model.supports.remove(0);
+                        model.alphas.remove(0);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Number of retained support vectors.
+    pub fn num_supports(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// RBF width in use.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+}
+
+impl Model for KernelSvm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let mut s = vec![0.0f32; self.num_classes];
+        for (support, alpha) in self.supports.iter().zip(self.alphas.iter()) {
+            let kval = (-self.gamma * sq_dist(support, x)).exp();
+            if kval > 1e-12 {
+                for (si, &a) in s.iter_mut().zip(alpha.iter()) {
+                    *si += a * kval;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+    use crate::eval::accuracy;
+
+    fn small_ds() -> crate::datasets::Dataset {
+        DatasetSpec::speech_like()
+            .with_train_size(390)
+            .with_test_size(100)
+            .with_difficulty(0.3)
+            .generate(33)
+    }
+
+    #[test]
+    fn kernel_svm_learns() {
+        let ds = small_ds();
+        let m = KernelSvm::train(&ds, &KernelSvmConfig::default(), 4);
+        let acc = accuracy(&m, &ds.test);
+        assert!(acc > 0.6, "accuracy {acc}");
+        assert!(m.num_supports() > 0);
+    }
+
+    #[test]
+    fn support_budget_is_enforced() {
+        let ds = small_ds();
+        let cfg = KernelSvmConfig {
+            max_supports: 50,
+            ..Default::default()
+        };
+        let m = KernelSvm::train(&ds, &cfg, 4);
+        assert!(m.num_supports() <= 50);
+    }
+
+    #[test]
+    fn gamma_heuristic_is_positive_and_finite() {
+        let ds = small_ds();
+        let m = KernelSvm::train(&ds, &KernelSvmConfig::default(), 4);
+        assert!(m.gamma() > 0.0 && m.gamma().is_finite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = small_ds();
+        let a = KernelSvm::train(&ds, &KernelSvmConfig::default(), 8);
+        let b = KernelSvm::train(&ds, &KernelSvmConfig::default(), 8);
+        assert_eq!(a.num_supports(), b.num_supports());
+        assert_eq!(a.scores(&ds.test[0].x), b.scores(&ds.test[0].x));
+    }
+
+    #[test]
+    fn explicit_gamma_is_respected() {
+        let ds = small_ds();
+        let cfg = KernelSvmConfig {
+            gamma: Some(0.25),
+            ..Default::default()
+        };
+        let m = KernelSvm::train(&ds, &cfg, 4);
+        assert_eq!(m.gamma(), 0.25);
+    }
+}

@@ -1,0 +1,62 @@
+//! The No-Op model.
+//!
+//! Figure 3(d) uses a No-Op container to isolate pure system overhead (RPC,
+//! serialization, queueing) from model compute. This model returns a
+//! constant answer in O(1).
+
+use super::{Label, Model};
+
+/// A model that does no work: always predicts class 0 with full confidence.
+#[derive(Clone, Debug, Default)]
+pub struct NoOpModel {
+    num_classes: usize,
+}
+
+impl NoOpModel {
+    /// Create a no-op model reporting `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        NoOpModel {
+            num_classes: num_classes.max(1),
+        }
+    }
+}
+
+impl Model for NoOpModel {
+    fn name(&self) -> &str {
+        "no-op"
+    }
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+    fn scores(&self, _x: &[f32]) -> Vec<f32> {
+        let mut s = vec![0.0; self.num_classes];
+        s[0] = 1.0;
+        s
+    }
+    fn predict(&self, _x: &[f32]) -> Label {
+        0
+    }
+    fn predict_batch(&self, xs: &[&[f32]]) -> Vec<Label> {
+        vec![0; xs.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_predicts_zero() {
+        let m = NoOpModel::new(10);
+        assert_eq!(m.predict(&[1.0, 2.0]), 0);
+        assert_eq!(m.predict_batch(&[&[0.0f32][..], &[9.0f32][..]]), vec![0, 0]);
+        assert_eq!(m.num_classes(), 10);
+    }
+
+    #[test]
+    fn zero_classes_clamps_to_one() {
+        let m = NoOpModel::new(0);
+        assert_eq!(m.num_classes(), 1);
+        assert_eq!(m.scores(&[]), vec![1.0]);
+    }
+}

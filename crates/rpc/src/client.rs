@@ -1,0 +1,223 @@
+//! Container-side RPC client.
+//!
+//! A model container connects to Clipper, registers, and then serves batch
+//! prediction requests until shutdown. Batches are executed **serially** in
+//! arrival order on a blocking thread — a container is a serially-shared
+//! resource (one model, one device), which is exactly the property the
+//! adaptive batching layer (§4.3) is tuned against. Time spent waiting for
+//! the worker is reported as `queue_us` so the Figure-11 decomposition can
+//! separate queueing from compute.
+
+use crate::codec::{read_frame, write_frame};
+use crate::error::RpcError;
+use crate::message::{Message, PredictReply};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::net::TcpStream;
+use tokio::sync::mpsc;
+
+/// Computes predictions for batches inside a container.
+///
+/// `handle_batch` runs on a blocking thread; it should fill in
+/// [`PredictReply::compute_us`] with its own measure of model time (the
+/// serving loop fills in `queue_us`).
+pub trait BatchHandler: Send + Sync + 'static {
+    /// Evaluate one batch. `Err` strings become [`RpcError::Remote`] on the
+    /// Clipper side and fail only that batch, not the connection.
+    fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String>;
+}
+
+impl<F> BatchHandler for F
+where
+    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, String> + Send + Sync + 'static,
+{
+    fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String> {
+        self(inputs)
+    }
+}
+
+/// Registration parameters for [`serve_container`].
+#[derive(Clone, Debug)]
+pub struct ContainerClientConfig {
+    /// Unique container instance name.
+    pub container_name: String,
+    /// Model name to register under.
+    pub model_name: String,
+    /// Model version.
+    pub model_version: u32,
+}
+
+/// Connect to Clipper at `addr`, register, and serve batches until the
+/// connection closes or a `Shutdown` frame arrives.
+pub async fn serve_container(
+    addr: SocketAddr,
+    cfg: ContainerClientConfig,
+    handler: Arc<dyn BatchHandler>,
+) -> Result<(), RpcError> {
+    let stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true)?;
+    let (mut rd, mut wr) = stream.into_split();
+
+    write_frame(
+        &mut wr,
+        &Message::Register {
+            container_name: cfg.container_name.clone(),
+            model_name: cfg.model_name.clone(),
+            model_version: cfg.model_version,
+        },
+        0,
+    )
+    .await?;
+    match read_frame(&mut rd).await? {
+        (_, Message::RegisterAck) => {}
+        (_, other) => {
+            return Err(RpcError::Protocol(format!(
+                "expected RegisterAck, got {other:?}"
+            )));
+        }
+    }
+
+    // Outbound responses funnel through a writer task.
+    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<(u64, Message)>();
+    let writer = tokio::spawn(async move {
+        while let Some((id, msg)) = out_rx.recv().await {
+            if write_frame(&mut wr, &msg, id).await.is_err() {
+                break;
+            }
+        }
+    });
+
+    // Worker task: executes batches serially in arrival order.
+    let (work_tx, mut work_rx) = mpsc::unbounded_channel::<(u64, Vec<Vec<f32>>, Instant)>();
+    let out_tx_worker = out_tx.clone();
+    let worker = tokio::spawn(async move {
+        while let Some((id, inputs, enqueued)) = work_rx.recv().await {
+            let queue_us = enqueued.elapsed().as_micros() as u64;
+            let h = handler.clone();
+            let result =
+                tokio::task::spawn_blocking(move || h.handle_batch(inputs)).await;
+            let msg = match result {
+                Ok(Ok(mut reply)) => {
+                    reply.queue_us = queue_us;
+                    Message::PredictResponse(reply)
+                }
+                Ok(Err(e)) => Message::Error { message: e },
+                Err(join_err) => Message::Error {
+                    message: format!("handler panicked: {join_err}"),
+                },
+            };
+            if out_tx_worker.send((id, msg)).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Reader loop.
+    let result = loop {
+        match read_frame(&mut rd).await {
+            Ok((id, Message::PredictRequest { inputs })) => {
+                if work_tx.send((id, inputs, Instant::now())).is_err() {
+                    break Ok(());
+                }
+            }
+            Ok((id, Message::Heartbeat)) => {
+                let _ = out_tx.send((id, Message::HeartbeatAck));
+            }
+            Ok((_, Message::HeartbeatAck)) => {}
+            Ok((_, Message::Shutdown)) => break Ok(()),
+            Ok((_, other)) => {
+                break Err(RpcError::Protocol(format!("unexpected {other:?}")));
+            }
+            Err(RpcError::ConnectionClosed) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+
+    drop(work_tx);
+    let _ = worker.await;
+    writer.abort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireOutput;
+    use crate::server::RpcServer;
+
+    #[tokio::test]
+    async fn handler_errors_fail_only_that_batch() {
+        let mut server = RpcServer::bind("127.0.0.1:0").await.unwrap();
+        let addr = server.local_addr();
+        let cfg = ContainerClientConfig {
+            container_name: "c".into(),
+            model_name: "flaky".into(),
+            model_version: 1,
+        };
+        tokio::spawn(async move {
+            let handler = |inputs: Vec<Vec<f32>>| -> Result<PredictReply, String> {
+                if inputs.len() == 13 {
+                    Err("unlucky batch".into())
+                } else {
+                    Ok(PredictReply {
+                        outputs: vec![WireOutput::Class(0); inputs.len()],
+                        queue_us: 0,
+                        compute_us: 1,
+                    })
+                }
+            };
+            let _ = serve_container(addr, cfg, Arc::new(handler)).await;
+        });
+        let (_, handle) = server.next_container().await.unwrap();
+        use crate::transport::BatchTransport;
+
+        let err = handle
+            .predict_batch(vec![vec![0.0]; 13])
+            .await
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Remote(ref m) if m.contains("unlucky")));
+
+        // The connection survives: the next batch succeeds.
+        let ok = handle.predict_batch(vec![vec![0.0]; 2]).await.unwrap();
+        assert_eq!(ok.outputs.len(), 2);
+    }
+
+    #[tokio::test]
+    async fn queue_time_is_reported() {
+        let mut server = RpcServer::bind("127.0.0.1:0").await.unwrap();
+        let addr = server.local_addr();
+        let cfg = ContainerClientConfig {
+            container_name: "c".into(),
+            model_name: "slow".into(),
+            model_version: 1,
+        };
+        tokio::spawn(async move {
+            let handler = |inputs: Vec<Vec<f32>>| -> Result<PredictReply, String> {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Ok(PredictReply {
+                    outputs: vec![WireOutput::Class(0); inputs.len()],
+                    queue_us: 0,
+                    compute_us: 30_000,
+                })
+            };
+            let _ = serve_container(addr, cfg, Arc::new(handler)).await;
+        });
+        let (_, handle) = server.next_container().await.unwrap();
+        use crate::transport::BatchTransport;
+        let handle = Arc::new(handle);
+
+        // Send two batches back to back: the second must queue behind the
+        // first (serial container), so its queue_us reflects the wait.
+        let h1 = handle.clone();
+        let first = tokio::spawn(async move { h1.predict_batch(vec![vec![0.0]]).await });
+        tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        let second = handle.predict_batch(vec![vec![0.0]]).await.unwrap();
+        first.await.unwrap().unwrap();
+        assert!(
+            second.queue_us >= 10_000,
+            "second batch should have queued ≥10ms, got {}µs",
+            second.queue_us
+        );
+    }
+}

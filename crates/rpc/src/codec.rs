@@ -1,0 +1,138 @@
+//! Async frame reader/writer.
+//!
+//! Frames are written as a single buffered write and read with exact-length
+//! reads; the framing layer validates magic, version, and payload bounds
+//! before handing payload bytes to [`Message::decode`].
+
+use crate::error::RpcError;
+use crate::message::{Message, MAGIC, MAX_PAYLOAD, VERSION};
+use bytes::{Buf, Bytes};
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Header length: magic(4) + version(1) + type(1) + request_id(8) + len(4).
+pub const HEADER_LEN: usize = 18;
+
+/// Write one message frame.
+pub async fn write_frame<W: AsyncWrite + Unpin>(
+    writer: &mut W,
+    msg: &Message,
+    request_id: u64,
+) -> Result<(), RpcError> {
+    let frame = msg.encode(request_id);
+    writer.write_all(&frame).await?;
+    writer.flush().await?;
+    Ok(())
+}
+
+/// Read one message frame; returns `(request_id, message)`.
+pub async fn read_frame<R: AsyncRead + Unpin>(
+    reader: &mut R,
+) -> Result<(u64, Message), RpcError> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header).await.map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RpcError::ConnectionClosed
+        } else {
+            RpcError::Io(e)
+        }
+    })?;
+    let mut h = &header[..];
+    let magic = h.get_u32_le();
+    if magic != MAGIC {
+        return Err(RpcError::Protocol(format!("bad magic {magic:#x}")));
+    }
+    let version = h.get_u8();
+    if version != VERSION {
+        return Err(RpcError::Protocol(format!("unsupported version {version}")));
+    }
+    let msg_type = h.get_u8();
+    let request_id = h.get_u64_le();
+    let payload_len = h.get_u32_le() as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(RpcError::Protocol(format!(
+            "payload {payload_len} exceeds max {MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; payload_len];
+    reader.read_exact(&mut payload).await.map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RpcError::ConnectionClosed
+        } else {
+            RpcError::Io(e)
+        }
+    })?;
+    let msg = Message::decode(msg_type, Bytes::from(payload))?;
+    Ok((request_id, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::PredictReply;
+    use crate::message::WireOutput;
+
+    #[tokio::test]
+    async fn frame_roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(64 * 1024);
+        let msg = Message::PredictRequest {
+            inputs: vec![vec![1.0, 2.0], vec![3.0]],
+        };
+        write_frame(&mut a, &msg, 7).await.unwrap();
+        let (id, got) = read_frame(&mut b).await.unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(got, msg);
+    }
+
+    #[tokio::test]
+    async fn multiple_frames_in_sequence() {
+        let (mut a, mut b) = tokio::io::duplex(64 * 1024);
+        let msgs = vec![
+            Message::Heartbeat,
+            Message::PredictResponse(PredictReply {
+                outputs: vec![WireOutput::Class(3)],
+                queue_us: 1,
+                compute_us: 2,
+            }),
+            Message::Shutdown,
+        ];
+        for (i, m) in msgs.iter().enumerate() {
+            write_frame(&mut a, m, i as u64).await.unwrap();
+        }
+        for (i, m) in msgs.iter().enumerate() {
+            let (id, got) = read_frame(&mut b).await.unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&got, m);
+        }
+    }
+
+    #[tokio::test]
+    async fn closed_peer_yields_connection_closed() {
+        let (a, mut b) = tokio::io::duplex(1024);
+        drop(a);
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, RpcError::ConnectionClosed));
+    }
+
+    #[tokio::test]
+    async fn bad_magic_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        a.write_all(&[0u8; HEADER_LEN]).await.unwrap();
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)));
+    }
+
+    #[tokio::test]
+    async fn oversized_payload_rejected_without_allocation() {
+        use bytes::BufMut;
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        let mut header = bytes::BytesMut::new();
+        header.put_u32_le(MAGIC);
+        header.put_u8(VERSION);
+        header.put_u8(6); // heartbeat
+        header.put_u64_le(0);
+        header.put_u32_le(u32::MAX); // absurd payload length
+        a.write_all(&header).await.unwrap();
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)));
+    }
+}

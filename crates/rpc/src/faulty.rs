@@ -1,0 +1,180 @@
+//! Fault-injection transport wrapper.
+//!
+//! Wraps any [`BatchTransport`] and injects the failure modes the paper's
+//! robustness machinery must tolerate: added latency (stragglers, §5.2.2),
+//! dropped requests, and hard failures. Randomness is seeded so experiments
+//! are repeatable, in the spirit of smoltcp's `--drop-chance` /
+//! `--corrupt-chance` example flags.
+
+use crate::error::RpcError;
+use crate::message::PredictReply;
+use crate::transport::{BatchTransport, BoxFuture};
+use parking_lot::Mutex;
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault model for [`FaultyTransport`].
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Base added latency applied to every request.
+    pub base_delay: Duration,
+    /// Uniform jitter added on top of `base_delay` (0..jitter).
+    pub jitter: Duration,
+    /// Probability of a straggler event per request.
+    pub straggler_prob: f64,
+    /// Extra delay applied on straggler events.
+    pub straggler_delay: Duration,
+    /// Probability the request is dropped (never answered → `Injected`).
+    pub drop_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            base_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            straggler_prob: 0.0,
+            straggler_delay: Duration::ZERO,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A straggler profile: `prob` chance of an extra `delay`.
+    pub fn stragglers(prob: f64, delay: Duration) -> Self {
+        FaultConfig {
+            straggler_prob: prob,
+            straggler_delay: delay,
+            ..Default::default()
+        }
+    }
+
+    /// Uniform latency noise in `[base, base + jitter)`.
+    pub fn latency(base: Duration, jitter: Duration) -> Self {
+        FaultConfig {
+            base_delay: base,
+            jitter,
+            ..Default::default()
+        }
+    }
+}
+
+/// A transport wrapper that injects latency and loss.
+pub struct FaultyTransport {
+    inner: Arc<dyn BatchTransport>,
+    cfg: FaultConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner` with fault model `cfg`; `seed` makes runs repeatable.
+    pub fn new(inner: Arc<dyn BatchTransport>, cfg: FaultConfig, seed: u64) -> Self {
+        FaultyTransport {
+            inner,
+            cfg,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl BatchTransport for FaultyTransport {
+    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+        // Decide the fault outcome up front (short lock; no awaits inside).
+        let (delay, dropped) = {
+            let mut rng = self.rng.lock();
+            let mut delay = self.cfg.base_delay;
+            if self.cfg.jitter > Duration::ZERO {
+                delay += self.cfg.jitter.mul_f64(rng.random::<f64>());
+            }
+            if self.cfg.straggler_prob > 0.0 && rng.random_bool(self.cfg.straggler_prob) {
+                delay += self.cfg.straggler_delay;
+            }
+            let dropped = self.cfg.drop_prob > 0.0 && rng.random_bool(self.cfg.drop_prob);
+            (delay, dropped)
+        };
+        let inner = self.inner.clone();
+        Box::pin(async move {
+            if delay > Duration::ZERO {
+                tokio::time::sleep(delay).await;
+            }
+            if dropped {
+                return Err(RpcError::Injected);
+            }
+            inner.predict_batch(inputs).await
+        })
+    }
+
+    fn id(&self) -> String {
+        format!("faulty({})", self.inner.id())
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.inner.is_healthy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireOutput;
+    use crate::transport::FnTransport;
+    use std::time::Instant;
+
+    fn ok_transport() -> Arc<dyn BatchTransport> {
+        Arc::new(FnTransport::new("ok", |inputs| {
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(1); inputs.len()],
+                queue_us: 0,
+                compute_us: 0,
+            })
+        }))
+    }
+
+    #[tokio::test]
+    async fn no_faults_passes_through() {
+        let t = FaultyTransport::new(ok_transport(), FaultConfig::default(), 1);
+        let r = t.predict_batch(vec![vec![0.0]]).await.unwrap();
+        assert_eq!(r.outputs.len(), 1);
+        assert!(t.id().contains("ok"));
+    }
+
+    #[tokio::test]
+    async fn drop_prob_one_always_drops() {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            ..Default::default()
+        };
+        let t = FaultyTransport::new(ok_transport(), cfg, 1);
+        let err = t.predict_batch(vec![vec![0.0]]).await.unwrap_err();
+        assert!(matches!(err, RpcError::Injected));
+    }
+
+    #[tokio::test]
+    async fn base_delay_is_applied() {
+        let cfg = FaultConfig::latency(Duration::from_millis(25), Duration::ZERO);
+        let t = FaultyTransport::new(ok_transport(), cfg, 1);
+        let start = Instant::now();
+        t.predict_batch(vec![vec![0.0]]).await.unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[tokio::test]
+    async fn straggler_rate_roughly_matches_probability() {
+        let cfg = FaultConfig::stragglers(0.3, Duration::from_millis(8));
+        let t = FaultyTransport::new(ok_transport(), cfg, 42);
+        let mut stragglers = 0;
+        for _ in 0..100 {
+            let start = Instant::now();
+            t.predict_batch(vec![vec![0.0]]).await.unwrap();
+            if start.elapsed() >= Duration::from_millis(8) {
+                stragglers += 1;
+            }
+        }
+        assert!(
+            (15..=45).contains(&stragglers),
+            "expected ≈30 stragglers out of 100, got {stragglers}"
+        );
+    }
+}

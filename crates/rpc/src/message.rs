@@ -1,0 +1,459 @@
+//! Wire messages and their binary encoding.
+//!
+//! The codec is hand-rolled on [`bytes`]: every frame is
+//!
+//! ```text
+//! +-------+---------+----------+------------+-------------+---------+
+//! | magic | version | msg_type | request_id | payload_len | payload |
+//! |  u32  |   u8    |    u8    |    u64     |     u32     |  bytes  |
+//! +-------+---------+----------+------------+-------------+---------+
+//! ```
+//!
+//! little-endian throughout. Feature vectors are shipped as raw `f32` runs,
+//! so a batch of `b` MNIST images costs `b × 784 × 4` payload bytes — the
+//! quantity the Figure-6 network-bottleneck experiment meters.
+
+use crate::error::RpcError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic ("CLIP" little-endianized).
+pub const MAGIC: u32 = 0xC11B_BE55;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Hard cap on payload size (64 MiB) to bound memory under corruption.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// A model container's prediction for one input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireOutput {
+    /// Single class label (object recognition).
+    Class(u32),
+    /// Per-class scores.
+    Scores(Vec<f32>),
+    /// Label sequence (speech transcription).
+    Labels(Vec<u32>),
+}
+
+impl WireOutput {
+    /// The scalar label this output argmaxes to, used by ensemble voting.
+    pub fn label(&self) -> u32 {
+        match self {
+            WireOutput::Class(c) => *c,
+            WireOutput::Scores(s) => {
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for (i, &v) in s.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = i;
+                    }
+                }
+                best as u32
+            }
+            WireOutput::Labels(l) => l.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Approximate encoded size in bytes (for network simulation).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireOutput::Class(_) => 5,
+            WireOutput::Scores(s) => 5 + 4 * s.len(),
+            WireOutput::Labels(l) => 5 + 4 * l.len(),
+        }
+    }
+}
+
+/// A completed batch prediction, with container-side timing for the
+/// Figure-11 latency decomposition.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PredictReply {
+    /// One output per input, in order.
+    pub outputs: Vec<WireOutput>,
+    /// Microseconds the batch spent queued inside the container before
+    /// compute started (e.g. waiting for the GPU).
+    pub queue_us: u64,
+    /// Microseconds of model compute.
+    pub compute_us: u64,
+}
+
+/// All protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Container → Clipper: announce a model.
+    Register {
+        /// Container instance name (unique per connection).
+        container_name: String,
+        /// Model this container serves.
+        model_name: String,
+        /// Model version.
+        model_version: u32,
+    },
+    /// Clipper → container: registration accepted.
+    RegisterAck,
+    /// Clipper → container: evaluate a batch.
+    PredictRequest {
+        /// Feature vectors, one per query.
+        inputs: Vec<Vec<f32>>,
+    },
+    /// Container → Clipper: batch results.
+    PredictResponse(PredictReply),
+    /// Container → Clipper: the batch failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Liveness probe (either direction).
+    Heartbeat,
+    /// Liveness reply.
+    HeartbeatAck,
+    /// Graceful shutdown notice.
+    Shutdown,
+}
+
+impl Message {
+    fn msg_type(&self) -> u8 {
+        match self {
+            Message::Register { .. } => 1,
+            Message::RegisterAck => 2,
+            Message::PredictRequest { .. } => 3,
+            Message::PredictResponse(_) => 4,
+            Message::Error { .. } => 5,
+            Message::Heartbeat => 6,
+            Message::HeartbeatAck => 7,
+            Message::Shutdown => 8,
+        }
+    }
+
+    /// Encode into a full frame (header + payload).
+    pub fn encode(&self, request_id: u64) -> Bytes {
+        let mut payload = BytesMut::new();
+        match self {
+            Message::Register {
+                container_name,
+                model_name,
+                model_version,
+            } => {
+                put_string(&mut payload, container_name);
+                put_string(&mut payload, model_name);
+                payload.put_u32_le(*model_version);
+            }
+            Message::RegisterAck
+            | Message::Heartbeat
+            | Message::HeartbeatAck
+            | Message::Shutdown => {}
+            Message::PredictRequest { inputs } => {
+                payload.put_u32_le(inputs.len() as u32);
+                for input in inputs {
+                    put_f32s(&mut payload, input);
+                }
+            }
+            Message::PredictResponse(reply) => {
+                payload.put_u64_le(reply.queue_us);
+                payload.put_u64_le(reply.compute_us);
+                payload.put_u32_le(reply.outputs.len() as u32);
+                for out in &reply.outputs {
+                    match out {
+                        WireOutput::Class(c) => {
+                            payload.put_u8(0);
+                            payload.put_u32_le(*c);
+                        }
+                        WireOutput::Scores(s) => {
+                            payload.put_u8(1);
+                            put_f32s(&mut payload, s);
+                        }
+                        WireOutput::Labels(l) => {
+                            payload.put_u8(2);
+                            payload.put_u32_le(l.len() as u32);
+                            for &v in l {
+                                payload.put_u32_le(v);
+                            }
+                        }
+                    }
+                }
+            }
+            Message::Error { message } => {
+                put_string(&mut payload, message);
+            }
+        }
+
+        let mut frame = BytesMut::with_capacity(18 + payload.len());
+        frame.put_u32_le(MAGIC);
+        frame.put_u8(VERSION);
+        frame.put_u8(self.msg_type());
+        frame.put_u64_le(request_id);
+        frame.put_u32_le(payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decode a payload given its already-parsed header fields.
+    pub fn decode(msg_type: u8, mut payload: Bytes) -> Result<Message, RpcError> {
+        let msg = match msg_type {
+            1 => {
+                let container_name = get_string(&mut payload)?;
+                let model_name = get_string(&mut payload)?;
+                let model_version = get_u32(&mut payload)?;
+                Message::Register {
+                    container_name,
+                    model_name,
+                    model_version,
+                }
+            }
+            2 => Message::RegisterAck,
+            3 => {
+                let n = get_u32(&mut payload)? as usize;
+                let mut inputs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    inputs.push(get_f32s(&mut payload)?);
+                }
+                Message::PredictRequest { inputs }
+            }
+            4 => {
+                let queue_us = get_u64(&mut payload)?;
+                let compute_us = get_u64(&mut payload)?;
+                let n = get_u32(&mut payload)? as usize;
+                let mut outputs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let tag = get_u8(&mut payload)?;
+                    outputs.push(match tag {
+                        0 => WireOutput::Class(get_u32(&mut payload)?),
+                        1 => WireOutput::Scores(get_f32s(&mut payload)?),
+                        2 => {
+                            let len = get_u32(&mut payload)? as usize;
+                            let mut l = Vec::with_capacity(len.min(1 << 20));
+                            for _ in 0..len {
+                                l.push(get_u32(&mut payload)?);
+                            }
+                            WireOutput::Labels(l)
+                        }
+                        t => {
+                            return Err(RpcError::Protocol(format!("bad output tag {t}")));
+                        }
+                    });
+                }
+                Message::PredictResponse(PredictReply {
+                    outputs,
+                    queue_us,
+                    compute_us,
+                })
+            }
+            5 => Message::Error {
+                message: get_string(&mut payload)?,
+            },
+            6 => Message::Heartbeat,
+            7 => Message::HeartbeatAck,
+            8 => Message::Shutdown,
+            t => return Err(RpcError::Protocol(format!("unknown message type {t}"))),
+        };
+        if payload.has_remaining() {
+            return Err(RpcError::Protocol(format!(
+                "{} trailing bytes after message type {msg_type}",
+                payload.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+
+    /// Approximate frame size in bytes (header + payload), used by the
+    /// simulated network links.
+    pub fn wire_size(&self) -> usize {
+        let payload = match self {
+            Message::Register {
+                container_name,
+                model_name,
+                ..
+            } => 8 + container_name.len() + model_name.len() + 4,
+            Message::RegisterAck
+            | Message::Heartbeat
+            | Message::HeartbeatAck
+            | Message::Shutdown => 0,
+            Message::PredictRequest { inputs } => {
+                4 + inputs.iter().map(|i| 4 + 4 * i.len()).sum::<usize>()
+            }
+            Message::PredictResponse(r) => {
+                20 + r.outputs.iter().map(WireOutput::wire_size).sum::<usize>()
+            }
+            Message::Error { message } => 4 + message.len(),
+        };
+        18 + payload
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
+    buf.put_u32_le(vals.len() as u32);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, RpcError> {
+    if buf.remaining() < 1 {
+        return Err(RpcError::Protocol("truncated u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, RpcError> {
+    if buf.remaining() < 4 {
+        return Err(RpcError::Protocol("truncated u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, RpcError> {
+    if buf.remaining() < 8 {
+        return Err(RpcError::Protocol("truncated u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, RpcError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(RpcError::Protocol("truncated string".into()));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| RpcError::Protocol("invalid utf8".into()))
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, RpcError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len * 4 {
+        return Err(RpcError::Protocol("truncated f32 array".into()));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) -> Message {
+        let frame = msg.encode(42);
+        // Skip the 18-byte header; decode the payload.
+        let mut b = Bytes::copy_from_slice(&frame);
+        let magic = b.get_u32_le();
+        assert_eq!(magic, MAGIC);
+        assert_eq!(b.get_u8(), VERSION);
+        let mt = b.get_u8();
+        assert_eq!(b.get_u64_le(), 42);
+        let plen = b.get_u32_le() as usize;
+        assert_eq!(b.remaining(), plen);
+        Message::decode(mt, b).expect("decode")
+    }
+
+    #[test]
+    fn register_roundtrips() {
+        let m = Message::Register {
+            container_name: "c0".into(),
+            model_name: "linear-svm".into(),
+            model_version: 3,
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn predict_request_roundtrips() {
+        let m = Message::PredictRequest {
+            inputs: vec![vec![1.0, -2.5, 3.25], vec![], vec![0.0; 17]],
+        };
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn predict_response_roundtrips_all_output_kinds() {
+        let m = Message::PredictResponse(PredictReply {
+            outputs: vec![
+                WireOutput::Class(9),
+                WireOutput::Scores(vec![0.1, 0.9]),
+                WireOutput::Labels(vec![1, 2, 3]),
+            ],
+            queue_us: 1_000,
+            compute_us: 2_000,
+        });
+        assert_eq!(roundtrip(m.clone()), m);
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        for m in [
+            Message::RegisterAck,
+            Message::Heartbeat,
+            Message::HeartbeatAck,
+            Message::Shutdown,
+            Message::Error {
+                message: "boom".into(),
+            },
+        ] {
+            assert_eq!(roundtrip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_protocol_error() {
+        let err = Message::decode(99, Bytes::new()).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_protocol_error() {
+        let m = Message::PredictRequest {
+            inputs: vec![vec![1.0, 2.0]],
+        };
+        let frame = m.encode(1);
+        // Chop the last 3 bytes off the payload.
+        let truncated = Bytes::copy_from_slice(&frame[18..frame.len() - 3]);
+        let err = Message::decode(3, truncated).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(0); // zero inputs
+        payload.put_u8(0xFF); // junk
+        let err = Message::decode(3, payload.freeze()).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol(_)));
+    }
+
+    #[test]
+    fn wire_size_matches_encoded_length() {
+        let msgs = vec![
+            Message::Heartbeat,
+            Message::PredictRequest {
+                inputs: vec![vec![1.0; 784]; 4],
+            },
+            Message::PredictResponse(PredictReply {
+                outputs: vec![WireOutput::Class(1), WireOutput::Scores(vec![0.5; 10])],
+                queue_us: 5,
+                compute_us: 6,
+            }),
+            Message::Register {
+                container_name: "abc".into(),
+                model_name: "defg".into(),
+                model_version: 1,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.wire_size(), m.encode(0).len(), "msg {m:?}");
+        }
+    }
+
+    #[test]
+    fn output_label_argmaxes_scores() {
+        assert_eq!(WireOutput::Class(7).label(), 7);
+        assert_eq!(WireOutput::Scores(vec![0.1, 0.7, 0.2]).label(), 1);
+        assert_eq!(WireOutput::Labels(vec![4, 5]).label(), 4);
+        assert_eq!(WireOutput::Labels(vec![]).label(), 0);
+    }
+}

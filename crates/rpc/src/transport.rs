@@ -1,0 +1,97 @@
+//! The batch-transport abstraction.
+//!
+//! Everything the model abstraction layer talks to — TCP container handles,
+//! in-process containers, fault-injection and simulated-network wrappers —
+//! implements [`BatchTransport`]. The trait is object-safe (boxed futures)
+//! so replica sets can mix transport kinds freely.
+
+use crate::error::RpcError;
+use crate::message::PredictReply;
+use std::future::Future;
+use std::pin::Pin;
+
+/// Boxed future alias used by object-safe async traits.
+pub type BoxFuture<T> = Pin<Box<dyn Future<Output = T> + Send>>;
+
+/// A connection to one model container replica.
+pub trait BatchTransport: Send + Sync + 'static {
+    /// Evaluate a batch of feature vectors on the container.
+    ///
+    /// Implementations must preserve input order in the reply and should
+    /// populate [`PredictReply::queue_us`] / [`PredictReply::compute_us`]
+    /// when the information is available.
+    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>>;
+
+    /// Stable identifier for logs/metrics (e.g. `"mnist-svm:0"`).
+    fn id(&self) -> String;
+
+    /// Whether the container is currently believed healthy.
+    fn is_healthy(&self) -> bool {
+        true
+    }
+}
+
+/// A transport that computes predictions with a plain function — the
+/// smallest useful implementation, used by unit tests across the workspace.
+pub struct FnTransport<F> {
+    id: String,
+    f: F,
+}
+
+impl<F> FnTransport<F>
+where
+    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
+{
+    /// Wrap `f` as a transport.
+    pub fn new(id: &str, f: F) -> Self {
+        FnTransport {
+            id: id.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> BatchTransport for FnTransport<F>
+where
+    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
+{
+    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+        let out = (self.f)(inputs);
+        Box::pin(async move { out })
+    }
+
+    fn id(&self) -> String {
+        self.id.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireOutput;
+
+    #[tokio::test]
+    async fn fn_transport_echoes_batch_size() {
+        let t = FnTransport::new("echo", |inputs| {
+            Ok(PredictReply {
+                outputs: inputs.iter().map(|i| WireOutput::Class(i.len() as u32)).collect(),
+                queue_us: 0,
+                compute_us: 1,
+            })
+        });
+        let reply = t.predict_batch(vec![vec![0.0; 3], vec![0.0; 7]]).await.unwrap();
+        assert_eq!(
+            reply.outputs,
+            vec![WireOutput::Class(3), WireOutput::Class(7)]
+        );
+        assert_eq!(t.id(), "echo");
+        assert!(t.is_healthy());
+    }
+
+    #[tokio::test]
+    async fn fn_transport_propagates_errors() {
+        let t = FnTransport::new("bad", |_| Err(RpcError::Remote("kaput".into())));
+        let err = t.predict_batch(vec![]).await.unwrap_err();
+        assert!(matches!(err, RpcError::Remote(_)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Async client for the statestore protocol.
+
+use crate::resp::RespValue;
+use crate::store::CasOutcome;
+use bytes::BytesMut;
+use std::net::SocketAddr;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+use tokio::sync::Mutex;
+
+/// A connection to a [`crate::StateStoreServer`]. Requests are serialized
+/// per connection (clone-free; wrap in `Arc` and share, or open several).
+pub struct StateStoreClient {
+    conn: Mutex<(TcpStream, BytesMut)>,
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Server replied with an error we don't model.
+    Server(String),
+    /// Protocol violation.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl StateStoreClient {
+    /// Connect to a server.
+    pub async fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(StateStoreClient {
+            conn: Mutex::new((stream, BytesMut::with_capacity(4096))),
+        })
+    }
+
+    async fn call(&self, parts: Vec<Vec<u8>>) -> Result<RespValue, ClientError> {
+        let req = RespValue::Array(parts.into_iter().map(RespValue::Bulk).collect());
+        let mut out = BytesMut::new();
+        req.encode(&mut out);
+
+        let mut guard = self.conn.lock().await;
+        let (stream, inbuf) = &mut *guard;
+        stream.write_all(&out).await?;
+        loop {
+            match RespValue::parse(inbuf).map_err(ClientError::Protocol)? {
+                Some(v) => return Ok(v),
+                None => {
+                    let n = stream.read_buf(inbuf).await?;
+                    if n == 0 {
+                        return Err(ClientError::Protocol("server closed".into()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `PING` → server liveness.
+    pub async fn ping(&self) -> Result<(), ClientError> {
+        match self.call(vec![b"PING".to_vec()]).await? {
+            RespValue::Simple(s) if s == "PONG" => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `GET key`.
+    pub async fn get(&self, key: &str) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.call(vec![b"GET".to_vec(), key.into()]).await? {
+            RespValue::Bulk(v) => Ok(Some(v)),
+            RespValue::Null => Ok(None),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `GETV key` → value and version.
+    pub async fn get_versioned(&self, key: &str) -> Result<Option<(Vec<u8>, u64)>, ClientError> {
+        match self.call(vec![b"GETV".to_vec(), key.into()]).await? {
+            RespValue::Array(items) => match items.as_slice() {
+                [RespValue::Bulk(v), RespValue::Integer(ver)] => {
+                    Ok(Some((v.clone(), *ver as u64)))
+                }
+                other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+            },
+            RespValue::Null => Ok(None),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `SET key value` → new version.
+    pub async fn set(&self, key: &str, value: Vec<u8>) -> Result<u64, ClientError> {
+        match self.call(vec![b"SET".to_vec(), key.into(), value]).await? {
+            RespValue::Integer(v) => Ok(v as u64),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `CAS key version value`.
+    pub async fn cas(
+        &self,
+        key: &str,
+        expected_version: u64,
+        value: Vec<u8>,
+    ) -> Result<CasOutcome, ClientError> {
+        let reply = self
+            .call(vec![
+                b"CAS".to_vec(),
+                key.into(),
+                expected_version.to_string().into_bytes(),
+                value,
+            ])
+            .await?;
+        match reply {
+            RespValue::Integer(v) => Ok(CasOutcome::Stored(v as u64)),
+            RespValue::Error(e) if e.starts_with("CONFLICT") => {
+                let ver = e
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ClientError::Protocol(format!("bad conflict: {e}")))?;
+                Ok(CasOutcome::Conflict(ver))
+            }
+            RespValue::Error(e) if e == "MISSING" => Ok(CasOutcome::Missing),
+            RespValue::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `DEL key` → whether it existed.
+    pub async fn del(&self, key: &str) -> Result<bool, ClientError> {
+        match self.call(vec![b"DEL".to_vec(), key.into()]).await? {
+            RespValue::Integer(n) => Ok(n == 1),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// `DBSIZE` → live key count.
+    pub async fn dbsize(&self) -> Result<usize, ClientError> {
+        match self.call(vec![b"DBSIZE".to_vec()]).await? {
+            RespValue::Integer(n) => Ok(n as usize),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::StateStoreServer;
+    use crate::store::StateStore;
+    use std::sync::Arc;
+
+    async fn pair() -> (StateStoreServer, StateStoreClient) {
+        let server = StateStoreServer::bind("127.0.0.1:0", Arc::new(StateStore::new()))
+            .await
+            .unwrap();
+        let client = StateStoreClient::connect(server.local_addr()).await.unwrap();
+        (server, client)
+    }
+
+    #[tokio::test]
+    async fn ping_get_set_roundtrip() {
+        let (_server, client) = pair().await;
+        client.ping().await.unwrap();
+        assert!(client.get("k").await.unwrap().is_none());
+        let v = client.set("k", b"value".to_vec()).await.unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(client.get("k").await.unwrap().unwrap(), b"value");
+        assert_eq!(client.dbsize().await.unwrap(), 1);
+        assert!(client.del("k").await.unwrap());
+    }
+
+    #[tokio::test]
+    async fn cas_over_the_wire() {
+        let (_server, client) = pair().await;
+        let v1 = client.set("s", b"a".to_vec()).await.unwrap();
+        let outcome = client.cas("s", v1, b"b".to_vec()).await.unwrap();
+        assert_eq!(outcome, CasOutcome::Stored(v1 + 1));
+        let stale = client.cas("s", v1, b"c".to_vec()).await.unwrap();
+        assert_eq!(stale, CasOutcome::Conflict(v1 + 1));
+        let missing = client.cas("nope", 1, b"x".to_vec()).await.unwrap();
+        assert_eq!(missing, CasOutcome::Missing);
+    }
+
+    #[tokio::test]
+    async fn get_versioned_over_the_wire() {
+        let (_server, client) = pair().await;
+        client.set("k", b"v1".to_vec()).await.unwrap();
+        client.set("k", b"v2".to_vec()).await.unwrap();
+        let (val, ver) = client.get_versioned("k").await.unwrap().unwrap();
+        assert_eq!(val, b"v2");
+        assert_eq!(ver, 2);
+        assert!(client.get_versioned("absent").await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn many_clients_share_one_server() {
+        let server = StateStoreServer::bind("127.0.0.1:0", Arc::new(StateStore::new()))
+            .await
+            .unwrap();
+        let addr = server.local_addr();
+        let mut tasks = Vec::new();
+        for i in 0..8 {
+            tasks.push(tokio::spawn(async move {
+                let c = StateStoreClient::connect(addr).await.unwrap();
+                c.set(&format!("user:{i}"), vec![i as u8]).await.unwrap();
+                c.get(&format!("user:{i}")).await.unwrap().unwrap()
+            }));
+        }
+        for (i, t) in tasks.into_iter().enumerate() {
+            assert_eq!(t.await.unwrap(), vec![i as u8]);
+        }
+        assert_eq!(server.store().len(), 8);
+    }
+}

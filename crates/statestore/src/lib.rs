@@ -1,0 +1,27 @@
+//! In-memory key-value store — the Redis substitute for Clipper's
+//! contextualized selection state (§5.3).
+//!
+//! The paper keeps per-user/session model-selection state "in an external
+//! database system. In our current implementation we use Redis." This crate
+//! provides the Redis subset Clipper needs, from scratch:
+//!
+//! - [`store::StateStore`]: a sharded, versioned KV map with lazy TTL
+//!   expiry and compare-and-swap (used for read-modify-write of policy
+//!   state under concurrent feedback);
+//! - [`resp`]: a RESP-style wire protocol (arrays of bulk strings in,
+//!   typed replies out) so the store can run as a real network service;
+//! - [`server`] / [`client`]: tokio TCP server and async client.
+//!
+//! Most experiments embed the store in-process via `StateStore` directly;
+//! the `rest_service` example runs it as a separate listener to mirror the
+//! paper's deployment shape.
+
+pub mod client;
+pub mod resp;
+pub mod server;
+pub mod store;
+
+pub use client::StateStoreClient;
+pub use resp::{RespValue, MAX_BULK_LEN};
+pub use server::StateStoreServer;
+pub use store::{CasOutcome, StateStore};

@@ -1,0 +1,245 @@
+//! RESP-style wire protocol (the Redis serialization protocol subset the
+//! store speaks).
+//!
+//! Requests are arrays of bulk strings (`*N\r\n$len\r\n<bytes>\r\n...`);
+//! replies are simple strings (`+OK\r\n`), errors (`-ERR ...\r\n`),
+//! integers (`:42\r\n`), bulk strings (`$5\r\nhello\r\n`), or null
+//! (`$-1\r\n`). This mirrors real Redis closely enough that the protocol
+//! knowledge transfers.
+
+use bytes::{Buf, BytesMut};
+
+/// Maximum accepted bulk-string length (16 MiB) — bounds memory under a
+/// malicious or corrupt peer.
+pub const MAX_BULK_LEN: usize = 16 << 20;
+
+/// A RESP value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+...` simple string.
+    Simple(String),
+    /// `-...` error string.
+    Error(String),
+    /// `:n` integer.
+    Integer(i64),
+    /// `$len` bulk bytes.
+    Bulk(Vec<u8>),
+    /// `$-1` null.
+    Null,
+    /// `*n` array.
+    Array(Vec<RespValue>),
+}
+
+impl RespValue {
+    /// Serialize into `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        match self {
+            RespValue::Simple(s) => {
+                out.extend_from_slice(b"+");
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Error(s) => {
+                out.extend_from_slice(b"-");
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Integer(n) => {
+                out.extend_from_slice(format!(":{n}\r\n").as_bytes());
+            }
+            RespValue::Bulk(b) => {
+                out.extend_from_slice(format!("${}\r\n", b.len()).as_bytes());
+                out.extend_from_slice(b);
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Null => out.extend_from_slice(b"$-1\r\n"),
+            RespValue::Array(items) => {
+                out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Try to parse one complete value from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` if more bytes are needed (buf untouched),
+    /// `Ok(Some(v))` with the bytes consumed, or `Err` on malformed input.
+    pub fn parse(buf: &mut BytesMut) -> Result<Option<RespValue>, String> {
+        let mut cursor = Cursor {
+            data: buf.as_ref(),
+            pos: 0,
+        };
+        match parse_value(&mut cursor) {
+            Ok(v) => {
+                let consumed = cursor.pos;
+                buf.advance(consumed);
+                Ok(Some(v))
+            }
+            Err(ParseOutcome::Incomplete) => Ok(None),
+            Err(ParseOutcome::Bad(e)) => Err(e),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+enum ParseOutcome {
+    Incomplete,
+    Bad(String),
+}
+
+fn read_line<'a>(c: &mut Cursor<'a>) -> Result<&'a [u8], ParseOutcome> {
+    let rest = &c.data[c.pos..];
+    match rest.windows(2).position(|w| w == b"\r\n") {
+        Some(i) => {
+            let line = &rest[..i];
+            c.pos += i + 2;
+            Ok(line)
+        }
+        None => Err(ParseOutcome::Incomplete),
+    }
+}
+
+fn parse_int(line: &[u8]) -> Result<i64, ParseOutcome> {
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseOutcome::Bad(format!("bad integer {line:?}")))
+}
+
+fn parse_value(c: &mut Cursor<'_>) -> Result<RespValue, ParseOutcome> {
+    if c.pos >= c.data.len() {
+        return Err(ParseOutcome::Incomplete);
+    }
+    let tag = c.data[c.pos];
+    c.pos += 1;
+    match tag {
+        b'+' => {
+            let line = read_line(c)?;
+            Ok(RespValue::Simple(
+                String::from_utf8_lossy(line).into_owned(),
+            ))
+        }
+        b'-' => {
+            let line = read_line(c)?;
+            Ok(RespValue::Error(String::from_utf8_lossy(line).into_owned()))
+        }
+        b':' => {
+            let line = read_line(c)?;
+            Ok(RespValue::Integer(parse_int(line)?))
+        }
+        b'$' => {
+            let line = read_line(c)?;
+            let len = parse_int(line)?;
+            if len < 0 {
+                return Ok(RespValue::Null);
+            }
+            let len = len as usize;
+            if len > MAX_BULK_LEN {
+                return Err(ParseOutcome::Bad(format!("bulk too large: {len}")));
+            }
+            if c.data.len() - c.pos < len + 2 {
+                return Err(ParseOutcome::Incomplete);
+            }
+            let body = c.data[c.pos..c.pos + len].to_vec();
+            if &c.data[c.pos + len..c.pos + len + 2] != b"\r\n" {
+                return Err(ParseOutcome::Bad("bulk missing CRLF".into()));
+            }
+            c.pos += len + 2;
+            Ok(RespValue::Bulk(body))
+        }
+        b'*' => {
+            let line = read_line(c)?;
+            let n = parse_int(line)?;
+            if n < 0 {
+                return Ok(RespValue::Null);
+            }
+            if n as usize > 1 << 16 {
+                return Err(ParseOutcome::Bad(format!("array too large: {n}")));
+            }
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(parse_value(c)?);
+            }
+            Ok(RespValue::Array(items))
+        }
+        t => Err(ParseOutcome::Bad(format!("unknown RESP tag {t:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: RespValue) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let parsed = RespValue::parse(&mut buf).unwrap().unwrap();
+        assert_eq!(parsed, v);
+        assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(RespValue::Simple("OK".into()));
+        roundtrip(RespValue::Error("ERR nope".into()));
+        roundtrip(RespValue::Integer(-7));
+        roundtrip(RespValue::Bulk(b"hello\r\nworld".to_vec()));
+        roundtrip(RespValue::Null);
+        roundtrip(RespValue::Array(vec![
+            RespValue::Bulk(b"GET".to_vec()),
+            RespValue::Bulk(b"key".to_vec()),
+        ]));
+    }
+
+    #[test]
+    fn partial_input_returns_none_and_preserves_buffer() {
+        let mut buf = BytesMut::new();
+        RespValue::Bulk(b"hello".to_vec()).encode(&mut buf);
+        let full = buf.clone();
+        let mut partial = BytesMut::from(&full[..4]);
+        assert!(RespValue::parse(&mut partial).unwrap().is_none());
+        assert_eq!(&partial[..], &full[..4], "buffer untouched on incomplete");
+    }
+
+    #[test]
+    fn pipelined_values_parse_in_order() {
+        let mut buf = BytesMut::new();
+        RespValue::Integer(1).encode(&mut buf);
+        RespValue::Integer(2).encode(&mut buf);
+        assert_eq!(
+            RespValue::parse(&mut buf).unwrap().unwrap(),
+            RespValue::Integer(1)
+        );
+        assert_eq!(
+            RespValue::parse(&mut buf).unwrap().unwrap(),
+            RespValue::Integer(2)
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn malformed_tag_is_error() {
+        let mut buf = BytesMut::from(&b"!bogus\r\n"[..]);
+        assert!(RespValue::parse(&mut buf).is_err());
+    }
+
+    #[test]
+    fn oversized_bulk_rejected() {
+        let mut buf = BytesMut::from(format!("${}\r\n", MAX_BULK_LEN + 1).as_bytes());
+        assert!(RespValue::parse(&mut buf).is_err());
+    }
+
+    #[test]
+    fn nested_arrays_roundtrip() {
+        roundtrip(RespValue::Array(vec![
+            RespValue::Array(vec![RespValue::Integer(1)]),
+            RespValue::Null,
+        ]));
+    }
+}

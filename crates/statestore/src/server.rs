@@ -1,0 +1,215 @@
+//! TCP server exposing a [`StateStore`] over the RESP protocol.
+//!
+//! Supported commands (case-insensitive):
+//! `PING`, `GET k`, `SET k v`, `SETNX k v`, `DEL k`, `EXPIRE k ms`,
+//! `CAS k version v`, `GETV k` (returns `[value, version]`), `DBSIZE`.
+
+use crate::resp::RespValue;
+use crate::store::{CasOutcome, StateStore};
+use bytes::BytesMut;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// A running statestore listener.
+pub struct StateStoreServer {
+    local_addr: SocketAddr,
+    store: Arc<StateStore>,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl StateStoreServer {
+    /// Bind to `addr` and serve `store` in the background.
+    pub async fn bind(addr: &str, store: Arc<StateStore>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let s = store.clone();
+        let accept_task = tokio::spawn(async move {
+            loop {
+                match listener.accept().await {
+                    Ok((conn, _)) => {
+                        let store = s.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_conn(conn, store).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(StateStoreServer {
+            local_addr,
+            store,
+            accept_task,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Direct handle to the underlying store (in-process access).
+    pub fn store(&self) -> Arc<StateStore> {
+        self.store.clone()
+    }
+}
+
+impl Drop for StateStoreServer {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+async fn serve_conn(mut conn: TcpStream, store: Arc<StateStore>) -> std::io::Result<()> {
+    conn.set_nodelay(true)?;
+    let mut inbuf = BytesMut::with_capacity(4096);
+    let mut outbuf = BytesMut::with_capacity(4096);
+    loop {
+        // Drain every complete pipelined request already buffered.
+        loop {
+            match RespValue::parse(&mut inbuf) {
+                Ok(Some(req)) => {
+                    let reply = execute(&store, req);
+                    reply.encode(&mut outbuf);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    RespValue::Error(format!("ERR protocol: {e}")).encode(&mut outbuf);
+                    conn.write_all(&outbuf).await?;
+                    return Ok(()); // drop connection on protocol error
+                }
+            }
+        }
+        if !outbuf.is_empty() {
+            conn.write_all(&outbuf).await?;
+            outbuf.clear();
+        }
+        let n = conn.read_buf(&mut inbuf).await?;
+        if n == 0 {
+            return Ok(());
+        }
+    }
+}
+
+fn execute(store: &StateStore, req: RespValue) -> RespValue {
+    let parts = match req {
+        RespValue::Array(items) => items,
+        _ => return RespValue::Error("ERR expected array request".into()),
+    };
+    let mut args: Vec<Vec<u8>> = Vec::with_capacity(parts.len());
+    for p in parts {
+        match p {
+            RespValue::Bulk(b) => args.push(b),
+            RespValue::Simple(s) => args.push(s.into_bytes()),
+            _ => return RespValue::Error("ERR arguments must be bulk strings".into()),
+        }
+    }
+    if args.is_empty() {
+        return RespValue::Error("ERR empty command".into());
+    }
+    let cmd = String::from_utf8_lossy(&args[0]).to_uppercase();
+    let key = |i: usize| String::from_utf8_lossy(&args[i]).into_owned();
+
+    match (cmd.as_str(), args.len()) {
+        ("PING", 1) => RespValue::Simple("PONG".into()),
+        ("GET", 2) => match store.get(&key(1)) {
+            Some(v) => RespValue::Bulk(v),
+            None => RespValue::Null,
+        },
+        ("GETV", 2) => match store.get_versioned(&key(1)) {
+            Some((v, ver)) => RespValue::Array(vec![
+                RespValue::Bulk(v),
+                RespValue::Integer(ver as i64),
+            ]),
+            None => RespValue::Null,
+        },
+        ("SET", 3) => {
+            let ver = store.set(&key(1), args[2].clone());
+            RespValue::Integer(ver as i64)
+        }
+        ("SETNX", 3) => {
+            let stored = store.set_nx(&key(1), args[2].clone());
+            RespValue::Integer(stored as i64)
+        }
+        ("DEL", 2) => RespValue::Integer(store.del(&key(1)) as i64),
+        ("EXPIRE", 3) => {
+            let ms: u64 = match String::from_utf8_lossy(&args[2]).parse() {
+                Ok(v) => v,
+                Err(_) => return RespValue::Error("ERR EXPIRE wants integer ms".into()),
+            };
+            RespValue::Integer(store.expire(&key(1), Duration::from_millis(ms)) as i64)
+        }
+        ("CAS", 4) => {
+            let ver: u64 = match String::from_utf8_lossy(&args[2]).parse() {
+                Ok(v) => v,
+                Err(_) => return RespValue::Error("ERR CAS wants integer version".into()),
+            };
+            match store.cas(&key(1), ver, args[3].clone()) {
+                CasOutcome::Stored(v) => RespValue::Integer(v as i64),
+                CasOutcome::Conflict(v) => RespValue::Error(format!("CONFLICT {v}")),
+                CasOutcome::Missing => RespValue::Error("MISSING".into()),
+            }
+        }
+        ("DBSIZE", 1) => RespValue::Integer(store.len() as i64),
+        _ => RespValue::Error(format!("ERR unknown command {cmd}/{}", args.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_handles_all_commands() {
+        let store = StateStore::new();
+        let cmd = |parts: &[&[u8]]| {
+            RespValue::Array(parts.iter().map(|p| RespValue::Bulk(p.to_vec())).collect())
+        };
+        assert_eq!(
+            execute(&store, cmd(&[b"PING"])),
+            RespValue::Simple("PONG".into())
+        );
+        assert_eq!(execute(&store, cmd(&[b"GET", b"k"])), RespValue::Null);
+        assert_eq!(
+            execute(&store, cmd(&[b"SET", b"k", b"v"])),
+            RespValue::Integer(1)
+        );
+        assert_eq!(
+            execute(&store, cmd(&[b"GET", b"k"])),
+            RespValue::Bulk(b"v".to_vec())
+        );
+        assert_eq!(
+            execute(&store, cmd(&[b"SETNX", b"k", b"w"])),
+            RespValue::Integer(0)
+        );
+        assert_eq!(
+            execute(&store, cmd(&[b"CAS", b"k", b"1", b"w"])),
+            RespValue::Integer(2)
+        );
+        assert!(matches!(
+            execute(&store, cmd(&[b"CAS", b"k", b"1", b"x"])),
+            RespValue::Error(_)
+        ));
+        assert_eq!(execute(&store, cmd(&[b"DBSIZE"])), RespValue::Integer(1));
+        assert_eq!(
+            execute(&store, cmd(&[b"DEL", b"k"])),
+            RespValue::Integer(1)
+        );
+        assert!(matches!(
+            execute(&store, cmd(&[b"BOGUS"])),
+            RespValue::Error(_)
+        ));
+    }
+
+    #[test]
+    fn non_array_request_rejected() {
+        let store = StateStore::new();
+        assert!(matches!(
+            execute(&store, RespValue::Integer(5)),
+            RespValue::Error(_)
+        ));
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generation, simulated networks, and experiment reporting.
+//!
+//! The paper's evaluation machinery, rebuilt:
+//!
+//! - [`arrivals`]: arrival processes — closed-loop clients, open-loop
+//!   Poisson, and bursty on/off streams (§4.3.2's "moderate or bursty
+//!   loads");
+//! - [`driver`]: load drivers that apply an arrival process to any async
+//!   request function and collect a [`driver::LoadReport`] (throughput,
+//!   latency distribution, errors);
+//! - [`simlink`]: bandwidth/latency-simulated network links for the
+//!   Figure-6 cluster-scaling study (1 Gbps vs 10 Gbps);
+//! - [`report`]: aligned text tables matching the rows/series the paper's
+//!   figures report.
+
+pub mod arrivals;
+pub mod driver;
+pub mod report;
+pub mod simlink;
+
+pub use arrivals::ArrivalProcess;
+pub use driver::{run_closed_loop, run_open_loop, LoadReport};
+pub use report::Table;
+pub use simlink::SimLink;

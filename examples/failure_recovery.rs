@@ -1,0 +1,139 @@
+//! Model failure and automatic recovery (the Figure-8 scenario, live).
+//!
+//! Five models serve an object-recognition app; the best one silently
+//! starts mispredicting (feature corruption), and the Exp3 policy reroutes
+//! traffic away within a few hundred feedback observations — no human, no
+//! redeploy. When the model heals, traffic drifts back.
+//!
+//! ```sh
+//! cargo run --release --example failure_recovery
+//! ```
+
+use clipper::containers::{
+    ContainerConfig, ContainerLogic, LocalContainerTransport, ModelContainer, TimingModel,
+};
+use clipper::core::{AppConfig, Clipper, Feedback, ModelId, PolicyKind};
+use clipper::ml::datasets::DatasetSpec;
+use clipper::ml::models::{LinearSvm, LinearSvmConfig, Model};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A model wrapper whose accuracy can be sabotaged at runtime.
+struct Degradable {
+    inner: LinearSvm,
+    broken: Arc<RwLock<bool>>,
+}
+
+impl Model for Degradable {
+    fn name(&self) -> &str {
+        "degradable"
+    }
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let mut s = self.inner.scores(x);
+        if *self.broken.read() {
+            // Silent failure: rotate the scores so the argmax is wrong.
+            s.rotate_right(1);
+        }
+        s
+    }
+}
+
+#[tokio::main]
+async fn main() {
+    println!("== Silent model failure and recovery ==\n");
+
+    // Hard enough that under-trained models are visibly worse, and a big
+    // test split so each phase serves *fresh* queries (cached predictions
+    // from the healthy era must not mask the failure).
+    let dataset = DatasetSpec::mnist_like()
+        .with_train_size(800)
+        .with_test_size(2_400)
+        .with_difficulty(0.3)
+        .generate(17);
+
+    let clipper = Clipper::builder().build();
+    let broken = Arc::new(RwLock::new(false));
+    let mut ids = Vec::new();
+
+    // Models 0..3: much weaker than model-4 (trained on slivers of data,
+    // like the staggered-accuracy CIFAR models in Figure 8), so the
+    // recovery dynamics are visible.
+    for (i, frac) in [0.025f64, 0.02, 0.015, 0.012].iter().enumerate() {
+        let n = (dataset.train.len() as f64 * frac) as usize;
+        let mut sub = dataset.clone();
+        sub.train.truncate(n.max(20));
+        let model = Arc::new(LinearSvm::train(&sub, &LinearSvmConfig::default(), i as u64));
+        let id = ModelId::new(&format!("model-{i}"), 1);
+        deploy(&clipper, &id, ContainerLogic::Classifier(model));
+        ids.push(id);
+    }
+    // Model 4: the best model — full data, but degradable.
+    let best = Arc::new(Degradable {
+        inner: LinearSvm::train(&dataset, &LinearSvmConfig::default(), 99),
+        broken: broken.clone(),
+    });
+    let best_id = ModelId::new("model-4", 1);
+    deploy(&clipper, &best_id, ContainerLogic::Classifier(best));
+    ids.push(best_id.clone());
+
+    clipper.register_app(
+        AppConfig::new("vision", ids)
+            .with_policy(PolicyKind::Exp3 { eta: 1.0 })
+            .with_slo(Duration::from_millis(50)),
+    );
+
+    // Each phase consumes a fresh slice of the test set — real serving
+    // traffic doesn't repeat, and stale cache entries must not hide the
+    // failure.
+    let phase = |name: &'static str, range: std::ops::Range<usize>, clipper: Clipper, dataset: clipper::ml::datasets::Dataset| async move {
+        let mut wrong = 0usize;
+        let total = range.len();
+        for i in range {
+            let ex = &dataset.test[i];
+            let input = Arc::new(ex.x.clone());
+            let p = clipper.predict("vision", None, input.clone()).await.unwrap();
+            if p.output.label() != ex.y {
+                wrong += 1;
+            }
+            clipper
+                .feedback("vision", None, input, Feedback::class(ex.y))
+                .await
+                .unwrap();
+        }
+        let state = clipper.policy_state("vision", None).unwrap();
+        let p4 = state.probabilities()[4];
+        println!(
+            "{name:<22} error {:>5.1}%   P(model-4) = {p4:.2}",
+            100.0 * wrong as f64 / total as f64
+        );
+    };
+
+    phase("healthy (warmup)", 0..600, clipper.clone(), dataset.clone()).await;
+    *broken.write() = true;
+    println!("--- model-4 silently degrades ---");
+    phase("degraded", 600..1200, clipper.clone(), dataset.clone()).await;
+    *broken.write() = false;
+    println!("--- model-4 recovers ---");
+    phase("recovered", 1200..2400, clipper.clone(), dataset.clone()).await;
+
+    println!("\nExp3 shifted traffic off the failing model and back, from feedback alone.");
+}
+
+fn deploy(clipper: &Clipper, id: &ModelId, logic: ContainerLogic) {
+    clipper.add_model(id.clone(), Default::default());
+    let container = ModelContainer::new(ContainerConfig {
+        name: format!("{}:0", id.name),
+        model_name: id.name.clone(),
+        model_version: 1,
+        logic,
+        timing: TimingModel::Measured,
+        seed: 5,
+    });
+    clipper
+        .add_replica(id, LocalContainerTransport::new(container))
+        .expect("replica");
+}

@@ -1,0 +1,139 @@
+//! Image classification with ensembles and robust confidence (§5.2).
+//!
+//! Five models of varying quality serve a CIFAR-shaped object-recognition
+//! app. The Exp4 policy combines them; queries where the ensemble
+//! disagrees fall back to a default action instead of guessing — the
+//! paper's "robust predictions" pattern (Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example image_classification
+//! ```
+
+use clipper::containers::{
+    ContainerConfig, ContainerLogic, LocalContainerTransport, ModelContainer, TimingModel,
+};
+use clipper::core::{AppConfig, Clipper, Feedback, ModelId, Output, PolicyKind};
+use clipper::ml::datasets::DatasetSpec;
+use clipper::ml::models::{
+    DecisionTree, DecisionTreeConfig, LinearSvm, LinearSvmConfig, LogisticRegression,
+    LogisticRegressionConfig, Mlp, MlpConfig, Model, RandomForest, RandomForestConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    println!("== Image classification with a learned ensemble ==\n");
+
+    let dataset = DatasetSpec::cifar_like()
+        .with_train_size(500)
+        .with_test_size(300)
+        .with_difficulty(0.25)
+        .generate(7);
+
+    // Five heterogeneous models, as in Table 2 — deliberately spanning a
+    // range of accuracies.
+    let models: Vec<(&str, Arc<dyn Model>)> = vec![
+        (
+            "mlp",
+            Arc::new(Mlp::train(&dataset, &MlpConfig::default(), 1)),
+        ),
+        (
+            "logreg",
+            Arc::new(LogisticRegression::train(
+                &dataset,
+                &LogisticRegressionConfig::default(),
+                2,
+            )),
+        ),
+        (
+            "linear-svm",
+            Arc::new(LinearSvm::train(&dataset, &LinearSvmConfig::default(), 3)),
+        ),
+        (
+            "random-forest",
+            Arc::new(RandomForest::train(
+                &dataset,
+                &RandomForestConfig {
+                    num_trees: 8,
+                    ..Default::default()
+                },
+                4,
+            )),
+        ),
+        (
+            "tree",
+            Arc::new(DecisionTree::train(&dataset, &DecisionTreeConfig::default(), 5)),
+        ),
+    ];
+
+    let clipper = Clipper::builder().build();
+    let mut ids = Vec::new();
+    println!("individual model accuracy on holdout:");
+    for (name, model) in models {
+        let acc = clipper::ml::eval::accuracy(model.as_ref(), &dataset.test);
+        println!("  {name:<14} {:.1}%", acc * 100.0);
+        let id = ModelId::new(name, 1);
+        clipper.add_model(id.clone(), Default::default());
+        let container = ModelContainer::new(ContainerConfig {
+            name: format!("{name}:0"),
+            model_name: name.to_string(),
+            model_version: 1,
+            logic: ContainerLogic::Classifier(model),
+            timing: TimingModel::Measured,
+            seed: 11,
+        });
+        clipper
+            .add_replica(&id, LocalContainerTransport::new(container))
+            .expect("replica");
+        ids.push(id);
+    }
+
+    clipper.register_app(
+        AppConfig::new("vision", ids)
+            .with_policy(PolicyKind::Exp4 { eta: 0.3 })
+            .with_slo(Duration::from_millis(50))
+            .with_default_output(Output::Class(u32::MAX)), // sentinel default action
+    );
+
+    // Serve with feedback; split results by confidence (4/5-agree style).
+    let threshold = 0.8;
+    let (mut conf_total, mut conf_correct) = (0u32, 0u32);
+    let (mut unsure_total, mut unsure_correct) = (0u32, 0u32);
+    let mut defaults = 0u32;
+    for example in &dataset.test {
+        let input = Arc::new(example.x.clone());
+        let p = clipper.predict("vision", None, input.clone()).await.unwrap();
+        let right = p.output.label() == example.y;
+        if p.output == Output::Class(u32::MAX) {
+            defaults += 1;
+        } else if p.is_confident(threshold) {
+            conf_total += 1;
+            conf_correct += right as u32;
+        } else {
+            unsure_total += 1;
+            unsure_correct += right as u32;
+        }
+        clipper
+            .feedback("vision", None, input, Feedback::class(example.y))
+            .await
+            .unwrap();
+    }
+
+    println!("\nensemble with confidence threshold {threshold}:");
+    println!(
+        "  confident: {conf_total} queries, {:.1}% correct",
+        100.0 * conf_correct as f64 / conf_total.max(1) as f64
+    );
+    println!(
+        "  unsure:    {unsure_total} queries, {:.1}% correct (app takes default action)",
+        100.0 * unsure_correct as f64 / unsure_total.max(1) as f64
+    );
+    println!("  defaulted: {defaults} queries (no model answered in time)");
+
+    let state = clipper.policy_state("vision", None).unwrap();
+    println!("\nlearned Exp4 weights after feedback:");
+    for (m, p) in state.models.iter().zip(state.probabilities()) {
+        println!("  {:<14} {:.3}", m.name, p);
+    }
+}

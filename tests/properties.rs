@@ -1,0 +1,245 @@
+//! Property-based tests on the core data structures and invariants.
+
+use clipper::core::batching::{AimdController, BatchController, QuantileController};
+use clipper::core::cache::PredictionCache;
+use clipper::core::selection::{weighted_combine, PolicyState, SelectionPolicy};
+use clipper::core::{Exp3Policy, Exp4Policy, Feedback, ModelId, Output};
+use clipper::metrics::Histogram;
+use clipper::rpc::message::{Message, PredictReply, WireOutput};
+use clipper::statestore::{CasOutcome, StateStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arb_output() -> impl Strategy<Value = WireOutput> {
+    prop_oneof![
+        any::<u32>().prop_map(WireOutput::Class),
+        proptest::collection::vec(-1e3f32..1e3, 0..20).prop_map(WireOutput::Scores),
+        proptest::collection::vec(any::<u32>(), 0..30).prop_map(WireOutput::Labels),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Heartbeat),
+        Just(Message::HeartbeatAck),
+        Just(Message::RegisterAck),
+        Just(Message::Shutdown),
+        ("[a-z]{1,12}", "[a-z]{1,12}", any::<u32>()).prop_map(|(c, m, v)| Message::Register {
+            container_name: c,
+            model_name: m,
+            model_version: v,
+        }),
+        ".*".prop_map(|message| Message::Error { message }),
+        proptest::collection::vec(
+            proptest::collection::vec(-1e6f32..1e6, 0..50),
+            0..10
+        )
+        .prop_map(|inputs| Message::PredictRequest { inputs }),
+        (
+            proptest::collection::vec(arb_output(), 0..10),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(outputs, queue_us, compute_us)| {
+                Message::PredictResponse(PredictReply {
+                    outputs,
+                    queue_us,
+                    compute_us,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any message survives an encode/decode round trip, and the declared
+    /// wire size matches the actual encoding.
+    #[test]
+    fn rpc_codec_roundtrips(msg in arb_message(), id in any::<u64>()) {
+        let frame = msg.encode(id);
+        prop_assert_eq!(msg.wire_size(), frame.len());
+        let mut b = bytes::Bytes::copy_from_slice(&frame);
+        use bytes::Buf;
+        prop_assert_eq!(b.get_u32_le(), clipper::rpc::message::MAGIC);
+        let _version = b.get_u8();
+        let msg_type = b.get_u8();
+        prop_assert_eq!(b.get_u64_le(), id);
+        let len = b.get_u32_le() as usize;
+        prop_assert_eq!(b.remaining(), len);
+        let decoded = Message::decode(msg_type, b).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The codec never panics on arbitrary payload bytes — it either
+    /// parses or reports a protocol error.
+    #[test]
+    fn rpc_decode_never_panics(msg_type in 0u8..12, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(msg_type, bytes::Bytes::from(payload));
+    }
+
+    /// The cache never stores more than its capacity, and a fill is always
+    /// observable until evicted.
+    #[test]
+    fn cache_respects_capacity(capacity in 1usize..32, keys in proptest::collection::vec(0u32..64, 1..128)) {
+        let cache = PredictionCache::new(capacity);
+        let model = ModelId::new("m", 1);
+        for &k in &keys {
+            let input = Arc::new(vec![k as f32]);
+            cache.fill(&model, &input, Ok(Output::Class(k)));
+            prop_assert!(cache.len() <= capacity);
+            // The just-filled key is immediately fetchable with its value.
+            prop_assert_eq!(cache.fetch(&model, &input), Some(Output::Class(k)));
+        }
+    }
+
+    /// AIMD stays within [1, cap] under arbitrary latency feedback and
+    /// never gets stuck at 0.
+    #[test]
+    fn aimd_stays_bounded(latencies in proptest::collection::vec(0u64..200_000, 1..300), cap in 1usize..2000) {
+        let mut c = AimdController::new(Duration::from_millis(20), 2.0, 0.9, cap);
+        for lat in latencies {
+            let b = c.max_batch();
+            prop_assert!(b >= 1 && b <= cap, "batch {b} out of [1,{cap}]");
+            c.record(b, Duration::from_micros(lat));
+        }
+        prop_assert!(c.max_batch() >= 1);
+    }
+
+    /// The quantile controller also stays within bounds on arbitrary data.
+    #[test]
+    fn quantile_stays_bounded(latencies in proptest::collection::vec(0u64..200_000, 1..300)) {
+        let mut c = QuantileController::new(Duration::from_millis(20), 1024);
+        for lat in latencies {
+            let b = c.max_batch();
+            prop_assert!(b >= 1 && b <= 1024);
+            c.record(b, Duration::from_micros(lat));
+        }
+    }
+
+    /// Histogram quantiles are ordered and bracketed by min/max.
+    #[test]
+    fn histogram_quantiles_are_ordered(values in proptest::collection::vec(0u64..10_000_000, 1..500)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert!(s.min() <= s.p50());
+        prop_assert!(s.p50() <= s.p95());
+        prop_assert!(s.p95() <= s.p99());
+        prop_assert!(s.p99() <= s.max());
+        prop_assert_eq!(s.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(s.min(), *values.iter().min().unwrap());
+    }
+
+    /// Exp3/Exp4 state stays a probability distribution (finite, positive,
+    /// sums to 1) no matter what feedback arrives.
+    #[test]
+    fn policy_state_stays_normalizable(
+        outcomes in proptest::collection::vec((0u32..4, 0u32..4, any::<bool>()), 1..200),
+        eta in 0.01f64..3.0,
+    ) {
+        let ids: Vec<ModelId> = (0..4).map(|i| ModelId::new(&format!("m{i}"), 1)).collect();
+        let exp3 = Exp3Policy::new(eta);
+        let exp4 = Exp4Policy::new(eta);
+        let mut s3 = exp3.init(&ids, 1);
+        let mut s4 = exp4.init(&ids, 1);
+        for (i, (pred, truth, _)) in outcomes.iter().enumerate() {
+            let input: clipper::core::Input = Arc::new(vec![i as f32]);
+            let mut preds = HashMap::new();
+            for id in &ids {
+                preds.insert(id.clone(), Output::Class(*pred));
+            }
+            let fb = Feedback::class(*truth);
+            exp3.observe(&mut s3, &input, &fb, &preds);
+            exp4.observe(&mut s4, &input, &fb, &preds);
+            for s in [&s3, &s4] {
+                let probs = s.probabilities();
+                let sum: f64 = probs.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+                prop_assert!(probs.iter().all(|p| p.is_finite() && *p >= 0.0));
+            }
+        }
+    }
+
+    /// Weighted combine always returns a label some present model voted
+    /// for, and confidence in [0, 1].
+    #[test]
+    fn combine_picks_a_voted_label(labels in proptest::collection::vec(0u32..6, 1..6)) {
+        let ids: Vec<ModelId> = (0..labels.len()).map(|i| ModelId::new(&format!("m{i}"), 1)).collect();
+        let state = PolicyState::uniform(&ids, 0);
+        let mut preds = HashMap::new();
+        for (id, &l) in ids.iter().zip(labels.iter()) {
+            preds.insert(id.clone(), Output::Class(l));
+        }
+        let (out, conf) = weighted_combine(&state, &preds).unwrap();
+        prop_assert!(labels.contains(&out.label()));
+        prop_assert!((0.0..=1.0).contains(&conf));
+        // Majority always yields confidence ≥ 1/n.
+        prop_assert!(conf >= 1.0 / labels.len() as f64 - 1e-9);
+    }
+
+    /// Statestore versions increase monotonically and CAS only succeeds on
+    /// the exact current version.
+    #[test]
+    fn statestore_cas_is_linearizable_per_key(ops in proptest::collection::vec((0u8..3, 0u8..4), 1..100)) {
+        let store = StateStore::new();
+        let mut shadow: HashMap<String, (Vec<u8>, u64)> = HashMap::new();
+        for (op, key_id) in ops {
+            let key = format!("k{key_id}");
+            match op {
+                0 => {
+                    let v = store.set(&key, vec![op]);
+                    if let Some((_, old)) = shadow.get(&key) {
+                        prop_assert!(v > *old);
+                    }
+                    shadow.insert(key.clone(), (vec![op], v));
+                }
+                1 => {
+                    let got = store.get_versioned(&key);
+                    let want = shadow.get(&key).cloned();
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    if let Some((_, ver)) = shadow.get(&key).cloned() {
+                        match store.cas(&key, ver, b"cas".to_vec()) {
+                            CasOutcome::Stored(nv) => {
+                                prop_assert_eq!(nv, ver + 1);
+                                shadow.insert(key.clone(), (b"cas".to_vec(), nv));
+                            }
+                            other => prop_assert!(false, "cas failed: {other:?}"),
+                        }
+                        // Stale CAS must now conflict.
+                        prop_assert!(matches!(
+                            store.cas(&key, ver, b"stale".to_vec()),
+                            CasOutcome::Conflict(_)
+                        ));
+                    } else {
+                        prop_assert_eq!(store.cas(&key, 1, b"x".to_vec()), CasOutcome::Missing);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dataset generation is deterministic and labels stay in range for
+    /// arbitrary spec shapes.
+    #[test]
+    fn dataset_generator_is_sound(classes in 2usize..20, features in 4usize..64, n in 1usize..100, seed in any::<u64>()) {
+        let mut spec = clipper::ml::datasets::DatasetSpec::speech_like();
+        spec.num_classes = classes;
+        spec.num_features = features;
+        let ds = spec.with_train_size(n).with_test_size(n).generate(seed);
+        let ds2 = ds.spec.generate(seed);
+        prop_assert_eq!(ds.train.len(), n);
+        for (a, b) in ds.train.iter().zip(ds2.train.iter()) {
+            prop_assert_eq!(&a.x, &b.x);
+            prop_assert!((a.y as usize) < classes);
+            prop_assert_eq!(a.x.len(), features);
+        }
+    }
+}
