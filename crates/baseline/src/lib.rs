@@ -293,9 +293,7 @@ mod tests {
         let mut tasks = Vec::new();
         for i in 0..32 {
             let s = s.clone();
-            tasks.push(tokio::spawn(
-                async move { s.predict(vec![i as f32]).await },
-            ));
+            tasks.push(tokio::spawn(async move { s.predict(vec![i as f32]).await }));
         }
         for t in tasks {
             if t.await.unwrap().is_err() {

@@ -73,6 +73,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nexpected: small η adapts slowly (high adaptation-window error); large η adapts fast but");
-    println!("holds weaker pre-failure commitment to the best arm. The paper's regime is the middle.");
+    println!(
+        "\nexpected: small η adapts slowly (high adaptation-window error); large η adapts fast but"
+    );
+    println!(
+        "holds weaker pre-failure commitment to the best arm. The paper's regime is the middle."
+    );
 }

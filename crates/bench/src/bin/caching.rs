@@ -25,7 +25,12 @@ fn build_stack(cache_capacity: usize, enabled: bool) -> Clipper {
     }
     let clipper = builder.build();
     let mut ids = Vec::new();
-    for name in ["random-forest", "logreg", "linear-svm-sk", "linear-svm-spark"] {
+    for name in [
+        "random-forest",
+        "logreg",
+        "linear-svm-sk",
+        "linear-svm-spark",
+    ] {
         let id = ModelId::new(name, 1);
         clipper.add_model(id.clone(), BatchConfig::default());
         let container = ModelContainer::new(ContainerConfig {

@@ -13,11 +13,47 @@ fn main() {
             .with_test_size(400)
             .with_difficulty(difficulty)
             .generate(11);
-        let svm = LinearSvm::train(&ds, &LinearSvmConfig { epochs: 3, ..Default::default() }, 3);
-        let lr = LogisticRegression::train(&ds, &LogisticRegressionConfig { epochs: 3, ..Default::default() }, 2);
-        let mlp = Mlp::train(&ds, &MlpConfig { hidden: vec![48], epochs: 4, lr: 0.08 }, 1);
-        let rf = RandomForest::train(&ds, &RandomForestConfig { num_trees: 12, ..Default::default() }, 4);
-        let knn = Knn::train(&ds, &KnnConfig { k: 5, max_references: 1_000 }, 5);
+        let svm = LinearSvm::train(
+            &ds,
+            &LinearSvmConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            3,
+        );
+        let lr = LogisticRegression::train(
+            &ds,
+            &LogisticRegressionConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            2,
+        );
+        let mlp = Mlp::train(
+            &ds,
+            &MlpConfig {
+                hidden: vec![48],
+                epochs: 4,
+                lr: 0.08,
+            },
+            1,
+        );
+        let rf = RandomForest::train(
+            &ds,
+            &RandomForestConfig {
+                num_trees: 12,
+                ..Default::default()
+            },
+            4,
+        );
+        let knn = Knn::train(
+            &ds,
+            &KnnConfig {
+                k: 5,
+                max_references: 1_000,
+            },
+            5,
+        );
         println!(
             "  d={difficulty}: svm={:.3} lr={:.3} mlp={:.3} rf={:.3} knn={:.3}",
             1.0 - accuracy(&svm, &ds.test),
@@ -36,8 +72,18 @@ fn main() {
             .with_test_size(300)
             .with_difficulty(difficulty)
             .generate(13);
-        let m = LogisticRegression::train(&ds, &LogisticRegressionConfig { epochs: 2, ..Default::default() }, 3);
-        println!("  d={difficulty}: top5 err={:.3}", 1.0 - top_k_accuracy(&m, &ds.test, 5));
+        let m = LogisticRegression::train(
+            &ds,
+            &LogisticRegressionConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            3,
+        );
+        println!(
+            "  d={difficulty}: top5 err={:.3}",
+            1.0 - top_k_accuracy(&m, &ds.test, 5)
+        );
     }
     println!("mnist-like: linear svm err (fig8 staggering)");
     for difficulty in [0.2f32, 0.3] {
@@ -48,7 +94,10 @@ fn main() {
                 .with_difficulty(difficulty)
                 .generate(31);
             let m = LinearSvm::train(&ds, &LinearSvmConfig::default(), 3);
-            println!("  d={difficulty} n={train}: err={:.3}", 1.0 - accuracy(&m, &ds.test));
+            println!(
+                "  d={difficulty} n={train}: err={:.3}",
+                1.0 - accuracy(&m, &ds.test)
+            );
         }
     }
     println!("mnist-like single trees (fig9): err by difficulty");
@@ -58,8 +107,23 @@ fn main() {
             .with_test_size(400)
             .with_difficulty(difficulty)
             .generate(23);
-        let tree = DecisionTree::train(&ds, &DecisionTreeConfig { max_depth: 8, feature_subsample: Some(48), ..Default::default() }, 3);
-        let rf = RandomForest::train(&ds, &RandomForestConfig { num_trees: 16, ..Default::default() }, 4);
+        let tree = DecisionTree::train(
+            &ds,
+            &DecisionTreeConfig {
+                max_depth: 8,
+                feature_subsample: Some(48),
+                ..Default::default()
+            },
+            3,
+        );
+        let rf = RandomForest::train(
+            &ds,
+            &RandomForestConfig {
+                num_trees: 16,
+                ..Default::default()
+            },
+            4,
+        );
         println!(
             "  d={difficulty}: tree={:.3} rf16={:.3}",
             1.0 - accuracy(&tree, &ds.test),
@@ -67,4 +131,3 @@ fn main() {
         );
     }
 }
-

@@ -47,9 +47,9 @@ fn main() {
     let policy = Exp4Policy::new(0.8);
 
     // error[round][approach]
-    let mut err_static = vec![0.0f64; FEEDBACK_ROUNDS];
-    let mut err_global = vec![0.0f64; FEEDBACK_ROUNDS];
-    let mut err_clipper = vec![0.0f64; FEEDBACK_ROUNDS];
+    let mut err_static = [0.0f64; FEEDBACK_ROUNDS];
+    let mut err_global = [0.0f64; FEEDBACK_ROUNDS];
+    let mut err_clipper = [0.0f64; FEEDBACK_ROUNDS];
 
     let mut rng = StdRng::seed_from_u64(4);
     for u in 0..USERS {
@@ -60,17 +60,14 @@ fn main() {
         for round in 0..FEEDBACK_ROUNDS {
             // Evaluate all three deployments on a fresh utterance.
             let eval_utt = corpus.utterance(speaker, FRAMES, &mut rng);
-            err_static[round] +=
-                dialect_models[dialect].error_rate(&eval_utt) / USERS as f64;
+            err_static[round] += dialect_models[dialect].error_rate(&eval_utt) / USERS as f64;
             err_global[round] += global.error_rate(&eval_utt) / USERS as f64;
 
             let preds = transcribe_all(&dialect_models, &global, &ids, &eval_utt.frames);
             let input: clipper_core::Input = Arc::new(eval_utt.flatten());
             let (out, _) = policy.combine(&state, &input, &preds);
             let clipper_err = match out {
-                Output::Labels(l) => {
-                    clipper_ml::eval::sequence_error_rate(&eval_utt.phonemes, &l)
-                }
+                Output::Labels(l) => clipper_ml::eval::sequence_error_rate(&eval_utt.phonemes, &l),
                 _ => 1.0,
             };
             err_clipper[round] += clipper_err / USERS as f64;

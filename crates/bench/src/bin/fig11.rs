@@ -72,7 +72,11 @@ async fn run_tfs(model: Fig11Model) -> RunResult {
     let s = server.clone();
     run_closed_loop(clients, phase_duration() / 2, move |c, q| {
         let s = s.clone();
-        async move { s.predict((*distinct_input(c, q, dim)).clone()).await.is_ok() }
+        async move {
+            s.predict((*distinct_input(c, q, dim)).clone())
+                .await
+                .is_ok()
+        }
     })
     .await;
     let s = server.clone();

@@ -61,21 +61,16 @@ async fn main() {
                 Duration::from_millis(200),
             );
             let c = clipper.clone();
-            let report = run_open_loop(
-                arrivals.clone(),
-                phase_duration(),
-                9,
-                move |seq| {
-                    let clipper = c.clone();
-                    async move {
-                        clipper
-                            .predict("bench", None, distinct_input(0, seq, 8))
-                            .await
-                            .map(|p| p.models_used > 0)
-                            .unwrap_or(false)
-                    }
-                },
-            )
+            let report = run_open_loop(arrivals.clone(), phase_duration(), 9, move |seq| {
+                let clipper = c.clone();
+                async move {
+                    clipper
+                        .predict("bench", None, distinct_input(0, seq, 8))
+                        .await
+                        .map(|p| p.models_used > 0)
+                        .unwrap_or(false)
+                }
+            })
             .await;
             // Mean dispatched batch size from the queue's telemetry.
             let snap = clipper.registry().snapshot();
@@ -92,8 +87,8 @@ async fn main() {
             // observed mean batch size — the quantity delayed batching
             // actually buys (fixed cost amortized across a bigger batch).
             let profile = clipper_containers::fig3_profile(model);
-            let busy_per_query = profile.base.as_secs_f64() / mean_batch.max(1.0)
-                + profile.per_item.as_secs_f64();
+            let busy_per_query =
+                profile.base.as_secs_f64() / mean_batch.max(1.0) + profile.per_item.as_secs_f64();
             table.row(&[
                 model.label().to_string(),
                 format!("{wait_us}"),

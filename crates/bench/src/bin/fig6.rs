@@ -101,7 +101,11 @@ async fn main() {
                 let clipper = c.clone();
                 async move {
                     clipper
-                        .predict("bench", None, distinct_input(client, 1 << 20 | seq, INPUT_DIM))
+                        .predict(
+                            "bench",
+                            None,
+                            distinct_input(client, 1 << 20 | seq, INPUT_DIM),
+                        )
                         .await
                         .map(|p| p.models_used > 0)
                         .unwrap_or(false)

@@ -14,8 +14,7 @@
 use clipper_ml::datasets::{Dataset, DatasetSpec};
 use clipper_ml::linalg::top_k;
 use clipper_ml::models::{
-    LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig, Mlp, MlpConfig,
-    Model,
+    LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig, Mlp, MlpConfig, Model,
 };
 use clipper_workload::Table;
 use std::sync::Arc;
@@ -124,8 +123,7 @@ fn run_benchmark(name: &str, ds: &Dataset, k: usize, table: &mut Table) {
             // MLP outputs are already distributions and a second softmax
             // would flatten them toward uniform.
             let sum: f32 = p.iter().sum();
-            let looks_prob =
-                (sum - 1.0).abs() < 1e-3 && p.iter().all(|v| (0.0..=1.0).contains(v));
+            let looks_prob = (sum - 1.0).abs() < 1e-3 && p.iter().all(|v| (0.0..=1.0).contains(v));
             if !looks_prob {
                 clipper_ml::linalg::softmax(&mut p);
             }

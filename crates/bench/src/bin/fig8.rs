@@ -39,7 +39,9 @@ fn main() {
             LinearSvm::train(&sub, &LinearSvmConfig::default(), i as u64)
         })
         .collect();
-    let ids: Vec<ModelId> = (0..5).map(|i| ModelId::new(&format!("model-{}", i + 1), 1)).collect();
+    let ids: Vec<ModelId> = (0..5)
+        .map(|i| ModelId::new(&format!("model-{}", i + 1), 1))
+        .collect();
 
     let exp3 = Exp3Policy::new(0.5);
     let exp4 = Exp4Policy::new(0.3);

@@ -109,7 +109,10 @@ async fn main() {
             while std::time::Instant::now() < deadline {
                 let ex = &ds.test[i % ds.test.len()];
                 let input: clipper_core::Input = Arc::new(ex.x.clone());
-                let p = clipper.predict("forest", None, input.clone()).await.unwrap();
+                let p = clipper
+                    .predict("forest", None, input.clone())
+                    .await
+                    .unwrap();
                 latency.record(p.latency.as_micros() as u64);
                 missing_pct.record((100 * p.models_missing / size) as u64);
                 total.inc();
@@ -133,10 +136,7 @@ async fn main() {
                 format!("{:.1}", lat.mean() / 1_000.0),
                 format!("{:.1}", lat.p99() as f64 / 1_000.0),
                 format!("{:.1}", miss.mean()),
-                format!(
-                    "{:.3}",
-                    correct.get() as f64 / total.get().max(1) as f64
-                ),
+                format!("{:.3}", correct.get() as f64 / total.get().max(1) as f64),
             ]);
         }
     }

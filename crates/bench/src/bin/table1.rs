@@ -19,7 +19,9 @@ fn main() {
     let specs = [
         DatasetSpec::mnist_like(),
         DatasetSpec::cifar_like(),
-        DatasetSpec::imagenet_like().with_train_size(1_000).with_test_size(300),
+        DatasetSpec::imagenet_like()
+            .with_train_size(1_000)
+            .with_test_size(300),
         imagenet_scaled.with_train_size(5_000).with_test_size(300),
         DatasetSpec::speech_like(),
     ];

@@ -104,9 +104,7 @@ impl ModelContainer {
                 let outputs = self.cfg.logic.evaluate(inputs);
                 let target = match timing {
                     TimingModel::Measured => None,
-                    TimingModel::Profile(p) => {
-                        Some(p.sample(inputs.len(), &mut self.rng.lock()))
-                    }
+                    TimingModel::Profile(p) => Some(p.sample(inputs.len(), &mut self.rng.lock())),
                     TimingModel::ProfileWithOverhead(p, overhead) => {
                         let base = p.sample(inputs.len(), &mut self.rng.lock());
                         Some(base.mul_f64(1.0 + overhead))
@@ -207,10 +205,7 @@ mod tests {
 
     #[test]
     fn profile_timing_pads_to_target() {
-        let p = LatencyProfile::deterministic(
-            Duration::from_millis(2),
-            Duration::from_micros(500),
-        );
+        let p = LatencyProfile::deterministic(Duration::from_millis(2), Duration::from_micros(500));
         let c = fixed_container(TimingModel::Profile(p));
         let start = Instant::now();
         let r = c.evaluate_blocking(&vec![vec![0.0]; 4]);

@@ -26,9 +26,11 @@ pub mod latency;
 pub mod logic;
 pub mod profiles;
 
-pub use container::{spawn_tcp_container, ContainerConfig, LocalContainerTransport, ModelContainer};
+pub use container::TimingModel;
+pub use container::{
+    spawn_tcp_container, ContainerConfig, LocalContainerTransport, ModelContainer,
+};
 pub use gpu::{GpuDevice, GpuModelSpec};
 pub use latency::{precise_sleep, LatencyProfile};
 pub use logic::ContainerLogic;
 pub use profiles::{fig11_model, fig3_profile, table2_zoo, Fig11Model, Fig3Model};
-pub use container::TimingModel;

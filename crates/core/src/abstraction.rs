@@ -14,10 +14,10 @@
 //! substitution value used when straggler mitigation renders a prediction
 //! without that model (§5.2.2).
 
+pub use crate::batching::queue::PredictError;
 use crate::batching::queue::{
     spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
 };
-pub use crate::batching::queue::PredictError;
 use crate::cache::{CacheKey, Lookup, PredictionCache};
 use crate::types::{Input, ModelId, Output};
 use clipper_metrics::Registry;
@@ -57,10 +57,7 @@ impl DefaultTracker {
                     *acc += v as f64;
                 }
                 self.score_count += 1;
-                *self
-                    .label_counts
-                    .entry(out.label())
-                    .or_insert(0) += 1;
+                *self.label_counts.entry(out.label()).or_insert(0) += 1;
             }
             Output::Labels(_) => {
                 // Sequences have no meaningful average; straggler handling

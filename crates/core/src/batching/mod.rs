@@ -18,12 +18,14 @@
 //! algorithm analogy.
 
 pub mod aimd;
-pub mod queue;
 pub mod quantile;
+pub mod queue;
 
 pub use aimd::AimdController;
 pub use quantile::QuantileController;
-pub use queue::{spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink};
+pub use queue::{
+    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
+};
 
 use std::time::Duration;
 

@@ -90,11 +90,7 @@ impl QuantileController {
         };
         // Inflate to the 99th percentile of residuals: an upper line that
         // ~99% of observations sit below.
-        let mut residuals: Vec<f64> = self
-            .window
-            .iter()
-            .map(|&(x, y)| y - (a + b * x))
-            .collect();
+        let mut residuals: Vec<f64> = self.window.iter().map(|&(x, y)| y - (a + b * x)).collect();
         residuals.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
         let idx = ((0.99 * (n as f64 - 1.0)).round() as usize).min(n - 1);
         let p99_resid = residuals[idx].max(0.0);
@@ -104,11 +100,7 @@ impl QuantileController {
         let target = (self.slo_us - self.alpha) / self.beta;
 
         // Explore upward gradually: at most 2× the largest observed batch.
-        let max_seen = self
-            .window
-            .iter()
-            .map(|&(x, _)| x)
-            .fold(1.0f64, f64::max);
+        let max_seen = self.window.iter().map(|&(x, _)| x).fold(1.0f64, f64::max);
         let limited = target.min(max_seen * 2.0).max(1.0);
         self.current_max = (limited.floor() as usize).clamp(1, self.cap);
     }
@@ -126,7 +118,7 @@ impl BatchController for QuantileController {
         self.window
             .push_back((batch_size as f64, latency.as_micros() as f64));
         self.observations += 1;
-        if self.observations % REFIT_EVERY == 0 {
+        if self.observations.is_multiple_of(REFIT_EVERY) {
             self.refit();
         }
     }
@@ -210,8 +202,8 @@ mod tests {
     #[test]
     fn growth_is_limited_to_double_observed() {
         let mut c = QuantileController::new(ms(1000), 4096); // huge SLO
-        // Even with a generous SLO, one refit can at most double the
-        // explored batch size.
+                                                             // Even with a generous SLO, one refit can at most double the
+                                                             // explored batch size.
         for _ in 0..REFIT_EVERY {
             c.record(4, Duration::from_micros(100));
         }
@@ -227,13 +219,11 @@ mod tests {
         // Latency = 5ms + 10µs/item, with 1-in-50 batches spiking 3×. The
         // fitted line should absorb the spikes into α.
         let mut c = QuantileController::new(ms(40), 4096);
-        let mut i = 0u64;
-        for _ in 0..5_000 {
+        for i in 0..5_000u64 {
             let b = c.max_batch();
             let base = 5_000 + 10 * b as u64;
-            let lat = if i % 50 == 0 { base * 3 } else { base };
+            let lat = if i.is_multiple_of(50) { base * 3 } else { base };
             c.record(b, Duration::from_micros(lat));
-            i += 1;
         }
         let b = c.max_batch();
         let pred = c.predict_latency_us(b);

@@ -207,9 +207,8 @@ impl Clipper {
         let deadline = start + app.cfg.slo;
 
         // Fan out; each model reports back over the channel as it lands.
-        let (tx, mut rx) = mpsc::channel::<(ModelId, Result<Output, PredictError>)>(
-            selected.len().max(1),
-        );
+        let (tx, mut rx) =
+            mpsc::channel::<(ModelId, Result<Output, PredictError>)>(selected.len().max(1));
         for model in selected.iter().cloned() {
             let mal = self.inner.mal.clone();
             let input = input.clone();
@@ -300,10 +299,9 @@ impl Clipper {
 
         // Join feedback with predictions through the cache: recent
         // predictions hit; unseen inputs are evaluated.
-        let (tx, mut rx) =
-            mpsc::channel::<(ModelId, Result<Output, PredictError>)>(
-                app.cfg.candidate_models.len().max(1),
-            );
+        let (tx, mut rx) = mpsc::channel::<(ModelId, Result<Output, PredictError>)>(
+            app.cfg.candidate_models.len().max(1),
+        );
         for model in app.cfg.candidate_models.iter().cloned() {
             let mal = self.inner.mal.clone();
             let input = input.clone();
@@ -559,7 +557,12 @@ mod tests {
         // User A's truth is 1 (model 1 right); user B's truth is 0.
         for i in 0..50 {
             clipper
-                .feedback("app", Some("userA"), Arc::new(vec![i as f32]), Feedback::class(1))
+                .feedback(
+                    "app",
+                    Some("userA"),
+                    Arc::new(vec![i as f32]),
+                    Feedback::class(1),
+                )
                 .await
                 .unwrap();
             clipper

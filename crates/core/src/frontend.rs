@@ -36,16 +36,11 @@ impl HttpFrontend {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
         let task = tokio::spawn(async move {
-            loop {
-                match listener.accept().await {
-                    Ok((conn, _)) => {
-                        let clipper = clipper.clone();
-                        tokio::spawn(async move {
-                            let _ = serve_connection(conn, clipper).await;
-                        });
-                    }
-                    Err(_) => break,
-                }
+            while let Ok((conn, _)) = listener.accept().await {
+                let clipper = clipper.clone();
+                tokio::spawn(async move {
+                    let _ = serve_connection(conn, clipper).await;
+                });
             }
         });
         Ok(HttpFrontend { local_addr, task })
@@ -181,8 +176,8 @@ async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()),
             Err(e) => {
-                let _ = write_response(&mut wr, 400, &format!("{{\"error\":\"{e}\"}}"), false)
-                    .await;
+                let _ =
+                    write_response(&mut wr, 400, &format!("{{\"error\":\"{e}\"}}"), false).await;
                 return Ok(());
             }
         };
@@ -259,7 +254,12 @@ async fn handle_update(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, Strin
         }
     };
     match clipper
-        .feedback(app, parsed.context.as_deref(), Arc::new(parsed.input), feedback)
+        .feedback(
+            app,
+            parsed.context.as_deref(),
+            Arc::new(parsed.input),
+            feedback,
+        )
         .await
     {
         Ok(()) => (200, "{\"status\":\"ok\"}".to_string()),

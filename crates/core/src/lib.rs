@@ -58,6 +58,4 @@ pub use selection::{
     EpsilonGreedyPolicy, Exp3Policy, Exp4Policy, PolicyState, SelectionPolicy, StaticPolicy,
     ThompsonSamplingPolicy, UcbPolicy,
 };
-pub use types::{
-    AppConfig, Feedback, Input, ModelId, Output, PolicyKind, Prediction, output_loss,
-};
+pub use types::{output_loss, AppConfig, Feedback, Input, ModelId, Output, PolicyKind, Prediction};

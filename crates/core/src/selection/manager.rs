@@ -72,8 +72,7 @@ impl SelectionStateManager {
     ) -> Result<PolicyState, StateError> {
         let key = Self::key(app, context);
         if let Some(bytes) = self.store.get(&key) {
-            return serde_json::from_slice(&bytes)
-                .map_err(|e| StateError::Corrupt(e.to_string()));
+            return serde_json::from_slice(&bytes).map_err(|e| StateError::Corrupt(e.to_string()));
         }
         let state = policy.init(models, Self::context_seed(app_seed, context));
         let bytes = serde_json::to_vec(&state).expect("policy state serializes");
@@ -112,8 +111,8 @@ impl SelectionStateManager {
                     continue;
                 }
             };
-            let mut state: PolicyState = serde_json::from_slice(&bytes)
-                .map_err(|e| StateError::Corrupt(e.to_string()))?;
+            let mut state: PolicyState =
+                serde_json::from_slice(&bytes).map_err(|e| StateError::Corrupt(e.to_string()))?;
             mutate(&mut state);
             let new_bytes = serde_json::to_vec(&state).expect("state serializes");
             match self.store.cas(&key, version, new_bytes) {

@@ -70,7 +70,10 @@ impl Exp3Policy {
     }
 
     fn chosen_index(&self, state: &PolicyState, input: &Input) -> usize {
-        sample_from(&self.mixed_probabilities(state), state.derived_uniform(input))
+        sample_from(
+            &self.mixed_probabilities(state),
+            state.derived_uniform(input),
+        )
     }
 }
 
@@ -357,11 +360,8 @@ impl ThompsonSamplingPolicy {
             // Two derived uniforms per arm → one Gaussian via Box-Muller.
             let u1 = fract(base * 7919.0 + i as f64 * 13.37 + 0.123);
             let u2 = fract(base * 104729.0 + i as f64 * 7.77 + 0.456);
-            let z = (-2.0 * u1.max(1e-12).ln()).sqrt()
-                * (2.0 * std::f64::consts::PI * u2).cos();
-            let std = (mean.clamp(0.01, 0.99) * (1.0 - mean.clamp(0.01, 0.99))
-                / n as f64)
-                .sqrt();
+            let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let std = (mean.clamp(0.01, 0.99) * (1.0 - mean.clamp(0.01, 0.99)) / n as f64).sqrt();
             let sample = mean + std * z;
             if sample > best_sample {
                 best_sample = sample;
@@ -731,7 +731,11 @@ mod tests {
                 preds.insert(ms[0].clone(), Output::Class(0));
                 // Model 1 answers the truth when healthy (100%), and the
                 // opposite when degraded (0%).
-                let m1_answer = if m1_good { truth_label } else { 1 - truth_label };
+                let m1_answer = if m1_good {
+                    truth_label
+                } else {
+                    1 - truth_label
+                };
                 preds.insert(ms[1].clone(), Output::Class(m1_answer));
                 p.observe(s, &x, &Feedback::class(truth_label), &preds);
             }

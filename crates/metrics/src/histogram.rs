@@ -257,7 +257,9 @@ mod tests {
     fn quantiles_bounded_relative_error() {
         let h = Histogram::new();
         let mut rng = StdRng::seed_from_u64(7);
-        let mut vals: Vec<u64> = (0..50_000).map(|_| rng.random_range(1..2_000_000)).collect();
+        let mut vals: Vec<u64> = (0..50_000)
+            .map(|_| rng.random_range(1..2_000_000))
+            .collect();
         for &v in &vals {
             h.record(v);
         }
@@ -267,10 +269,7 @@ mod tests {
             let exact = vals[((q * vals.len() as f64).ceil() as usize - 1).min(vals.len() - 1)];
             let est = s.quantile(q);
             let rel = (est as f64 - exact as f64).abs() / exact as f64;
-            assert!(
-                rel < 0.05,
-                "q={q}: est={est} exact={exact} rel={rel}"
-            );
+            assert!(rel < 0.05, "q={q}: est={est} exact={exact} rel={rel}");
         }
     }
 
@@ -342,7 +341,10 @@ mod tests {
         for v in (0..1_000_000u64).step_by(997) {
             let idx = Histogram::index_of(v);
             assert!(idx >= last || idx == last, "index must be non-decreasing");
-            assert!(Histogram::value_of(idx) >= v, "bucket upper edge covers value");
+            assert!(
+                Histogram::value_of(idx) >= v,
+                "bucket upper edge covers value"
+            );
             last = idx;
         }
     }

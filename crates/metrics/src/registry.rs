@@ -162,9 +162,15 @@ mod tests {
         r.histogram("h").record(100);
         let snap = r.snapshot();
         assert_eq!(snap.values.len(), 4);
-        assert!(matches!(snap.values["c"], MetricValue::Counter { value: 5 }));
+        assert!(matches!(
+            snap.values["c"],
+            MetricValue::Counter { value: 5 }
+        ));
         assert!(matches!(snap.values["g"], MetricValue::Gauge { value: -2 }));
-        assert!(matches!(snap.values["m"], MetricValue::Meter { count: 7, .. }));
+        assert!(matches!(
+            snap.values["m"],
+            MetricValue::Meter { count: 7, .. }
+        ));
         assert!(matches!(
             snap.values["h"],
             MetricValue::Histogram { count: 1, .. }

@@ -243,7 +243,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = DatasetSpec::mnist_like().with_train_size(50).with_test_size(10);
+        let spec = DatasetSpec::mnist_like()
+            .with_train_size(50)
+            .with_test_size(10);
         let a = spec.generate(7);
         let b = spec.generate(7);
         assert_eq!(a.train.len(), 50);
@@ -254,7 +256,9 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let spec = DatasetSpec::mnist_like().with_train_size(10).with_test_size(5);
+        let spec = DatasetSpec::mnist_like()
+            .with_train_size(10)
+            .with_test_size(5);
         let a = spec.generate(1);
         let b = spec.generate(2);
         assert_ne!(a.train[0].x, b.train[0].x);

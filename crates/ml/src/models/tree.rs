@@ -80,7 +80,7 @@ impl<'a> TreeBuilder<'a> {
         1.0 - hist.iter().map(|p| p * p).sum::<f32>()
     }
 
-    fn build(&mut self, idx: &mut Vec<usize>, depth: usize) -> Node {
+    fn build(&mut self, idx: &mut [usize], depth: usize) -> Node {
         let hist = self.class_histogram(idx);
         let pure = hist.iter().any(|&p| p >= 0.9999);
         if depth >= self.cfg.max_depth || idx.len() < self.cfg.min_samples_split || pure {
@@ -101,7 +101,10 @@ impl<'a> TreeBuilder<'a> {
             for _ in 0..self.cfg.thresholds_per_feature {
                 let pick = idx[self.rng.random_range(0..idx.len())];
                 let t = self.examples[pick].x[f];
-                let (mut lh, mut rh) = (vec![0.0f32; self.num_classes], vec![0.0f32; self.num_classes]);
+                let (mut lh, mut rh) = (
+                    vec![0.0f32; self.num_classes],
+                    vec![0.0f32; self.num_classes],
+                );
                 let (mut ln, mut rn) = (0f32, 0f32);
                 for &i in idx.iter() {
                     if self.examples[i].x[f] <= t {
@@ -124,7 +127,7 @@ impl<'a> TreeBuilder<'a> {
                 let total = ln + rn;
                 let weighted = (ln / total) * Self::gini(&lh) + (rn / total) * Self::gini(&rh);
                 let gain = parent_gini - weighted;
-                if best.map_or(true, |(_, _, bg)| gain > bg) {
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((f, t, gain));
                 }
             }
@@ -210,7 +213,11 @@ impl Model for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -346,7 +353,10 @@ mod tests {
         let m = DecisionTree::train(&ds, &DecisionTreeConfig::default(), 3);
         let s = m.scores(&ds.test[0].x);
         let sum: f32 = s.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "leaf histogram sums to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "leaf histogram sums to 1, got {sum}"
+        );
     }
 
     #[test]

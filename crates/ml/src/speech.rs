@@ -187,7 +187,7 @@ impl DialectModel {
     /// Estimate phoneme means from training utterances.
     pub fn train(name: &str, utterances: &[Utterance]) -> Self {
         let mut sums = vec![vec![0.0f32; FRAME_DIM]; NUM_PHONEMES];
-        let mut counts = vec![0f32; NUM_PHONEMES];
+        let mut counts = [0f32; NUM_PHONEMES];
         for utt in utterances {
             for (frame, &p) in utt.frames.iter().zip(utt.phonemes.iter()) {
                 let p = p as usize;

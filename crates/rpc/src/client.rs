@@ -95,8 +95,7 @@ pub async fn serve_container(
         while let Some((id, inputs, enqueued)) = work_rx.recv().await {
             let queue_us = enqueued.elapsed().as_micros() as u64;
             let h = handler.clone();
-            let result =
-                tokio::task::spawn_blocking(move || h.handle_batch(inputs)).await;
+            let result = tokio::task::spawn_blocking(move || h.handle_batch(inputs)).await;
             let msg = match result {
                 Ok(Ok(mut reply)) => {
                     reply.queue_us = queue_us;
@@ -172,10 +171,7 @@ mod tests {
         let (_, handle) = server.next_container().await.unwrap();
         use crate::transport::BatchTransport;
 
-        let err = handle
-            .predict_batch(vec![vec![0.0]; 13])
-            .await
-            .unwrap_err();
+        let err = handle.predict_batch(vec![vec![0.0]; 13]).await.unwrap_err();
         assert!(matches!(err, RpcError::Remote(ref m) if m.contains("unlucky")));
 
         // The connection survives: the next batch succeeds.

@@ -25,9 +25,7 @@ pub async fn write_frame<W: AsyncWrite + Unpin>(
 }
 
 /// Read one message frame; returns `(request_id, message)`.
-pub async fn read_frame<R: AsyncRead + Unpin>(
-    reader: &mut R,
-) -> Result<(u64, Message), RpcError> {
+pub async fn read_frame<R: AsyncRead + Unpin>(reader: &mut R) -> Result<(u64, Message), RpcError> {
     let mut header = [0u8; HEADER_LEN];
     reader.read_exact(&mut header).await.map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {

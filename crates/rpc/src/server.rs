@@ -377,7 +377,7 @@ mod tests {
             .await
             .unwrap();
             let _ = crate::codec::read_frame(&mut rd).await; // RegisterAck
-            // Wedge: hold the socket open but never read or write again.
+                                                             // Wedge: hold the socket open but never read or write again.
             std::future::pending::<()>().await;
         });
         let (_, handle) = server.next_container().await.unwrap();

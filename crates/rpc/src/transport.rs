@@ -74,12 +74,18 @@ mod tests {
     async fn fn_transport_echoes_batch_size() {
         let t = FnTransport::new("echo", |inputs| {
             Ok(PredictReply {
-                outputs: inputs.iter().map(|i| WireOutput::Class(i.len() as u32)).collect(),
+                outputs: inputs
+                    .iter()
+                    .map(|i| WireOutput::Class(i.len() as u32))
+                    .collect(),
                 queue_us: 0,
                 compute_us: 1,
             })
         });
-        let reply = t.predict_batch(vec![vec![0.0; 3], vec![0.0; 7]]).await.unwrap();
+        let reply = t
+            .predict_batch(vec![vec![0.0; 3], vec![0.0; 7]])
+            .await
+            .unwrap();
         assert_eq!(
             reply.outputs,
             vec![WireOutput::Class(3), WireOutput::Class(7)]

@@ -95,9 +95,7 @@ impl StateStoreClient {
     pub async fn get_versioned(&self, key: &str) -> Result<Option<(Vec<u8>, u64)>, ClientError> {
         match self.call(vec![b"GETV".to_vec(), key.into()]).await? {
             RespValue::Array(items) => match items.as_slice() {
-                [RespValue::Bulk(v), RespValue::Integer(ver)] => {
-                    Ok(Some((v.clone(), *ver as u64)))
-                }
+                [RespValue::Bulk(v), RespValue::Integer(ver)] => Ok(Some((v.clone(), *ver as u64))),
                 other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
             },
             RespValue::Null => Ok(None),
@@ -172,7 +170,9 @@ mod tests {
         let server = StateStoreServer::bind("127.0.0.1:0", Arc::new(StateStore::new()))
             .await
             .unwrap();
-        let client = StateStoreClient::connect(server.local_addr()).await.unwrap();
+        let client = StateStoreClient::connect(server.local_addr())
+            .await
+            .unwrap();
         (server, client)
     }
 

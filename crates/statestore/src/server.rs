@@ -27,16 +27,11 @@ impl StateStoreServer {
         let local_addr = listener.local_addr()?;
         let s = store.clone();
         let accept_task = tokio::spawn(async move {
-            loop {
-                match listener.accept().await {
-                    Ok((conn, _)) => {
-                        let store = s.clone();
-                        tokio::spawn(async move {
-                            let _ = serve_conn(conn, store).await;
-                        });
-                    }
-                    Err(_) => break,
-                }
+            while let Ok((conn, _)) = listener.accept().await {
+                let store = s.clone();
+                tokio::spawn(async move {
+                    let _ = serve_conn(conn, store).await;
+                });
             }
         });
         Ok(StateStoreServer {
@@ -120,10 +115,9 @@ fn execute(store: &StateStore, req: RespValue) -> RespValue {
             None => RespValue::Null,
         },
         ("GETV", 2) => match store.get_versioned(&key(1)) {
-            Some((v, ver)) => RespValue::Array(vec![
-                RespValue::Bulk(v),
-                RespValue::Integer(ver as i64),
-            ]),
+            Some((v, ver)) => {
+                RespValue::Array(vec![RespValue::Bulk(v), RespValue::Integer(ver as i64)])
+            }
             None => RespValue::Null,
         },
         ("SET", 3) => {
@@ -194,10 +188,7 @@ mod tests {
             RespValue::Error(_)
         ));
         assert_eq!(execute(&store, cmd(&[b"DBSIZE"])), RespValue::Integer(1));
-        assert_eq!(
-            execute(&store, cmd(&[b"DEL", b"k"])),
-            RespValue::Integer(1)
-        );
+        assert_eq!(execute(&store, cmd(&[b"DEL", b"k"])), RespValue::Integer(1));
         assert!(matches!(
             execute(&store, cmd(&[b"BOGUS"])),
             RespValue::Error(_)

@@ -109,10 +109,10 @@ where
     let deadline = start + duration;
     let inflight = Arc::new(tokio::sync::Semaphore::new(65_536));
 
-    let mut seq = 0u64;
     let mut next_fire = Instant::now();
     let mut handles = Vec::new();
-    for gap in arrivals.gaps(seed) {
+    for (seq, gap) in arrivals.gaps(seed).enumerate() {
+        let seq = seq as u64;
         next_fire += gap;
         if next_fire >= deadline {
             break;
@@ -133,7 +133,6 @@ where
             }
             drop(permit);
         }));
-        seq += 1;
         // Bound memory: reap finished handles occasionally.
         if handles.len() >= 4_096 {
             handles.retain(|h| !h.is_finished());

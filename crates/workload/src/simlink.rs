@@ -86,11 +86,7 @@ fn request_bytes(inputs: &[Vec<f32>]) -> usize {
 }
 
 fn reply_bytes(reply: &PredictReply) -> usize {
-    38 + reply
-        .outputs
-        .iter()
-        .map(|o| o.wire_size())
-        .sum::<usize>()
+    38 + reply.outputs.iter().map(|o| o.wire_size()).sum::<usize>()
 }
 
 impl BatchTransport for SimLinkedTransport {

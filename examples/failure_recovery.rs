@@ -66,7 +66,11 @@ async fn main() {
         let n = (dataset.train.len() as f64 * frac) as usize;
         let mut sub = dataset.clone();
         sub.train.truncate(n.max(20));
-        let model = Arc::new(LinearSvm::train(&sub, &LinearSvmConfig::default(), i as u64));
+        let model = Arc::new(LinearSvm::train(
+            &sub,
+            &LinearSvmConfig::default(),
+            i as u64,
+        ));
         let id = ModelId::new(&format!("model-{i}"), 1);
         deploy(&clipper, &id, ContainerLogic::Classifier(model));
         ids.push(id);
@@ -89,13 +93,19 @@ async fn main() {
     // Each phase consumes a fresh slice of the test set — real serving
     // traffic doesn't repeat, and stale cache entries must not hide the
     // failure.
-    let phase = |name: &'static str, range: std::ops::Range<usize>, clipper: Clipper, dataset: clipper::ml::datasets::Dataset| async move {
+    let phase = |name: &'static str,
+                 range: std::ops::Range<usize>,
+                 clipper: Clipper,
+                 dataset: clipper::ml::datasets::Dataset| async move {
         let mut wrong = 0usize;
         let total = range.len();
         for i in range {
             let ex = &dataset.test[i];
             let input = Arc::new(ex.x.clone());
-            let p = clipper.predict("vision", None, input.clone()).await.unwrap();
+            let p = clipper
+                .predict("vision", None, input.clone())
+                .await
+                .unwrap();
             if p.output.label() != ex.y {
                 wrong += 1;
             }

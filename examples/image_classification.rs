@@ -63,7 +63,11 @@ async fn main() {
         ),
         (
             "tree",
-            Arc::new(DecisionTree::train(&dataset, &DecisionTreeConfig::default(), 5)),
+            Arc::new(DecisionTree::train(
+                &dataset,
+                &DecisionTreeConfig::default(),
+                5,
+            )),
         ),
     ];
 
@@ -103,7 +107,10 @@ async fn main() {
     let mut defaults = 0u32;
     for example in &dataset.test {
         let input = Arc::new(example.x.clone());
-        let p = clipper.predict("vision", None, input.clone()).await.unwrap();
+        let p = clipper
+            .predict("vision", None, input.clone())
+            .await
+            .unwrap();
         let right = p.output.label() == example.y;
         if p.output == Output::Class(u32::MAX) {
             defaults += 1;

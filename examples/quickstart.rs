@@ -11,7 +11,9 @@ use clipper::containers::{
 };
 use clipper::core::{AppConfig, Clipper, Feedback, ModelId, PolicyKind};
 use clipper::ml::datasets::DatasetSpec;
-use clipper::ml::models::{LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig};
+use clipper::ml::models::{
+    LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig,
+};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -16,7 +16,9 @@ use clipper::containers::{
 };
 use clipper::core::{AppConfig, Clipper, HttpFrontend, ModelId, PolicyKind};
 use clipper::ml::datasets::DatasetSpec;
-use clipper::ml::models::{LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig};
+use clipper::ml::models::{
+    LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig,
+};
 use clipper::rpc::server::RpcServer;
 use clipper::statestore::{StateStore, StateStoreClient, StateStoreServer};
 use std::sync::Arc;
@@ -124,7 +126,10 @@ async fn main() {
     conn.write_all(request.as_bytes()).await.unwrap();
     let mut response = String::new();
     conn.read_to_string(&mut response).await.unwrap();
-    println!("REST update: {}", response.split("\r\n\r\n").nth(1).unwrap_or(""));
+    println!(
+        "REST update: {}",
+        response.split("\r\n\r\n").nth(1).unwrap_or("")
+    );
 
     // --- peek at the contextual state through the statestore protocol ---
     let ss_client = StateStoreClient::connect(store_server.local_addr())
@@ -139,5 +144,8 @@ async fn main() {
         "\nselection state for demo-user (via RESP protocol): {}",
         String::from_utf8_lossy(&raw)
     );
-    println!("total contexts in store: {}", ss_client.dbsize().await.unwrap());
+    println!(
+        "total contexts in store: {}",
+        ss_client.dbsize().await.unwrap()
+    );
 }

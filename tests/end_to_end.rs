@@ -6,7 +6,7 @@
 use clipper::containers::{
     spawn_tcp_container, ContainerConfig, ContainerLogic, ModelContainer, TimingModel,
 };
-use clipper::core::{AppConfig, Clipper, Feedback, HttpFrontend, ModelId, PolicyKind};
+use clipper::core::{AppConfig, Clipper, HttpFrontend, ModelId, PolicyKind};
 use clipper::ml::datasets::DatasetSpec;
 use clipper::ml::models::{LinearSvm, LinearSvmConfig};
 use clipper::rpc::server::RpcServer;
@@ -225,6 +225,10 @@ async fn app_default_when_model_never_answered() {
         .predict("app", None, Arc::new(vec![1.0]))
         .await
         .unwrap();
-    assert_eq!(p.output.label(), 99, "app default when nothing ever arrived");
+    assert_eq!(
+        p.output.label(),
+        99,
+        "app default when nothing ever arrived"
+    );
     assert_eq!(p.confidence, 0.0);
 }

@@ -32,11 +32,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             model_version: v,
         }),
         ".*".prop_map(|message| Message::Error { message }),
-        proptest::collection::vec(
-            proptest::collection::vec(-1e6f32..1e6, 0..50),
-            0..10
-        )
-        .prop_map(|inputs| Message::PredictRequest { inputs }),
+        proptest::collection::vec(proptest::collection::vec(-1e6f32..1e6, 0..50), 0..10)
+            .prop_map(|inputs| Message::PredictRequest { inputs }),
         (
             proptest::collection::vec(arb_output(), 0..10),
             any::<u64>(),
@@ -114,7 +111,7 @@ proptest! {
         let mut c = QuantileController::new(Duration::from_millis(20), 1024);
         for lat in latencies {
             let b = c.max_batch();
-            prop_assert!(b >= 1 && b <= 1024);
+            prop_assert!((1..=1024).contains(&b));
             c.record(b, Duration::from_micros(lat));
         }
     }

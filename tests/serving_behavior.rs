@@ -220,7 +220,9 @@ async fn version_bump_is_a_distinct_model() {
             timing: TimingModel::Measured,
             seed: 0,
         });
-        clipper.add_replica(&id, LocalContainerTransport::new(c)).unwrap();
+        clipper
+            .add_replica(&id, LocalContainerTransport::new(c))
+            .unwrap();
     }
     clipper.register_app(
         AppConfig::new("old", vec![v1])

@@ -1,0 +1,82 @@
+//! Smoke tests for the workspace surface: the `clipper::prelude` facade,
+//! the per-crate re-exports, and the quickstart serving flow in-process.
+
+use clipper::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Every crate re-export on the facade is reachable and usable.
+#[test]
+fn facade_reexports_compile_and_link() {
+    // metrics
+    let registry = clipper::metrics::Registry::new();
+    let counter = registry.counter("smoke");
+    counter.inc();
+    assert_eq!(counter.get(), 1);
+
+    // ml
+    let dataset = clipper::ml::datasets::DatasetSpec::mnist_like()
+        .with_train_size(20)
+        .with_test_size(5)
+        .generate(42);
+    assert_eq!(dataset.num_features(), 784);
+
+    // rpc (wire codec round trip, no sockets)
+    let msg = clipper::rpc::Message::Heartbeat;
+    assert_eq!(msg.wire_size(), msg.encode(1).len());
+
+    // statestore
+    let store = clipper::statestore::StateStore::new();
+    store.set("k", b"v".to_vec());
+    assert_eq!(store.get("k"), Some(b"v".to_vec()));
+
+    // workload
+    let arrivals = clipper::workload::ArrivalProcess::Poisson { rate: 1000.0 };
+    assert!(arrivals.mean_rate() > 0.0);
+
+    // containers + core types come in through the prelude.
+    let _ = ModelId::new("smoke", 1);
+    let _ = PolicyKind::Exp3 { eta: 0.1 };
+    let _ = DatasetSpec::mnist_like();
+}
+
+/// The prelude supports the whole quickstart serving flow in-process:
+/// build, register, predict, observe feedback.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn prelude_serves_a_prediction_end_to_end() {
+    use clipper::containers::{
+        ContainerLogic, LocalContainerTransport, ModelContainer, TimingModel,
+    };
+
+    let clipper = Clipper::builder().build();
+    let model = ModelId::new("fixed", 1);
+    clipper.add_model(model.clone(), Default::default());
+    let container = ModelContainer::new(ContainerConfig {
+        name: "fixed:0".into(),
+        model_name: "fixed".into(),
+        model_version: 1,
+        logic: ContainerLogic::Fixed(clipper::rpc::message::WireOutput::Class(3)),
+        timing: TimingModel::Measured,
+        seed: 0,
+    });
+    clipper
+        .add_replica(&model, LocalContainerTransport::new(container))
+        .unwrap();
+    clipper.register_app(
+        AppConfig::new("smoke-app", vec![model])
+            .with_policy(PolicyKind::Exp3 { eta: 0.1 })
+            .with_slo(Duration::from_millis(50)),
+    );
+
+    let input: Input = Arc::new(vec![0.0; 4]);
+    let prediction: Prediction = clipper
+        .predict("smoke-app", None, input.clone())
+        .await
+        .unwrap();
+    assert_eq!(prediction.output.label(), 3);
+
+    clipper
+        .feedback("smoke-app", None, input, Feedback::class(3))
+        .await
+        .unwrap();
+}

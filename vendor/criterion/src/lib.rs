@@ -1,0 +1,182 @@
+//! Minimal API-compatible substitute for [`criterion`].
+//!
+//! Benchmarks compile and run with the same source (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`) and print mean ns/iter per benchmark. The statistical
+//! machinery (outlier analysis, HTML reports, comparisons) is out of
+//! scope; this exists so `cargo bench` and the bench targets stay alive
+//! without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            measurement_time,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap: this substitute reports a mean, which converges much faster
+        // than criterion's bootstrap statistics.
+        self.measurement_time = d.min(Duration::from_millis(400));
+        self
+    }
+
+    /// Accepted for compatibility; sampling is time-driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{name}", self.name), self.measurement_time, f);
+        self
+    }
+
+    /// Finish the group (printing was already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timing run in
+/// [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// (total elapsed, iterations) accumulated by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up briefly, then time in growing batches.
+        let warmup_end = Instant::now() + self.budget / 10;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let deadline = start + self.budget;
+        let mut batch = 1u64;
+        while Instant::now() < deadline {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.result = Some((start.elapsed(), iters.max(1)));
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warmup_end = Instant::now() + self.budget / 10;
+        while Instant::now() < warmup_end {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        let wall_deadline = Instant::now() + self.budget;
+        while Instant::now() < wall_deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((measured, iters.max(1)));
+    }
+}
+
+fn run_bench(name: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("  {name:<40} {ns_per_iter:>12.1} ns/iter ({iters} iters)");
+        }
+        None => println!("  {name:<40} (no measurement)"),
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

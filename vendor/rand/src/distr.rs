@@ -1,0 +1,61 @@
+//! The distribution abstraction (`rand::distr` in rand 0.9).
+
+use crate::RngCore;
+
+/// A sampling distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The standard uniform distribution (unit interval for floats).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardUniform;
+
+impl<T: crate::StandardSample> Distribution<T> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: crate::SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Build a sampler for `[low, high)`.
+    pub fn new(low: T, high: T) -> Result<Self, UniformError> {
+        if low < high {
+            Ok(Uniform { low, high })
+        } else {
+            Err(UniformError)
+        }
+    }
+}
+
+impl<T: crate::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.low, self.high)
+    }
+}
+
+/// Error constructing a [`Uniform`] from an empty range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformError;
+
+impl std::fmt::Display for UniformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "empty uniform range")
+    }
+}
+
+impl std::error::Error for UniformError {}

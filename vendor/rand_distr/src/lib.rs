@@ -1,0 +1,176 @@
+//! Minimal API-compatible substitute for [`rand_distr`]: the [`Normal`]
+//! and [`Exp`] distributions used by the dataset generators and arrival
+//! processes, over `f32` or `f64`.
+
+use rand::distr::Distribution;
+use rand::RngCore;
+
+/// Float abstraction so [`Normal`] and [`Exp`] work for `f32` and `f64`.
+pub trait Float: Copy + PartialOrd {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Draw a uniform value in `(0, 1]` (never zero, so `ln` is finite).
+    fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+    /// Multiply by the constant 2π.
+    fn two_pi() -> Self;
+    /// The constant -2.
+    fn neg_two() -> Self;
+    /// Negation.
+    fn neg(self) -> Self;
+}
+
+macro_rules! impl_float {
+    ($t:ty, $pi:expr) => {
+        impl Float for $t {
+            fn zero() -> Self {
+                0.0
+            }
+            fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // 1 - [0,1) lies in (0, 1].
+                1.0 - <$t as rand::StandardSample>::sample_standard(rng)
+            }
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            fn two_pi() -> Self {
+                2.0 * $pi
+            }
+            fn neg_two() -> Self {
+                -2.0
+            }
+            fn neg(self) -> Self {
+                -self
+            }
+        }
+    };
+}
+
+impl_float!(f32, std::f32::consts::PI);
+impl_float!(f64, std::f64::consts::PI);
+
+/// Normal (Gaussian) distribution with given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl<F: Float> Normal<F> {
+    /// Build `N(mean, std_dev²)`. Fails on negative or non-finite σ.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if std_dev >= F::zero() && std_dev.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: Float + std::ops::Add<Output = F> + std::ops::Mul<Output = F>> Distribution<F>
+    for Normal<F>
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: z = sqrt(-2 ln u1) · cos(2π u2).
+        let u1 = F::unit_open(rng);
+        let u2 = F::unit_open(rng);
+        let z = (F::neg_two() * u1.ln()).sqrt() * (F::two_pi() * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate λ.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp<F> {
+    lambda: F,
+}
+
+/// Error constructing an [`Exp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpError;
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl<F: Float> Exp<F> {
+    /// Build `Exp(λ)`. Fails on non-positive or non-finite λ.
+    pub fn new(lambda: F) -> Result<Self, ExpError> {
+        if lambda > F::zero() && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl<F: Float + std::ops::Div<Output = F>> Distribution<F> for Exp<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Inverse transform: -ln(u)/λ with u in (0, 1].
+        F::unit_open(rng).ln().neg() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = Normal::new(3.0f64, 2.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let e = Exp::new(4.0f64).unwrap();
+        let mean = (0..50_000).map(|_| e.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Exp::new(0.0f64).is_err());
+        assert!(Exp::new(-3.0f64).is_err());
+    }
+}

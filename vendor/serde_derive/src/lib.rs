@@ -1,0 +1,532 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-repo serde substitute.
+//!
+//! Implemented without `syn`/`quote` (no registry access), by walking the
+//! raw token stream. Supports exactly the container shapes this workspace
+//! uses:
+//!
+//! - structs with named fields;
+//! - enums with unit and struct variants;
+//! - `#[serde(tag = "...")]` internal tagging on enums;
+//! - `#[serde(rename_all = "snake_case")]` on enums;
+//! - `#[serde(default)]` on fields.
+//!
+//! Anything else (tuple variants, generics, field renames) produces a
+//! `compile_error!` naming the missing feature rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parse a `#[serde(...)]` argument list: `key = "value"` pairs and bare
+/// idents, comma-separated.
+fn parse_serde_args(group: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let key = id.to_string();
+            if i + 2 < tokens.len() {
+                if let (TokenTree::Punct(eq), TokenTree::Literal(lit)) =
+                    (&tokens[i + 1], &tokens[i + 2])
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        let val = raw.trim_matches('"').to_string();
+                        out.push((key, Some(val)));
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            out.push((key, None));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If this bracket group is a `serde(...)` attribute, return its args.
+fn serde_attr_args(group: &proc_macro::Group) -> Option<Vec<(String, Option<String>)>> {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(parse_serde_args(args))
+        }
+        _ => None,
+    }
+}
+
+fn parse_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes: collect #[serde(default)], skip the rest.
+        let mut default = false;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(args) = serde_attr_args(g) {
+                        for (key, _) in args {
+                            match key.as_str() {
+                                "default" => default = true,
+                                other => {
+                                    return Err(format!(
+                                        "unsupported field serde attribute `{other}`"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                // pub(crate) etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments etc.; no variant serde attrs used).
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+            (&tokens.get(i), &tokens.get(i + 1))
+        {
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the vendored serde derive"
+                ))
+            }
+            _ => None,
+        };
+        // Skip discriminant-free separator comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    // Container attributes.
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (&tokens.get(i), &tokens.get(i + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if let Some(args) = serde_attr_args(g) {
+            for (key, val) in args {
+                match (key.as_str(), val.as_deref()) {
+                    ("tag", Some(t)) => attrs.tag = Some(t.to_string()),
+                    ("rename_all", Some("snake_case")) => attrs.rename_all_snake = true,
+                    (other, _) => {
+                        return Err(format!("unsupported container serde attribute `{other}`"))
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    // pub / pub(crate)
+    while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected container name, found {other:?}")),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic container `{name}` is not supported by the vendored serde derive"
+            ))
+        }
+        _ => {}
+    }
+    let body_group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+    let body = match kind {
+        "struct" => Body::Struct(parse_fields(body_group)?),
+        _ => Body::Enum(parse_variants(body_group)?),
+    };
+    Ok(Container { name, attrs, body })
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (idx, c) in chars.iter().enumerate() {
+        if c.is_ascii_uppercase() {
+            if idx > 0 && chars[idx - 1].is_ascii_lowercase() {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(*c);
+        }
+    }
+    out
+}
+
+fn wire_name(variant: &str, attrs: &ContainerAttrs) -> String {
+    if attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+/// `(name, ser(field))` tuples for a map literal, from `&self.f` accessors.
+fn ser_struct_entries(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::serialize_content(&self.{n})),",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+/// Same, but from bound variant field names.
+fn ser_variant_entries(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::serialize_content({n})),",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+/// Deserialize one field from map-valued content expression `src`.
+fn de_field(container: &str, f: &Field, src: &str) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "::serde::Deserialize::deserialize_content(&::serde::Content::Null).map_err(|_| \
+             ::serde::DeError::custom(::std::format!(\"missing field `{}` in {}\")))?",
+            f.name, container
+        )
+    };
+    format!(
+        "{n}: match ::serde::Content::get_field({src}, {n:?}) {{ \
+            ::std::option::Option::Some(v) => ::serde::Deserialize::deserialize_content(v)?, \
+            ::std::option::Option::None => {missing}, \
+        }},",
+        n = f.name,
+        src = src,
+        missing = missing
+    )
+}
+
+fn derive_serialize_impl(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::Struct(fields) => format!(
+            "::serde::Content::Map(::std::vec![{}])",
+            ser_struct_entries(fields)
+        ),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let wire = wire_name(&v.name, &c.attrs);
+                    match (&c.attrs.tag, &v.fields) {
+                        (None, None) => format!(
+                            "{name}::{v} => ::serde::Content::Str(::std::string::String::from({wire:?})),",
+                            v = v.name
+                        ),
+                        (None, Some(fields)) => {
+                            let binds: String = fields
+                                .iter()
+                                .map(|f| format!("{},", f.name))
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![ \
+                                    (::std::string::String::from({wire:?}), \
+                                     ::serde::Content::Map(::std::vec![{entries}])), \
+                                ]),",
+                                v = v.name,
+                                entries = ser_variant_entries(fields)
+                            )
+                        }
+                        (Some(tag), None) => format!(
+                            "{name}::{v} => ::serde::Content::Map(::std::vec![ \
+                                (::std::string::String::from({tag:?}), \
+                                 ::serde::Content::Str(::std::string::String::from({wire:?}))), \
+                            ]),",
+                            v = v.name
+                        ),
+                        (Some(tag), Some(fields)) => {
+                            let binds: String = fields
+                                .iter()
+                                .map(|f| format!("{},", f.name))
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![ \
+                                    (::std::string::String::from({tag:?}), \
+                                     ::serde::Content::Str(::std::string::String::from({wire:?}))), \
+                                    {entries} \
+                                ]),",
+                                v = v.name,
+                                entries = ser_variant_entries(fields)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+            fn serialize_content(&self) -> ::serde::Content {{ {body} }} \
+        }}"
+    )
+}
+
+fn derive_deserialize_impl(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::Struct(fields) => {
+            let inits: String = fields.iter().map(|f| de_field(name, f, "c")).collect();
+            format!(
+                "if ::serde::Content::as_map(c).is_none() {{ \
+                    return ::std::result::Result::Err(::serde::DeError::custom( \
+                        ::std::format!(\"expected map for {name}, got {{}}\", c.kind()))); \
+                }} \
+                ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &c.attrs.tag {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let wire = wire_name(&v.name, &c.attrs);
+                        match &v.fields {
+                            None => format!(
+                                "{wire:?} => ::std::result::Result::Ok({name}::{v}),",
+                                v = v.name
+                            ),
+                            Some(fields) => {
+                                let inits: String =
+                                    fields.iter().map(|f| de_field(name, f, "c")).collect();
+                                format!(
+                                    "{wire:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                                    v = v.name
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let tag = ::serde::Content::get_field(c, {tag:?}) \
+                        .and_then(::serde::Content::as_str) \
+                        .ok_or_else(|| ::serde::DeError::custom( \
+                            ::std::format!(\"missing tag `{tag}` for {name}\")))?; \
+                    match tag {{ {arms} \
+                        other => ::std::result::Result::Err(::serde::DeError::custom( \
+                            ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                    }}"
+                )
+            } else {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| v.fields.is_none())
+                    .map(|v| {
+                        let wire = wire_name(&v.name, &c.attrs);
+                        format!(
+                            "{wire:?} => ::std::result::Result::Ok({name}::{v}),",
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                let map_arms: String = variants
+                    .iter()
+                    .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                    .map(|(v, fields)| {
+                        let wire = wire_name(&v.name, &c.attrs);
+                        let inits: String =
+                            fields.iter().map(|f| de_field(name, f, "inner")).collect();
+                        format!(
+                            "{wire:?} => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match c {{ \
+                        ::serde::Content::Str(s) => match s.as_str() {{ {unit_arms} \
+                            other => ::std::result::Result::Err(::serde::DeError::custom( \
+                                ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                        }}, \
+                        ::serde::Content::Map(entries) if entries.len() == 1 => {{ \
+                            let (key, inner) = &entries[0]; \
+                            match key.as_str() {{ {map_arms} \
+                                other => ::std::result::Result::Err(::serde::DeError::custom( \
+                                    ::std::format!(\"unknown {name} variant `{{other}}`\"))), \
+                            }} \
+                        }}, \
+                        other => ::std::result::Result::Err(::serde::DeError::custom( \
+                            ::std::format!(\"expected {name} variant, got {{}}\", other.kind()))), \
+                    }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+            fn deserialize_content(c: &::serde::Content) \
+                -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+        }}"
+    )
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => derive_serialize_impl(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => derive_deserialize_impl(&c).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal API-compatible substitute for [`serde_json`], built on the
+//! vendored serde [`Content`](serde::Content) data model.
+//!
+//! Provides [`to_string`] / [`to_vec`] / [`from_slice`] / [`from_str`] and
+//! a dynamic [`Value`] with indexing and scalar comparisons — the surface
+//! the workspace uses for policy-state persistence, the HTTP frontend, and
+//! metric snapshots.
+
+mod parse;
+mod value;
+
+pub use value::{Number, Value};
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.serialize_content(), &mut out)?;
+    Ok(out)
+}
+
+/// Serialize `value` to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s.as_bytes())?;
+    T::deserialize_content(&content).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let content = parse::parse(bytes)?;
+    T::deserialize_content(&content).map_err(|e| Error::msg(e.to_string()))
+}
+
+fn emit(c: &Content, out: &mut String) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::msg("cannot serialize non-finite float"));
+            }
+            // Keep floats recognizably floating-point, like serde_json.
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        Content::Str(s) => emit_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(k, out);
+                out.push(':');
+                emit(v, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        let v: u32 = from_str("42").unwrap();
+        assert_eq!(v, 42);
+        let s: String = from_str("\"hi\\u0041\"").unwrap();
+        assert_eq!(s, "hiA");
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let xs = vec![1u32, 2, 3];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u32> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+        let none: Option<u32> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let v: Value = from_str(r#"{"total": 3, "name": "x", "xs": [1, 2.5]}"#).unwrap();
+        assert_eq!(v["total"], 3);
+        assert_eq!(v["name"], "x");
+        assert_eq!(v["xs"][1], 2.5);
+        assert!(v["absent"].is_null());
+        assert_eq!(v.get("total").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn value_roundtrips_through_text() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":true,"d":-3,"e":1.25}"#;
+        let v: Value = from_str(src).unwrap();
+        let emitted = to_string(&v).unwrap();
+        let v2: Value = from_str(&emitted).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<u32>("\"str\"").is_err());
+        assert!(from_slice::<Value>(b"[1,]").is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Recursive-descent JSON parser producing [`serde::Content`].
+
+use crate::Error;
+use serde::Content;
+
+pub fn parse(bytes: &[u8]) -> Result<Content, Error> {
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Content::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Content::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Content::Bool(false))
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Content::Seq(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `]`"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Content::Map(entries)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected `,` or `}`"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.eat_keyword("\\u")?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                    if len == 1 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        if end > self.bytes.len() {
+                            return Err(self.err("truncated UTF-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}

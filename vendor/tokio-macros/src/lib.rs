@@ -1,0 +1,73 @@
+//! `#[tokio::main]` and `#[tokio::test]` for the vendored tokio.
+//!
+//! Both rewrite `async fn f() { body }` into `fn f() { block_on(async
+//! move { body }) }` by direct token manipulation (no `syn`). Flavor
+//! arguments like `flavor = "multi_thread", worker_threads = 4` are
+//! accepted and ignored: the vendored runtime is always one global
+//! multi-threaded pool.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+fn rewrite(item: TokenStream, test: bool) -> TokenStream {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Strip the `async` directly preceding `fn`.
+    let fn_idx = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "fn"));
+    let Some(fn_idx) = fn_idx else {
+        return "::core::compile_error!(\"expected an async fn\");"
+            .parse()
+            .unwrap();
+    };
+    if fn_idx == 0
+        || !matches!(&tokens[fn_idx - 1], TokenTree::Ident(id) if id.to_string() == "async")
+    {
+        return "::core::compile_error!(\"#[tokio::main]/#[tokio::test] requires an async fn\");"
+            .parse()
+            .unwrap();
+    }
+    tokens.remove(fn_idx - 1);
+
+    // The function body is the last top-level brace group.
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace));
+    let Some(body_idx) = body_idx else {
+        return "::core::compile_error!(\"expected a function body\");"
+            .parse()
+            .unwrap();
+    };
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+    let wrapped: TokenStream =
+        format!("::tokio::runtime::Runtime::new().unwrap().block_on(async move {{ {body} }})")
+            .parse()
+            .unwrap();
+    tokens[body_idx] = TokenTree::Group(Group::new(Delimiter::Brace, wrapped));
+
+    let mut out = TokenStream::new();
+    if test {
+        out.extend(
+            "#[::core::prelude::v1::test]"
+                .parse::<TokenStream>()
+                .unwrap(),
+        );
+    }
+    out.extend(tokens);
+    out
+}
+
+/// Run an async `main` on the vendored runtime.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Run an async test on the vendored runtime.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

@@ -1,0 +1,530 @@
+//! Async I/O traits, extension combinators, `BufReader`, and in-memory
+//! [`duplex`] pipes.
+
+use std::future::poll_fn;
+use std::io;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// A cursor into a caller-provided read buffer, mirroring
+/// `tokio::io::ReadBuf` (without the uninitialized-memory machinery —
+/// buffers here are always initialized).
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    /// Wrap an initialized buffer.
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    /// The filled prefix.
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    /// Bytes of space left.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append `data` to the filled region. Panics if it does not fit.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        assert!(data.len() <= self.remaining(), "ReadBuf overflow");
+        self.buf[self.filled..self.filled + data.len()].copy_from_slice(data);
+        self.filled += data.len();
+    }
+
+    /// The unfilled region, for direct writes followed by [`Self::advance`].
+    pub fn unfilled_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.filled..]
+    }
+
+    /// Mark `n` more bytes as filled.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "ReadBuf overflow");
+        self.filled += n;
+    }
+}
+
+/// Asynchronous byte source.
+pub trait AsyncRead {
+    /// Attempt to read into `buf`; EOF is `Ready(Ok(()))` with nothing
+    /// appended.
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>>;
+}
+
+/// Asynchronous byte sink.
+pub trait AsyncWrite {
+    /// Attempt to write from `buf`, returning how many bytes were
+    /// accepted.
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>>;
+
+    /// Flush buffered data.
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Shut down the write side.
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self).poll_write(cx, buf)
+    }
+    fn poll_flush(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self).poll_flush(cx)
+    }
+    fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut **self).poll_shutdown(cx)
+    }
+}
+
+/// Read combinators, mirroring `tokio::io::AsyncReadExt`.
+pub trait AsyncReadExt: AsyncRead {
+    /// Read up to `buf.len()` bytes; `Ok(0)` means EOF (or an empty `buf`).
+    fn read<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            poll_fn(|cx| {
+                let mut rb = ReadBuf::new(buf);
+                match Pin::new(&mut *self).poll_read(cx, &mut rb) {
+                    Poll::Ready(Ok(())) => Poll::Ready(Ok(rb.filled().len())),
+                    Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+                    Poll::Pending => Poll::Pending,
+                }
+            })
+            .await
+        }
+    }
+
+    /// Read exactly `buf.len()` bytes or fail with `UnexpectedEof`.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut filled = 0;
+            while filled < buf.len() {
+                let n = self.read(&mut buf[filled..]).await?;
+                if n == 0 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "early eof"));
+                }
+                filled += n;
+            }
+            Ok(filled)
+        }
+    }
+
+    /// Read some bytes and append them to `buf`.
+    fn read_buf<'a, B: bytes::BufMut>(
+        &'a mut self,
+        buf: &'a mut B,
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.read(&mut chunk).await?;
+            buf.put_slice(&chunk[..n]);
+            Ok(n)
+        }
+    }
+
+    /// Read until EOF, appending UTF-8 text to `buf`; returns bytes read.
+    fn read_to_string<'a>(
+        &'a mut self,
+        buf: &'a mut String,
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut bytes = Vec::new();
+            let n = self.read_to_end(&mut bytes).await?;
+            let s = String::from_utf8(bytes).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "stream is not valid UTF-8")
+            })?;
+            buf.push_str(&s);
+            Ok(n)
+        }
+    }
+
+    /// Read until EOF, appending to `buf`; returns total bytes read.
+    fn read_to_end<'a>(
+        &'a mut self,
+        buf: &'a mut Vec<u8>,
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut total = 0;
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                let n = self.read(&mut chunk).await?;
+                if n == 0 {
+                    return Ok(total);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                total += n;
+            }
+        }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// Write combinators, mirroring `tokio::io::AsyncWriteExt`.
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Write the entire buffer.
+    fn write_all<'a>(
+        &'a mut self,
+        buf: &'a [u8],
+    ) -> impl std::future::Future<Output = io::Result<()>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            let mut written = 0;
+            while written < buf.len() {
+                let n = poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, &buf[written..])).await?;
+                if n == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0"));
+                }
+                written += n;
+            }
+            Ok(())
+        }
+    }
+
+    /// Write as much of `buf` as the sink accepts in one call.
+    fn write<'a>(
+        &'a mut self,
+        buf: &'a [u8],
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, buf)).await }
+    }
+
+    /// Flush the sink.
+    fn flush(&mut self) -> impl std::future::Future<Output = io::Result<()>> + '_
+    where
+        Self: Unpin,
+    {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_flush(cx)).await }
+    }
+
+    /// Shut down the write side.
+    fn shutdown(&mut self) -> impl std::future::Future<Output = io::Result<()>> + '_
+    where
+        Self: Unpin,
+    {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_shutdown(cx)).await }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+/// A buffered reader over any [`AsyncRead`].
+pub struct BufReader<R> {
+    inner: R,
+    buf: Box<[u8]>,
+    pos: usize,
+    cap: usize,
+}
+
+impl<R: AsyncRead + Unpin> BufReader<R> {
+    /// Wrap `inner` with an 8 KiB buffer.
+    pub fn new(inner: R) -> BufReader<R> {
+        BufReader {
+            inner,
+            buf: vec![0u8; 8 * 1024].into_boxed_slice(),
+            pos: 0,
+            cap: 0,
+        }
+    }
+
+    /// The wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Unwrap, discarding any buffered bytes.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: AsyncRead + Unpin> AsyncRead for BufReader<R> {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        out: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = &mut *self;
+        if this.pos == this.cap {
+            // Large reads bypass the internal buffer entirely.
+            if out.remaining() >= this.buf.len() {
+                return Pin::new(&mut this.inner).poll_read(cx, out);
+            }
+            let mut rb = ReadBuf::new(&mut this.buf);
+            match Pin::new(&mut this.inner).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) => {
+                    this.pos = 0;
+                    this.cap = rb.filled().len();
+                    if this.cap == 0 {
+                        return Poll::Ready(Ok(())); // EOF
+                    }
+                }
+                other => return other,
+            }
+        }
+        let n = out.remaining().min(this.cap - this.pos);
+        out.put_slice(&this.buf[this.pos..this.pos + n]);
+        this.pos += n;
+        Poll::Ready(Ok(()))
+    }
+}
+
+// ---- in-memory duplex pipe ----
+
+struct Pipe {
+    buf: std::collections::VecDeque<u8>,
+    capacity: usize,
+    write_closed: bool,
+    read_closed: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Arc<Mutex<Pipe>> {
+        Arc::new(Mutex::new(Pipe {
+            buf: std::collections::VecDeque::new(),
+            capacity,
+            write_closed: false,
+            read_closed: false,
+            read_waker: None,
+            write_waker: None,
+        }))
+    }
+}
+
+/// One end of an in-memory bidirectional byte stream.
+pub struct DuplexStream {
+    /// Pipe this end reads from.
+    rx: Arc<Mutex<Pipe>>,
+    /// Pipe this end writes to.
+    tx: Arc<Mutex<Pipe>>,
+}
+
+/// Create a connected pair of in-memory streams with `max_buf_size` bytes
+/// of buffer in each direction, mirroring `tokio::io::duplex`.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new(max_buf_size);
+    let b_to_a = Pipe::new(max_buf_size);
+    (
+        DuplexStream {
+            rx: Arc::clone(&b_to_a),
+            tx: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            rx: a_to_b,
+            tx: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        out: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut p = self.rx.lock().unwrap();
+        if p.buf.is_empty() {
+            if p.write_closed {
+                return Poll::Ready(Ok(())); // EOF
+            }
+            p.read_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = out.remaining().min(p.buf.len());
+        // Copy the (at most two) contiguous runs of the ring buffer in
+        // bulk rather than byte-at-a-time.
+        let (front, back) = p.buf.as_slices();
+        let from_front = n.min(front.len());
+        out.put_slice(&front[..from_front]);
+        out.put_slice(&back[..n - from_front]);
+        p.buf.drain(..n);
+        if let Some(w) = p.write_waker.take() {
+            drop(p);
+            w.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let mut p = self.tx.lock().unwrap();
+        if p.read_closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer dropped",
+            )));
+        }
+        if p.write_closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex write side shut down",
+            )));
+        }
+        let space = p.capacity.saturating_sub(p.buf.len());
+        if space == 0 {
+            p.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        p.buf.extend(&buf[..n]);
+        if let Some(w) = p.read_waker.take() {
+            drop(p);
+            w.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        let mut p = self.tx.lock().unwrap();
+        p.write_closed = true;
+        if let Some(w) = p.read_waker.take() {
+            drop(p);
+            w.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        {
+            let mut p = self.tx.lock().unwrap();
+            p.write_closed = true;
+            if let Some(w) = p.read_waker.take() {
+                drop(p);
+                w.wake();
+            }
+        }
+        {
+            let mut p = self.rx.lock().unwrap();
+            p.read_closed = true;
+            if let Some(w) = p.write_waker.take() {
+                drop(p);
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Split any full-duplex stream into separately-owned halves.
+pub fn split<S>(stream: S) -> (ReadHalf<S>, WriteHalf<S>)
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    let shared = Arc::new(Mutex::new(stream));
+    (
+        ReadHalf {
+            inner: Arc::clone(&shared),
+        },
+        WriteHalf { inner: shared },
+    )
+}
+
+/// Read half produced by [`split`].
+pub struct ReadHalf<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+/// Write half produced by [`split`].
+pub struct WriteHalf<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S: AsyncRead + Unpin> AsyncRead for ReadHalf<S> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let mut s = self.inner.lock().unwrap();
+        Pin::new(&mut *s).poll_read(cx, buf)
+    }
+}
+
+impl<S: AsyncWrite + Unpin> AsyncWrite for WriteHalf<S> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let mut s = self.inner.lock().unwrap();
+        Pin::new(&mut *s).poll_write(cx, buf)
+    }
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        let mut s = self.inner.lock().unwrap();
+        Pin::new(&mut *s).poll_flush(cx)
+    }
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        let mut s = self.inner.lock().unwrap();
+        Pin::new(&mut *s).poll_shutdown(cx)
+    }
+}

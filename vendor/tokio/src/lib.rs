@@ -1,0 +1,130 @@
+//! Minimal API-compatible substitute for [`tokio`].
+//!
+//! The build environment has no crate-registry access, so the workspace
+//! vendors the tokio surface it uses, implemented from scratch on `std`:
+//!
+//! - [`runtime`]: a global multi-threaded executor (work queue + worker
+//!   threads) plus a dedicated timer thread; [`spawn`] and
+//!   [`runtime::Runtime::block_on`] behave like tokio's.
+//! - [`time`]: `sleep` / `sleep_until` / `timeout` / `timeout_at` and a
+//!   monotonic [`time::Instant`], driven by the timer thread.
+//! - [`sync`]: `mpsc` (bounded + unbounded), `oneshot`, `Semaphore` with
+//!   owned permits, and an async `Mutex`.
+//! - [`net`]: nonblocking `TcpListener` / `TcpStream` over `std::net`.
+//!   Readiness is emulated by retrying `WouldBlock` operations on a short
+//!   timer backoff (20 µs → 1 ms) instead of epoll — a deliberate
+//!   simplification that keeps every async op cancellable without an OS
+//!   reactor, at the cost of sub-millisecond added latency under idle.
+//! - [`io`]: `AsyncRead` / `AsyncWrite`, the `*Ext` combinators used by
+//!   the RPC codec and frontend, `BufReader`, and in-memory [`io::duplex`]
+//!   pipes.
+//! - `#[tokio::main]` / `#[tokio::test]` attribute macros and [`join!`].
+//!
+//! Unsupported tokio features simply do not exist here, so misuse is a
+//! compile error rather than a runtime surprise.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};
+
+/// Support functions used by this crate's macros; not public API.
+#[doc(hidden)]
+pub mod macros_support {
+    use std::future::{poll_fn, Future};
+    use std::pin::Pin;
+    use std::task::Poll;
+
+    /// Poll a set of boxed futures to completion concurrently.
+    pub async fn join_all<T>(mut futs: Vec<Pin<Box<dyn Future<Output = T> + '_>>>) -> Vec<T> {
+        let mut done: Vec<Option<T>> = futs.iter().map(|_| None).collect();
+        poll_fn(|cx| {
+            let mut pending = false;
+            for (slot, fut) in done.iter_mut().zip(futs.iter_mut()) {
+                if slot.is_none() {
+                    match fut.as_mut().poll(cx) {
+                        Poll::Ready(v) => *slot = Some(v),
+                        Poll::Pending => pending = true,
+                    }
+                }
+            }
+            if pending {
+                Poll::Pending
+            } else {
+                Poll::Ready(())
+            }
+        })
+        .await;
+        done.into_iter().map(|v| v.expect("joined")).collect()
+    }
+
+    /// Join two differently-typed futures.
+    pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {
+        let mut a = Box::pin(a);
+        let mut b = Box::pin(b);
+        let mut ra = None;
+        let mut rb = None;
+        poll_fn(|cx| {
+            if ra.is_none() {
+                if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                    ra = Some(v);
+                }
+            }
+            if rb.is_none() {
+                if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                    rb = Some(v);
+                }
+            }
+            if ra.is_some() && rb.is_some() {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        })
+        .await;
+        (ra.unwrap(), rb.unwrap())
+    }
+
+    /// Join three differently-typed futures.
+    pub async fn join3<A: Future, B: Future, C: Future>(
+        a: A,
+        b: B,
+        c: C,
+    ) -> (A::Output, B::Output, C::Output) {
+        let ((ra, rb), rc) = join2(join2(a, b), c).await;
+        (ra, rb, rc)
+    }
+
+    /// Join four differently-typed futures.
+    pub async fn join4<A: Future, B: Future, C: Future, D: Future>(
+        a: A,
+        b: B,
+        c: C,
+        d: D,
+    ) -> (A::Output, B::Output, C::Output, D::Output) {
+        let ((ra, rb), (rc, rd)) = join2(join2(a, b), join2(c, d)).await;
+        (ra, rb, rc, rd)
+    }
+}
+
+/// Await multiple futures concurrently, returning all outputs as a tuple.
+#[macro_export]
+macro_rules! join {
+    ($a:expr $(,)?) => {{
+        ($a.await,)
+    }};
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::macros_support::join2($a, $b).await
+    };
+    ($a:expr, $b:expr, $c:expr $(,)?) => {
+        $crate::macros_support::join3($a, $b, $c).await
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr $(,)?) => {
+        $crate::macros_support::join4($a, $b, $c, $d).await
+    };
+}

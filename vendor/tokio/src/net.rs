@@ -1,0 +1,265 @@
+//! Nonblocking TCP over `std::net`.
+//!
+//! Readiness is emulated: an operation that returns `WouldBlock` parks its
+//! task on the shared timer with a short backoff (20 µs doubling to 1 ms)
+//! and retries when woken. This forgoes epoll (unavailable without libc)
+//! but keeps every operation cancellable and adds at most ~1 ms of idle
+//! latency — irrelevant for the correctness tests and acceptable for the
+//! simulated-latency experiments this workspace runs.
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+/// Retry backoff for emulated readiness, per I/O direction.
+struct Backoff {
+    delay_us: AtomicU64,
+}
+
+impl Backoff {
+    fn new() -> Backoff {
+        Backoff {
+            delay_us: AtomicU64::new(20),
+        }
+    }
+
+    /// Register `cx`'s waker to retry after the current backoff delay.
+    fn park(&self, cx: &mut Context<'_>) {
+        let d = self.delay_us.load(Ordering::Relaxed);
+        self.delay_us.store((d * 2).min(1_000), Ordering::Relaxed);
+        crate::time::register_waker(
+            Instant::now() + Duration::from_micros(d),
+            cx.waker().clone(),
+        );
+    }
+
+    fn reset(&self) {
+        self.delay_us.store(20, Ordering::Relaxed);
+    }
+}
+
+fn poll_would_block<T>(
+    result: io::Result<T>,
+    backoff: &Backoff,
+    cx: &mut Context<'_>,
+) -> Poll<io::Result<T>> {
+    match result {
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            backoff.park(cx);
+            Poll::Pending
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        other => {
+            backoff.reset();
+            Poll::Ready(other)
+        }
+    }
+}
+
+/// A TCP listener, mirroring `tokio::net::TcpListener`.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+    backoff: Backoff,
+}
+
+impl TcpListener {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener {
+            inner,
+            backoff: Backoff::new(),
+        })
+    }
+
+    /// Accept one connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| poll_would_block(self.inner.accept(), &self.backoff, cx))
+            .await
+            .and_then(|(stream, addr)| Ok((TcpStream::from_std_inner(stream)?, addr)))
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A TCP connection, mirroring `tokio::net::TcpStream`.
+pub struct TcpStream {
+    inner: Arc<std::net::TcpStream>,
+    read_backoff: Backoff,
+    write_backoff: Backoff,
+}
+
+impl TcpStream {
+    fn from_std_inner(stream: std::net::TcpStream) -> io::Result<TcpStream> {
+        stream.set_nonblocking(true)?;
+        Ok(TcpStream {
+            inner: Arc::new(stream),
+            read_backoff: Backoff::new(),
+            write_backoff: Backoff::new(),
+        })
+    }
+
+    /// Open a connection to `addr`.
+    pub async fn connect<A: ToSocketAddrs + Send + 'static>(addr: A) -> io::Result<TcpStream> {
+        // std's connect blocks; run it on a dedicated thread.
+        let stream = crate::task::spawn_blocking(move || std::net::TcpStream::connect(addr))
+            .await
+            .map_err(|e| io::Error::other(e.to_string()))??;
+        TcpStream::from_std_inner(stream)
+    }
+
+    /// Disable (or enable) Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Split into independently-owned read and write halves.
+    pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+        (
+            tcp::OwnedReadHalf {
+                inner: Arc::clone(&self.inner),
+                backoff: Backoff::new(),
+            },
+            tcp::OwnedWriteHalf {
+                inner: self.inner,
+                backoff: Backoff::new(),
+            },
+        )
+    }
+}
+
+fn poll_read_inner(
+    stream: &std::net::TcpStream,
+    backoff: &Backoff,
+    cx: &mut Context<'_>,
+    buf: &mut ReadBuf<'_>,
+) -> Poll<io::Result<()>> {
+    let result = (&mut &*stream).read(buf.unfilled_mut());
+    match poll_would_block(result, backoff, cx) {
+        Poll::Ready(Ok(n)) => {
+            buf.advance(n);
+            Poll::Ready(Ok(()))
+        }
+        Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+        Poll::Pending => Poll::Pending,
+    }
+}
+
+fn poll_write_inner(
+    stream: &std::net::TcpStream,
+    backoff: &Backoff,
+    cx: &mut Context<'_>,
+    buf: &[u8],
+) -> Poll<io::Result<usize>> {
+    let result = (&mut &*stream).write(buf);
+    poll_would_block(result, backoff, cx)
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        poll_read_inner(&self.inner, &self.read_backoff, cx, buf)
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        poll_write_inner(&self.inner, &self.write_backoff, cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready((&mut &*self.inner).flush())
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(self.inner.shutdown(Shutdown::Write))
+    }
+}
+
+/// Owned TCP stream halves, mirroring `tokio::net::tcp`.
+pub mod tcp {
+    use super::*;
+
+    /// Owned read half of a [`TcpStream`].
+    pub struct OwnedReadHalf {
+        pub(super) inner: Arc<std::net::TcpStream>,
+        pub(super) backoff: Backoff,
+    }
+
+    /// Owned write half of a [`TcpStream`].
+    pub struct OwnedWriteHalf {
+        pub(super) inner: Arc<std::net::TcpStream>,
+        pub(super) backoff: Backoff,
+    }
+
+    impl OwnedReadHalf {
+        /// The peer address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+    }
+
+    impl OwnedWriteHalf {
+        /// The peer address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+    }
+
+    impl AsyncRead for OwnedReadHalf {
+        fn poll_read(
+            self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+            buf: &mut ReadBuf<'_>,
+        ) -> Poll<io::Result<()>> {
+            poll_read_inner(&self.inner, &self.backoff, cx, buf)
+        }
+    }
+
+    impl AsyncWrite for OwnedWriteHalf {
+        fn poll_write(
+            self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+            buf: &[u8],
+        ) -> Poll<io::Result<usize>> {
+            poll_write_inner(&self.inner, &self.backoff, cx, buf)
+        }
+
+        fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+            Poll::Ready((&mut &*self.inner).flush())
+        }
+
+        fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+            Poll::Ready(self.inner.shutdown(Shutdown::Write))
+        }
+    }
+}

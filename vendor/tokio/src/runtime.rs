@@ -1,0 +1,291 @@
+//! The executor: a global worker pool plus a `block_on` driver.
+//!
+//! One process-wide scheduler is lazily initialized on first use and
+//! shared by every `Runtime` handle — `#[tokio::test]` functions running
+//! in parallel threads all feed the same pool, mirroring how this
+//! workspace actually uses tokio (one multi-threaded runtime per process).
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Parked: waiting for a wake.
+    Idle,
+    /// In the run queue.
+    Queued,
+    /// Being polled by a worker right now.
+    Running,
+    /// Future completed or cancelled; nothing left to run.
+    Done,
+}
+
+struct TaskState {
+    status: Status,
+    /// Woken while running: reschedule after the current poll.
+    rerun: bool,
+}
+
+/// Type-erased hook the abort path uses to complete the join handle.
+pub(crate) trait Completion: Send + Sync {
+    /// Record cancellation (if no result landed yet) and wake the joiner.
+    fn cancel(&self);
+}
+
+pub(crate) struct Task {
+    id: u64,
+    state: Mutex<TaskState>,
+    future: Mutex<Option<BoxFuture>>,
+    pub(crate) aborted: AtomicBool,
+    pub(crate) completion: Arc<dyn Completion>,
+}
+
+impl Task {
+    fn run(self: &Arc<Task>) {
+        if self.aborted.load(Ordering::SeqCst) {
+            self.cancel_now();
+            return;
+        }
+        let mut fut = match self.future.lock().unwrap().take() {
+            Some(f) => f,
+            None => return, // already completed elsewhere
+        };
+        self.state.lock().unwrap().status = Status::Running;
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        let poll = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match poll {
+            Ok(Poll::Ready(())) | Err(_) => {
+                // The wrapper future stored the result (or the panic) in
+                // the join slot before returning Ready; a panic that
+                // escaped the wrapper means the wrapper itself stored it.
+                self.state.lock().unwrap().status = Status::Done;
+                scheduler().release(self.id);
+            }
+            Ok(Poll::Pending) => {
+                *self.future.lock().unwrap() = Some(fut);
+                let mut st = self.state.lock().unwrap();
+                if self.aborted.load(Ordering::SeqCst) {
+                    drop(st);
+                    self.cancel_now();
+                } else if st.rerun {
+                    st.rerun = false;
+                    st.status = Status::Queued;
+                    drop(st);
+                    scheduler().push(Arc::clone(self));
+                } else {
+                    st.status = Status::Idle;
+                }
+            }
+        }
+    }
+
+    fn cancel_now(self: &Arc<Task>) {
+        let already_done = {
+            let mut st = self.state.lock().unwrap();
+            let was = st.status;
+            st.status = Status::Done;
+            was == Status::Done
+        };
+        self.future.lock().unwrap().take();
+        if !already_done {
+            self.completion.cancel();
+        }
+        scheduler().release(self.id);
+    }
+
+    pub(crate) fn schedule_for_abort(self: &Arc<Task>) {
+        let mut st = self.state.lock().unwrap();
+        if st.status == Status::Idle {
+            st.status = Status::Queued;
+            drop(st);
+            scheduler().push(Arc::clone(self));
+        } else if st.status == Status::Running {
+            st.rerun = true;
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        let mut st = self.state.lock().unwrap();
+        match st.status {
+            Status::Idle => {
+                st.status = Status::Queued;
+                drop(st);
+                scheduler().push(self);
+            }
+            Status::Running => st.rerun = true,
+            Status::Queued | Status::Done => {}
+        }
+    }
+}
+
+struct Scheduler {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    /// Every live spawned task, keyed by id. Like tokio's owned-task
+    /// list: a task parked with no outstanding waker (e.g. holding a
+    /// socket in `pending().await`) must stay alive even after its
+    /// `JoinHandle` is dropped.
+    owned: Mutex<std::collections::HashMap<u64, Arc<Task>>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl Scheduler {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+
+    fn release(&self, id: u64) {
+        self.owned.lock().unwrap().remove(&id);
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            task.run();
+        }
+    }
+}
+
+fn scheduler() -> &'static Scheduler {
+    static SCHED: OnceLock<&'static Scheduler> = OnceLock::new();
+    SCHED.get_or_init(|| {
+        let sched: &'static Scheduler = Box::leak(Box::new(Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            owned: Mutex::new(std::collections::HashMap::new()),
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }));
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 16);
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("tokio-worker-{i}"))
+                .spawn(move || sched.worker_loop())
+                .expect("spawn worker thread");
+        }
+        sched
+    })
+}
+
+pub(crate) fn submit(future: BoxFuture, completion: Arc<dyn Completion>) -> Arc<Task> {
+    let sched = scheduler();
+    let id = sched.next_id.fetch_add(1, Ordering::Relaxed);
+    let task = Arc::new(Task {
+        id,
+        state: Mutex::new(TaskState {
+            status: Status::Queued,
+            rerun: false,
+        }),
+        future: Mutex::new(Some(future)),
+        aborted: AtomicBool::new(false),
+        completion,
+    });
+    sched.owned.lock().unwrap().insert(id, Arc::clone(&task));
+    sched.push(Arc::clone(&task));
+    task
+}
+
+struct ThreadWaker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the current thread, parking between
+/// polls. Spawned tasks continue to run on the worker pool.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = std::pin::pin!(future);
+    let tw = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&tw));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+            return out;
+        }
+        while !tw.notified.swap(false, Ordering::SeqCst) {
+            std::thread::park();
+        }
+    }
+}
+
+/// Handle to the (global) executor, mirroring `tokio::runtime::Runtime`.
+#[derive(Debug, Clone, Default)]
+pub struct Runtime(());
+
+impl Runtime {
+    /// Obtain a handle; the shared pool starts lazily on first use.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime(()))
+    }
+
+    /// Drive `future` to completion on this thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+
+    /// Spawn onto the worker pool.
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn(future)
+    }
+}
+
+/// Builder mirroring `tokio::runtime::Builder`; every knob is accepted and
+/// ignored because the pool is global and always multi-threaded.
+#[derive(Debug, Default)]
+pub struct Builder(());
+
+impl Builder {
+    /// Multi-thread builder (the only flavor provided).
+    pub fn new_multi_thread() -> Builder {
+        Builder(())
+    }
+
+    /// Accepted for compatibility; the global pool sizes itself.
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    /// Accepted for compatibility; all drivers are always enabled.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Produce the runtime handle.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

@@ -1,0 +1,11 @@
+//! Synchronization primitives: [`mpsc`], [`oneshot`], [`Semaphore`], and
+//! an async [`Mutex`].
+
+pub mod mpsc;
+pub mod oneshot;
+
+mod mutex;
+mod semaphore;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use semaphore::{AcquireError, OwnedSemaphorePermit, Semaphore, SemaphorePermit};

@@ -1,0 +1,390 @@
+//! Multi-producer single-consumer channels, bounded and unbounded.
+
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::sync::{Arc, Mutex};
+use std::task::{Poll, Waker};
+
+struct Chan<T> {
+    queue: VecDeque<T>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    senders: usize,
+    rx_alive: bool,
+    /// Set by `close()`: sends fail, but the receiver may drain.
+    closed: bool,
+    rx_waker: Option<Waker>,
+    tx_wakers: VecDeque<Waker>,
+}
+
+impl<T> Chan<T> {
+    fn wake_rx(&mut self) -> Option<Waker> {
+        self.rx_waker.take()
+    }
+
+    /// Take every parked sender waker. Waking all (rather than one) is
+    /// deliberate: a stale waker from a cancelled `send()` future must
+    /// not swallow the wake meant for a live sender.
+    fn take_tx_wakers(&mut self) -> Vec<Waker> {
+        self.tx_wakers.drain(..).collect()
+    }
+
+    fn accepting(&self) -> bool {
+        self.rx_alive && !self.closed
+    }
+}
+
+/// Channel errors, mirroring `tokio::sync::mpsc::error`.
+pub mod error {
+    /// The receiver was dropped; the value comes back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Failure modes of `try_send`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value comes back.
+        Full(T),
+        /// The receiver was dropped; the value comes back.
+        Closed(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "channel full"),
+                TrySendError::Closed(_) => write!(f, "channel closed"),
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+    /// Failure modes of `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message ready.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "channel empty"),
+                TryRecvError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+}
+
+use error::{SendError, TryRecvError, TrySendError};
+
+/// Bounded sending half.
+pub struct Sender<T> {
+    chan: Arc<Mutex<Chan<T>>>,
+}
+
+/// Bounded receiving half.
+pub struct Receiver<T> {
+    chan: Arc<Mutex<Chan<T>>>,
+}
+
+/// Unbounded sending half.
+pub struct UnboundedSender<T> {
+    chan: Arc<Mutex<Chan<T>>>,
+}
+
+/// Unbounded receiving half.
+pub struct UnboundedReceiver<T> {
+    chan: Arc<Mutex<Chan<T>>>,
+}
+
+fn new_chan<T>(capacity: Option<usize>) -> Arc<Mutex<Chan<T>>> {
+    Arc::new(Mutex::new(Chan {
+        queue: VecDeque::new(),
+        capacity,
+        senders: 1,
+        rx_alive: true,
+        closed: false,
+        rx_waker: None,
+        tx_wakers: VecDeque::new(),
+    }))
+}
+
+/// Create a bounded channel with room for `capacity` queued messages.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "mpsc capacity must be positive");
+    let chan = new_chan(Some(capacity));
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// Create an unbounded channel.
+pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+    let chan = new_chan(None);
+    (
+        UnboundedSender {
+            chan: Arc::clone(&chan),
+        },
+        UnboundedReceiver { chan },
+    )
+}
+
+fn clone_sender<T>(chan: &Arc<Mutex<Chan<T>>>) -> Arc<Mutex<Chan<T>>> {
+    chan.lock().unwrap().senders += 1;
+    Arc::clone(chan)
+}
+
+fn drop_sender<T>(chan: &Arc<Mutex<Chan<T>>>) {
+    let waker = {
+        let mut c = chan.lock().unwrap();
+        c.senders -= 1;
+        if c.senders == 0 {
+            c.wake_rx()
+        } else {
+            None
+        }
+    };
+    if let Some(w) = waker {
+        w.wake();
+    }
+}
+
+fn recv_poll<T>(chan: &Arc<Mutex<Chan<T>>>, waker: &Waker) -> Poll<Option<T>> {
+    let (result, tx_wakers) = {
+        let mut c = chan.lock().unwrap();
+        if let Some(v) = c.queue.pop_front() {
+            let ws = c.take_tx_wakers();
+            (Poll::Ready(Some(v)), ws)
+        } else if c.senders == 0 || c.closed {
+            (Poll::Ready(None), Vec::new())
+        } else {
+            c.rx_waker = Some(waker.clone());
+            (Poll::Pending, Vec::new())
+        }
+    };
+    for w in tx_wakers {
+        w.wake();
+    }
+    result
+}
+
+fn try_recv_inner<T>(chan: &Arc<Mutex<Chan<T>>>) -> Result<T, TryRecvError> {
+    let (result, tx_wakers) = {
+        let mut c = chan.lock().unwrap();
+        match c.queue.pop_front() {
+            Some(v) => {
+                let ws = c.take_tx_wakers();
+                (Ok(v), ws)
+            }
+            None if c.senders == 0 || c.closed => (Err(TryRecvError::Disconnected), Vec::new()),
+            None => (Err(TryRecvError::Empty), Vec::new()),
+        }
+    };
+    for w in tx_wakers {
+        w.wake();
+    }
+    result
+}
+
+fn drop_receiver<T>(chan: &Arc<Mutex<Chan<T>>>) {
+    let wakers: Vec<Waker> = {
+        let mut c = chan.lock().unwrap();
+        c.rx_alive = false;
+        c.queue.clear();
+        c.tx_wakers.drain(..).collect()
+    };
+    for w in wakers {
+        w.wake();
+    }
+}
+
+/// `close()` semantics (matching tokio): further sends fail immediately,
+/// but already-queued messages stay receivable until drained, after which
+/// `recv()` returns `None`.
+fn close_receiver<T>(chan: &Arc<Mutex<Chan<T>>>) {
+    let wakers: Vec<Waker> = {
+        let mut c = chan.lock().unwrap();
+        c.closed = true;
+        let mut ws = c.take_tx_wakers();
+        ws.extend(c.wake_rx());
+        ws
+    };
+    for w in wakers {
+        w.wake();
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send, waiting for queue space if the channel is full.
+    pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut slot = Some(value);
+        poll_fn(move |cx| {
+            let (result, rx_waker) = {
+                let mut c = self.chan.lock().unwrap();
+                if !c.accepting() {
+                    (
+                        Poll::Ready(Err(SendError(slot.take().expect("polled after done")))),
+                        None,
+                    )
+                } else if c.queue.len() < c.capacity.unwrap_or(usize::MAX) {
+                    c.queue.push_back(slot.take().expect("polled after done"));
+                    let w = c.wake_rx();
+                    (Poll::Ready(Ok(())), w)
+                } else {
+                    c.tx_wakers.push_back(cx.waker().clone());
+                    (Poll::Pending, None)
+                }
+            };
+            if let Some(w) = rx_waker {
+                w.wake();
+            }
+            result
+        })
+        .await
+    }
+
+    /// Send without waiting; fails if the channel is full or closed.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let (result, rx_waker) = {
+            let mut c = self.chan.lock().unwrap();
+            if !c.accepting() {
+                (Err(TrySendError::Closed(value)), None)
+            } else if c.queue.len() < c.capacity.unwrap_or(usize::MAX) {
+                c.queue.push_back(value);
+                let w = c.wake_rx();
+                (Ok(()), w)
+            } else {
+                (Err(TrySendError::Full(value)), None)
+            }
+        };
+        if let Some(w) = rx_waker {
+            w.wake();
+        }
+        result
+    }
+
+    /// Whether the receiver has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.chan.lock().unwrap().rx_alive
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            chan: clone_sender(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        drop_sender(&self.chan);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive the next message; `None` once all senders are gone and the
+    /// queue is drained.
+    pub async fn recv(&mut self) -> Option<T> {
+        poll_fn(|cx| recv_poll(&self.chan, cx.waker())).await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        try_recv_inner(&self.chan)
+    }
+
+    /// Close the channel: further sends fail; queued messages can still
+    /// be drained with `recv()`.
+    pub fn close(&mut self) {
+        close_receiver(&self.chan);
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        drop_receiver(&self.chan);
+    }
+}
+
+impl<T> UnboundedSender<T> {
+    /// Send immediately (no backpressure).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let (result, rx_waker) = {
+            let mut c = self.chan.lock().unwrap();
+            if !c.accepting() {
+                (Err(SendError(value)), None)
+            } else {
+                c.queue.push_back(value);
+                let w = c.wake_rx();
+                (Ok(()), w)
+            }
+        };
+        if let Some(w) = rx_waker {
+            w.wake();
+        }
+        result
+    }
+
+    /// Whether the channel no longer accepts sends.
+    pub fn is_closed(&self) -> bool {
+        !self.chan.lock().unwrap().accepting()
+    }
+}
+
+impl<T> Clone for UnboundedSender<T> {
+    fn clone(&self) -> Self {
+        UnboundedSender {
+            chan: clone_sender(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for UnboundedSender<T> {
+    fn drop(&mut self) {
+        drop_sender(&self.chan);
+    }
+}
+
+impl<T> UnboundedReceiver<T> {
+    /// Receive the next message; `None` once all senders are gone and the
+    /// queue is drained.
+    pub async fn recv(&mut self) -> Option<T> {
+        poll_fn(|cx| recv_poll(&self.chan, cx.waker())).await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        try_recv_inner(&self.chan)
+    }
+
+    /// Close the channel: further sends fail; queued messages can still
+    /// be drained with `recv()`.
+    pub fn close(&mut self) {
+        close_receiver(&self.chan);
+    }
+}
+
+impl<T> Drop for UnboundedReceiver<T> {
+    fn drop(&mut self) {
+        drop_receiver(&self.chan);
+    }
+}

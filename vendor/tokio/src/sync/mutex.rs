@@ -1,0 +1,113 @@
+//! An async mutex whose guard may be held across `.await` points.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+use std::task::{Poll, Waker};
+
+struct LockState {
+    locked: bool,
+    waiters: VecDeque<Waker>,
+}
+
+/// An asynchronous mutual-exclusion lock, mirroring `tokio::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    state: StdMutex<LockState>,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: access to `value` is serialized by the `locked` flag; the guard
+// is the only accessor while `locked` is true.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// RAII guard; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new async mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            state: StdMutex::new(LockState {
+                locked: false,
+                waiters: VecDeque::new(),
+            }),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, waiting asynchronously if it is held.
+    pub async fn lock(&self) -> MutexGuard<'_, T> {
+        poll_fn(|cx| {
+            let mut s = self.state.lock().unwrap();
+            if s.locked {
+                s.waiters.push_back(cx.waker().clone());
+                Poll::Pending
+            } else {
+                s.locked = true;
+                Poll::Ready(())
+            }
+        })
+        .await;
+        MutexGuard { mutex: self }
+    }
+
+    /// Acquire without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.locked {
+            None
+        } else {
+            s.locked = true;
+            drop(s);
+            Some(MutexGuard { mutex: self })
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the logical lock.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the logical lock exclusively.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Wake all waiters: a stale waker from a cancelled lock() future
+        // would otherwise swallow the single wake and strand a live
+        // waiter. Survivors re-contend and re-register.
+        let wakers: Vec<Waker> = {
+            let mut s = self.mutex.state.lock().unwrap();
+            s.locked = false;
+            s.waiters.drain(..).collect()
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+}

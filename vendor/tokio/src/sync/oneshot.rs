@@ -1,0 +1,140 @@
+//! One-shot channel: a single value handed from one task to another.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    value: Option<T>,
+    tx_alive: bool,
+    rx_alive: bool,
+    rx_waker: Option<Waker>,
+}
+
+/// Sending half.
+pub struct Sender<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+/// Receiving half; a future yielding `Result<T, RecvError>`.
+pub struct Receiver<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+/// Error: the sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError(());
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing sent yet.
+    Empty,
+    /// Sender dropped without sending.
+    Closed,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "oneshot channel empty"),
+            TryRecvError::Closed => write!(f, "oneshot channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Create a oneshot channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Mutex::new(Inner {
+        value: None,
+        tx_alive: true,
+        rx_alive: true,
+        rx_waker: None,
+    }));
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send the value; returns it back if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.rx_alive {
+            return Err(value);
+        }
+        inner.value = Some(value);
+        if let Some(w) = inner.rx_waker.take() {
+            drop(inner);
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.inner.lock().unwrap().rx_alive
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tx_alive = false;
+        if let Some(w) = inner.rx_waker.take() {
+            drop(inner);
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking poll for the value.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(v) = inner.value.take() {
+            return Ok(v);
+        }
+        if inner.tx_alive {
+            Err(TryRecvError::Empty)
+        } else {
+            Err(TryRecvError::Closed)
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.lock().unwrap().rx_alive = false;
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !inner.tx_alive {
+            return Poll::Ready(Err(RecvError(())));
+        }
+        inner.rx_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}

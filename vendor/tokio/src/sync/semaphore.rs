@@ -1,0 +1,152 @@
+//! Counting semaphore with RAII permits.
+
+use std::collections::VecDeque;
+use std::future::poll_fn;
+use std::sync::{Arc, Mutex};
+use std::task::{Poll, Waker};
+
+struct Sem {
+    permits: usize,
+    closed: bool,
+    waiters: VecDeque<Waker>,
+}
+
+/// An async counting semaphore, mirroring `tokio::sync::Semaphore`.
+pub struct Semaphore {
+    inner: Mutex<Sem>,
+}
+
+/// Error: the semaphore was closed while waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireError(());
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semaphore closed")
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+/// Permit tied to a borrowed semaphore.
+pub struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+}
+
+/// Permit tied to an `Arc`-owned semaphore.
+pub struct OwnedSemaphorePermit {
+    sem: Arc<Semaphore>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` available permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            inner: Mutex::new(Sem {
+                permits,
+                closed: false,
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available_permits(&self) -> usize {
+        self.inner.lock().unwrap().permits
+    }
+
+    /// Return `n` permits, waking waiters.
+    pub fn add_permits(&self, n: usize) {
+        let wakers: Vec<Waker> = {
+            let mut s = self.inner.lock().unwrap();
+            s.permits += n;
+            // Wake every waiter, not just n: a registered waker may belong
+            // to a future that was since dropped (cancellation) and would
+            // otherwise swallow the wake. Survivors re-contend and
+            // re-register — spurious wakes are cheap, lost wakes hang.
+            s.waiters.drain(..).collect()
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Close: waiting and future acquires fail with [`AcquireError`].
+    pub fn close(&self) {
+        let wakers: Vec<Waker> = {
+            let mut s = self.inner.lock().unwrap();
+            s.closed = true;
+            s.waiters.drain(..).collect()
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Whether the semaphore is closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    fn poll_acquire(&self, waker: &Waker) -> Poll<Result<(), AcquireError>> {
+        let mut s = self.inner.lock().unwrap();
+        if s.closed {
+            Poll::Ready(Err(AcquireError(())))
+        } else if s.permits > 0 {
+            s.permits -= 1;
+            Poll::Ready(Ok(()))
+        } else {
+            s.waiters.push_back(waker.clone());
+            Poll::Pending
+        }
+    }
+
+    /// Wait for one permit, borrowing the semaphore.
+    pub async fn acquire(&self) -> Result<SemaphorePermit<'_>, AcquireError> {
+        poll_fn(|cx| self.poll_acquire(cx.waker())).await?;
+        Ok(SemaphorePermit { sem: self })
+    }
+
+    /// Take one permit without waiting.
+    pub fn try_acquire(&self) -> Result<SemaphorePermit<'_>, AcquireError> {
+        let mut s = self.inner.lock().unwrap();
+        if s.closed || s.permits == 0 {
+            return Err(AcquireError(()));
+        }
+        s.permits -= 1;
+        drop(s);
+        Ok(SemaphorePermit { sem: self })
+    }
+
+    /// Wait for one permit, holding the semaphore through an `Arc`.
+    pub async fn acquire_owned(self: Arc<Self>) -> Result<OwnedSemaphorePermit, AcquireError> {
+        poll_fn(|cx| self.poll_acquire(cx.waker())).await?;
+        Ok(OwnedSemaphorePermit { sem: self })
+    }
+}
+
+fn release(sem: &Semaphore) {
+    // Wake all waiters (see `add_permits`): stale wakers from cancelled
+    // acquires must not be able to swallow the single wake a permit
+    // would otherwise deliver.
+    let wakers: Vec<Waker> = {
+        let mut s = sem.inner.lock().unwrap();
+        s.permits += 1;
+        s.waiters.drain(..).collect()
+    };
+    for w in wakers {
+        w.wake();
+    }
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        release(self.sem);
+    }
+}
+
+impl Drop for OwnedSemaphorePermit {
+    fn drop(&mut self) {
+        release(&self.sem);
+    }
+}

@@ -1,0 +1,275 @@
+//! Task spawning and join handles.
+
+use crate::runtime::{self, Completion};
+use std::future::Future;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Why a joined task produced no output.
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+    panic_msg: Option<String>,
+}
+
+impl JoinError {
+    fn cancelled_err() -> Self {
+        JoinError {
+            cancelled: true,
+            panic_msg: None,
+        }
+    }
+
+    fn panic_err(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "task panicked".to_string());
+        JoinError {
+            cancelled: false,
+            panic_msg: Some(msg),
+        }
+    }
+
+    /// Whether the task was cancelled via [`JoinHandle::abort`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Whether the task panicked.
+    pub fn is_panic(&self) -> bool {
+        self.panic_msg.is_some()
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.panic_msg {
+            Some(m) => write!(f, "task panicked: {m}"),
+            None => write!(f, "task was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinInner<T> {
+    result: Mutex<Option<Result<T, JoinError>>>,
+    waker: Mutex<Option<Waker>>,
+    done: AtomicBool,
+}
+
+impl<T> JoinInner<T> {
+    fn complete(&self, result: Result<T, JoinError>) {
+        let mut slot = self.result.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.store(true, Ordering::SeqCst);
+        }
+        drop(slot);
+        if let Some(w) = self.waker.lock().unwrap().take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T: Send> Completion for JoinInner<T> {
+    fn cancel(&self) {
+        self.complete(Err(JoinError::cancelled_err()));
+    }
+}
+
+/// An owned handle to a spawned task, mirroring `tokio::task::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Arc<JoinInner<T>>,
+    task: Arc<runtime::Task>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Request cancellation. The future is dropped at the next scheduling
+    /// point (tasks are never interrupted mid-poll).
+    pub fn abort(&self) {
+        self.task.aborted.store(true, Ordering::SeqCst);
+        self.task.schedule_for_abort();
+    }
+
+    /// Whether the task has finished (completed, panicked, or cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.inner.done.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(result) = self.inner.result.lock().unwrap().take() {
+            return Poll::Ready(result);
+        }
+        *self.inner.waker.lock().unwrap() = Some(cx.waker().clone());
+        // Re-check: the task may have completed between the two locks.
+        if let Some(result) = self.inner.result.lock().unwrap().take() {
+            return Poll::Ready(result);
+        }
+        Poll::Pending
+    }
+}
+
+/// Spawn `future` onto the worker pool.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let inner = Arc::new(JoinInner {
+        result: Mutex::new(None),
+        waker: Mutex::new(None),
+        done: AtomicBool::new(false),
+    });
+    let inner_for_task = Arc::clone(&inner);
+    let wrapper = async move {
+        let result = AssertUnwindSafe(future).catch_unwind_future().await;
+        inner_for_task.complete(result.map_err(|p| JoinError::panic_err(&*p)));
+    };
+    let completion: Arc<dyn Completion> = Arc::clone(&inner) as Arc<dyn Completion>;
+    let task = runtime::submit(Box::pin(wrapper), completion);
+    JoinHandle {
+        inner,
+        task,
+        _marker: PhantomData,
+    }
+}
+
+/// Reusable pool for blocking work: jobs queue up and idle threads take
+/// them; a new thread is spawned only when none is idle, up to a cap
+/// (after which jobs wait for a free thread, like tokio's bounded
+/// blocking pool).
+struct BlockingPool {
+    queue: Mutex<std::collections::VecDeque<Box<dyn FnOnce() + Send>>>,
+    available: std::sync::Condvar,
+    idle: std::sync::atomic::AtomicUsize,
+    threads: std::sync::atomic::AtomicUsize,
+}
+
+const MAX_BLOCKING_THREADS: usize = 256;
+
+fn blocking_pool() -> &'static BlockingPool {
+    static POOL: std::sync::OnceLock<&'static BlockingPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| {
+        Box::leak(Box::new(BlockingPool {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: std::sync::Condvar::new(),
+            idle: std::sync::atomic::AtomicUsize::new(0),
+            threads: std::sync::atomic::AtomicUsize::new(0),
+        }))
+    })
+}
+
+fn blocking_worker(pool: &'static BlockingPool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                pool.idle.fetch_add(1, Ordering::SeqCst);
+                q = pool.available.wait(q).unwrap();
+                pool.idle.fetch_sub(1, Ordering::SeqCst);
+            }
+        };
+        job();
+    }
+}
+
+fn run_blocking(job: Box<dyn FnOnce() + Send>) {
+    let pool = blocking_pool();
+    pool.queue.lock().unwrap().push_back(job);
+    if pool.idle.load(Ordering::SeqCst) == 0 {
+        let spawned = pool
+            .threads
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < MAX_BLOCKING_THREADS).then_some(n + 1)
+            });
+        if spawned.is_ok() {
+            let _ = std::thread::Builder::new()
+                .name("tokio-blocking".to_string())
+                .spawn(move || blocking_worker(pool));
+        }
+    }
+    pool.available.notify_one();
+}
+
+/// Run a blocking closure on the blocking thread pool without stalling
+/// the async workers; await the result through a normal [`JoinHandle`].
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let inner = Arc::new(JoinInner::<R> {
+        result: Mutex::new(None),
+        waker: Mutex::new(None),
+        done: AtomicBool::new(false),
+    });
+    let inner_for_thread = Arc::clone(&inner);
+    run_blocking(Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        inner_for_thread.complete(result.map_err(|p| JoinError::panic_err(&*p)));
+    }));
+    // A placeholder task so abort()/JoinHandle plumbing stays uniform; the
+    // blocking job itself cannot be cancelled, matching tokio's semantics.
+    let completion: Arc<dyn Completion> = Arc::clone(&inner) as Arc<dyn Completion>;
+    let task = runtime::submit(Box::pin(async {}), completion);
+    JoinHandle {
+        inner,
+        task,
+        _marker: PhantomData,
+    }
+}
+
+/// Yield back to the scheduler once.
+pub async fn yield_now() {
+    let mut yielded = false;
+    std::future::poll_fn(move |cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// Adapter: run a future and capture panics, like `FutureExt::catch_unwind`.
+trait CatchUnwindExt: Future + Sized {
+    fn catch_unwind_future(self) -> CatchUnwind<Self> {
+        CatchUnwind(self)
+    }
+}
+
+impl<F: Future> CatchUnwindExt for AssertUnwindSafe<F> {}
+
+struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<AssertUnwindSafe<F>> {
+    type Output = Result<F::Output, Box<dyn std::any::Any + Send>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of the sole field.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut *s.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}

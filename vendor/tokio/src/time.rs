@@ -1,0 +1,342 @@
+//! Timers: `sleep`, `sleep_until`, `timeout`, `timeout_at`, [`Instant`].
+//!
+//! A single dedicated thread owns a min-heap of `(deadline, waker)`
+//! entries and fires wakers as deadlines pass. The same registration API
+//! ([`register_waker`]) backs the emulated I/O readiness in [`crate::net`]
+//! and [`crate::io`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+use std::time::Instant as StdInstant;
+
+/// A measurement of a monotonically nondecreasing clock, mirroring
+/// `tokio::time::Instant` (a thin wrapper over `std::time::Instant`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(StdInstant);
+
+impl Instant {
+    /// The current instant.
+    pub fn now() -> Instant {
+        Instant(StdInstant::now())
+    }
+
+    /// Convert from the std clock.
+    pub fn from_std(i: StdInstant) -> Instant {
+        Instant(i)
+    }
+
+    /// Convert into the std clock.
+    pub fn into_std(self) -> StdInstant {
+        self.0
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Time between two instants (panics if `earlier` is later).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.0.duration_since(earlier.0)
+    }
+
+    /// Time between two instants, zero if `earlier` is later.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
+
+    /// Checked add.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d).map(Instant)
+    }
+
+    /// Checked subtract.
+    pub fn checked_sub(&self, d: Duration) -> Option<Instant> {
+        self.0.checked_sub(d).map(Instant)
+    }
+}
+
+impl From<StdInstant> for Instant {
+    fn from(i: StdInstant) -> Instant {
+        Instant(i)
+    }
+}
+
+impl From<Instant> for StdInstant {
+    fn from(i: Instant) -> StdInstant {
+        i.0
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        Instant(self.0 + d)
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d;
+    }
+}
+
+impl std::ops::Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, d: Duration) -> Instant {
+        Instant(self.0 - d)
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.0 - other.0
+    }
+}
+
+/// A waker slot shared between a timer entry and its owning future.
+/// The future updates the waker on re-poll and clears the slot on
+/// drop/completion, so a cancelled timer fires as a no-op instead of
+/// waking a finished task.
+type WakerSlot = std::sync::Arc<Mutex<Option<Waker>>>;
+
+struct TimerEntry {
+    deadline: StdInstant,
+    seq: u64,
+    slot: WakerSlot,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TimerShared {
+    heap: Mutex<(BinaryHeap<Reverse<TimerEntry>>, u64)>,
+    changed: Condvar,
+}
+
+fn timer() -> &'static TimerShared {
+    static TIMER: OnceLock<&'static TimerShared> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let shared: &'static TimerShared = Box::leak(Box::new(TimerShared {
+            heap: Mutex::new((BinaryHeap::new(), 0)),
+            changed: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-timer".to_string())
+            .spawn(move || timer_loop(shared))
+            .expect("spawn timer thread");
+        shared
+    })
+}
+
+fn timer_loop(shared: &'static TimerShared) {
+    let mut due: Vec<Waker> = Vec::new();
+    loop {
+        {
+            let mut guard = shared.heap.lock().unwrap();
+            loop {
+                let now = StdInstant::now();
+                while let Some(Reverse(head)) = guard.0.peek() {
+                    if head.deadline <= now {
+                        let Reverse(entry) = guard.0.pop().unwrap();
+                        let woken = entry.slot.lock().unwrap().take();
+                        if let Some(w) = woken {
+                            due.push(w);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if !due.is_empty() {
+                    break;
+                }
+                match guard.0.peek() {
+                    Some(Reverse(head)) => {
+                        let wait = head.deadline.saturating_duration_since(now);
+                        let (g, _timeout) = shared.changed.wait_timeout(guard, wait).unwrap();
+                        guard = g;
+                    }
+                    None => {
+                        guard = shared.changed.wait(guard).unwrap();
+                    }
+                }
+            }
+        }
+        for waker in due.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// Arrange for the waker in `slot` to be woken at (or shortly after)
+/// `deadline`. The caller keeps the slot: clearing it cancels the wake,
+/// replacing its waker retargets it.
+pub(crate) fn register_slot(deadline: StdInstant, slot: WakerSlot) {
+    let shared = timer();
+    let mut guard = shared.heap.lock().unwrap();
+    let seq = guard.1;
+    guard.1 += 1;
+    guard.0.push(Reverse(TimerEntry {
+        deadline,
+        seq,
+        slot,
+    }));
+    drop(guard);
+    shared.changed.notify_one();
+}
+
+/// One-shot form of [`register_slot`] for fire-and-forget retry wakeups
+/// (short deadlines that self-clean at expiry).
+pub(crate) fn register_waker(deadline: StdInstant, waker: Waker) {
+    register_slot(deadline, std::sync::Arc::new(Mutex::new(Some(waker))));
+}
+
+/// A future that completes at a deadline.
+///
+/// Registers exactly one timer-heap entry (on first poll); re-polls only
+/// refresh the waker in the shared slot, and dropping or completing the
+/// sleep clears the slot so the entry expires as a no-op.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    slot: Option<WakerSlot>,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    fn clear_slot(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            *slot.lock().unwrap() = None;
+        }
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if StdInstant::now() >= self.deadline.0 {
+            self.clear_slot();
+            return Poll::Ready(());
+        }
+        match &self.slot {
+            Some(slot) => {
+                *slot.lock().unwrap() = Some(cx.waker().clone());
+            }
+            None => {
+                let slot: WakerSlot = std::sync::Arc::new(Mutex::new(Some(cx.waker().clone())));
+                register_slot(self.deadline.0, std::sync::Arc::clone(&slot));
+                self.slot = Some(slot);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        self.clear_slot();
+    }
+}
+
+/// Sleep for `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+        slot: None,
+    }
+}
+
+/// Sleep until `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        deadline,
+        slot: None,
+    }
+}
+
+/// Error returned when a [`timeout`] elapses before its future completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`] / [`timeout_at`].
+#[derive(Debug)]
+pub struct Timeout<F> {
+    future: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of both fields; neither moves.
+        let (future, sleep) = unsafe {
+            let this = self.get_unchecked_mut();
+            (
+                Pin::new_unchecked(&mut this.future),
+                Pin::new_unchecked(&mut this.sleep),
+            )
+        };
+        if let Poll::Ready(v) = future.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match sleep.poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Require `future` to complete within `duration`.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep(duration),
+    }
+}
+
+/// Require `future` to complete before `deadline`.
+pub fn timeout_at<F: Future>(deadline: Instant, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep_until(deadline),
+    }
+}
+
+/// Errors for this module, mirroring `tokio::time::error`.
+pub mod error {
+    pub use super::Elapsed;
+}
