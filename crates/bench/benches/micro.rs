@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use clipper_core::batching::{AimdController, BatchController, QuantileController};
-use clipper_core::cache::PredictionCache;
+use clipper_core::cache::{CacheKey, PredictionCache};
 use clipper_core::selection::SelectionPolicy;
 use clipper_core::{Exp3Policy, Exp4Policy, Feedback, ModelId, Output};
 use clipper_metrics::Histogram;
@@ -23,14 +23,30 @@ fn bench_cache(c: &mut Criterion) {
     let cache = PredictionCache::new(4_096);
     let model = ModelId::new("m", 1);
     let hot: clipper_core::Input = Arc::new(vec![1.0; 784]);
-    cache.fill(&model, &hot, Ok(Output::Class(1)));
-    g.bench_function("hit_784d", |b| {
-        b.iter(|| black_box(cache.fetch(&model, &hot)))
+    let hot_key = CacheKey::new(&model, &hot);
+    cache.fill(hot_key, Ok(Output::Class(1)));
+    g.bench_function("hit_784d_prebuilt_key", |b| {
+        b.iter(|| black_box(cache.fetch(black_box(hot_key))))
     });
 
     let cold: clipper_core::Input = Arc::new(vec![2.0; 784]);
-    g.bench_function("miss_784d", |b| {
-        b.iter(|| black_box(cache.fetch(&model, &cold)))
+    let cold_key = CacheKey::new(&model, &cold);
+    g.bench_function("miss_784d_prebuilt_key", |b| {
+        b.iter(|| black_box(cache.fetch(black_box(cold_key))))
+    });
+
+    // The full per-predict probe cost: one single-pass key build plus one
+    // shard probe (the old design hashed the input twice per key and built
+    // the key twice on a miss).
+    let x256: clipper_core::Input = Arc::new(vec![0.5; 256]);
+    g.bench_function("key_build_256d", |b| {
+        b.iter(|| black_box(CacheKey::new(&model, black_box(&x256))))
+    });
+    g.bench_function("probe_256d_key_plus_fetch", |b| {
+        b.iter(|| {
+            let key = CacheKey::new(&model, black_box(&x256));
+            black_box(cache.fetch(key))
+        })
     });
 
     g.bench_function("fill_with_eviction", |b| {
@@ -38,8 +54,8 @@ fn bench_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let input: clipper_core::Input = Arc::new(vec![i as f32; 32]);
-            small.fill(&model, &input, Ok(Output::Class(0)));
+            let key = CacheKey::from_fingerprint(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+            small.fill(key, Ok(Output::Class(0)));
         })
     });
     g.finish();

@@ -18,7 +18,7 @@ pub use crate::batching::queue::PredictError;
 use crate::batching::queue::{
     spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
 };
-use crate::cache::{CacheKey, Lookup, PredictionCache};
+use crate::cache::{CacheKey, CacheStats, Lookup, PredictionCache};
 use crate::types::{Input, ModelId, Output};
 use clipper_metrics::Registry;
 use clipper_rpc::transport::BatchTransport;
@@ -104,9 +104,30 @@ pub struct ModelAbstractionLayer {
 
 impl ModelAbstractionLayer {
     /// Create a layer with a prediction cache of `cache_capacity` entries.
+    ///
+    /// Cache counters are registered as *polled* metrics: the registry
+    /// reads the cache's relaxed per-shard atomics at snapshot time, so
+    /// serving never pays for metric bookkeeping beyond the shard-local
+    /// increments.
     pub fn new(cache_capacity: usize, registry: Registry) -> Arc<Self> {
+        let cache = PredictionCache::new(cache_capacity);
+        fn poll(
+            registry: &Registry,
+            name: &str,
+            cache: &PredictionCache,
+            read: fn(CacheStats) -> u64,
+        ) {
+            let cache = cache.clone();
+            registry.poll_counter(name, move || read(cache.stats()));
+        }
+        poll(&registry, "cache/hits", &cache, |s| s.hits);
+        poll(&registry, "cache/misses", &cache, |s| s.misses);
+        poll(&registry, "cache/evictions", &cache, |s| s.evictions);
+        poll(&registry, "cache/pending_joins", &cache, |s| {
+            s.pending_joins
+        });
         Arc::new(ModelAbstractionLayer {
-            cache: PredictionCache::new(cache_capacity),
+            cache,
             models: RwLock::new(HashMap::new()),
             registry,
         })
@@ -197,36 +218,35 @@ impl ModelAbstractionLayer {
     }
 
     /// Evaluate `Predict(model, input)`, using the cache when `use_cache`.
+    ///
+    /// The cache key is computed exactly once, at the top, and threaded by
+    /// value through the lookup, the queue's reply sink, and the failure
+    /// path — the input is never hashed a second time. A cache hit
+    /// touches only its shard: the model table is consulted lazily, after
+    /// the lookup, so hits never contend on the shared `models` lock.
     pub async fn predict(
         &self,
         model: &ModelId,
         input: Input,
         use_cache: bool,
     ) -> Result<Output, PredictError> {
-        let handle = self
-            .models
-            .read()
-            .get(model)
-            .cloned()
-            .ok_or(PredictError::ModelUnknown)?;
-
         let result = if use_cache {
-            match self.cache.lookup_or_pending(model, &input) {
+            let key = CacheKey::new(model, &input);
+            match self.cache.lookup_or_pending(key) {
                 Lookup::Hit(out) => return Ok(out),
                 Lookup::Pending(rx) => await_fill(rx).await,
                 Lookup::MustCompute(rx) => {
                     let sink = ReplySink::Cache {
                         cache: self.cache.clone(),
-                        key: CacheKey::new(model, &input),
+                        key,
                     };
-                    if let Err(e) = enqueue(&handle, input.clone(), sink) {
-                        // Nobody will ever fill the pending entry; do it
-                        // ourselves so waiters see the failure.
-                        self.cache.fill(
-                            model,
-                            &input,
-                            Err(crate::cache::CacheFillError::Failed(e.to_string())),
-                        );
+                    let enqueued = self
+                        .handle(model)
+                        .and_then(|handle| enqueue(&handle, input.clone(), sink));
+                    if let Err(e) = enqueued {
+                        // Nobody will ever fill the pending entry; fail it
+                        // ourselves so waiters see the error.
+                        self.cache.fail_pending(key, e.to_string());
                         return Err(e);
                     }
                     await_fill(rx).await
@@ -234,6 +254,7 @@ impl ModelAbstractionLayer {
             }
         } else {
             let (tx, rx) = oneshot::channel();
+            let handle = self.handle(model)?;
             enqueue(&handle, input, ReplySink::Direct(tx))?;
             match rx.await {
                 Ok(r) => r,
@@ -242,9 +263,21 @@ impl ModelAbstractionLayer {
         };
 
         if let Ok(ref out) = result {
-            handle.defaults.lock().record(out);
+            // Fresh predictions feed the model's running default (§5.2.2);
+            // this is off the hit path, which returned above.
+            if let Some(handle) = self.models.read().get(model) {
+                handle.defaults.lock().record(out);
+            }
         }
         result
+    }
+
+    fn handle(&self, model: &ModelId) -> Result<Arc<ModelHandle>, PredictError> {
+        self.models
+            .read()
+            .get(model)
+            .cloned()
+            .ok_or(PredictError::ModelUnknown)
     }
 }
 
@@ -314,8 +347,7 @@ mod tests {
         // Second call: cache hit (no new evaluation).
         let out2 = mal.predict(&m, Arc::new(vec![7.0]), true).await.unwrap();
         assert_eq!(out2, Output::Class(7));
-        let (hits, _, _) = mal.cache().stats();
-        assert!(hits >= 1);
+        assert!(mal.cache().stats().hits >= 1);
     }
 
     #[tokio::test]

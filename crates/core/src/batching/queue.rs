@@ -75,7 +75,7 @@ impl ReplySink {
         match self {
             ReplySink::Cache { cache, key } => {
                 let fill = result.map_err(|e| CacheFillError::Failed(e.to_string()));
-                cache.fill_key(key, fill);
+                cache.fill(key, fill);
             }
             ReplySink::Direct(tx) => {
                 let _ = tx.send(result);
@@ -536,7 +536,8 @@ mod tests {
         let cache = PredictionCache::new(16);
         let model = crate::types::ModelId::new("m", 1);
         let input: Input = Arc::new(vec![3.0]);
-        let rx = match cache.lookup_or_pending(&model, &input) {
+        let key = CacheKey::new(&model, &input);
+        let rx = match cache.lookup_or_pending(key) {
             crate::cache::Lookup::MustCompute(rx) => rx,
             _ => panic!(),
         };
@@ -550,12 +551,12 @@ mod tests {
             input: input.clone(),
             sink: ReplySink::Cache {
                 cache: cache.clone(),
-                key: CacheKey::new(&model, &input),
+                key,
             },
             enqueued: Instant::now(),
         });
         let out = rx.await.unwrap().unwrap();
         assert_eq!(out, Output::Class(3));
-        assert_eq!(cache.fetch(&model, &input), Some(Output::Class(3)));
+        assert_eq!(cache.fetch(key), Some(Output::Class(3)));
     }
 }

@@ -12,16 +12,31 @@
 //!    re-evaluating the model — the paper's non-blocking `request`/`fetch`
 //!    API.
 //!
-//! Keys are `(model, 128-bit input hash)`; inputs themselves are not
-//! stored. With two independent 64-bit hashes, collisions are negligible
-//! at serving scale.
+//! # Scaling design
+//!
+//! The cache is **sharded**: `shard_count()` independent CLOCK rings (a
+//! power of two, sized from the host's parallelism), each behind its own
+//! mutex and each owning its own index and pending-waiter map. A key's
+//! shard is chosen by fingerprint bits, so concurrent probes for different
+//! keys almost never contend on a lock. Hit/miss/eviction/pending-join
+//! counts are relaxed per-shard atomics aggregated only in [`stats`]
+//! (`stats`: [`PredictionCache::stats`]), so telemetry never re-serializes
+//! the shards.
+//!
+//! Keys are 128-bit fingerprints of `(model, input)` built in a **single
+//! streaming pass** over the input ([`CacheKey::new`]); inputs themselves
+//! are not stored. The two 64-bit halves come from independently seeded
+//! lanes of one hasher: one half indexes the shard's hash map directly
+//! (via an identity hasher, so probes never rehash), the other selects the
+//! shard. With two independent 64-bit halves, collisions are negligible at
+//! serving scale.
 
 use crate::types::{Input, ModelId, Output};
-use clipper_metrics::Counter;
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tokio::sync::oneshot;
 
 /// Cloneable failure delivered to cache waiters.
@@ -33,33 +48,149 @@ pub enum CacheFillError {
 
 type FillResult = Result<Output, CacheFillError>;
 
-/// 128-bit input fingerprint.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// Counts every input-hashing pass ([`CacheKey::new`] invocations), so
+/// tests can assert the predict hot path hashes each input exactly once.
+/// Debug-only: in release builds the hot path carries no process-global
+/// atomic (which would put one contended cache line back on every
+/// predict).
+#[cfg(debug_assertions)]
+static KEY_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// 128-bit `(model, input)` fingerprint, built in one streaming pass.
+///
+/// `Copy`, 16 bytes: compute it once at the top of a request and thread it
+/// by value through every cache call. Distinct models never collide
+/// because the model id is folded into the hash state before the input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheKey {
-    model: ModelId,
-    fingerprint: (u64, u64),
+    fp: [u64; 2],
+}
+
+/// Two independently seeded accumulator lanes fed by one pass over the
+/// data. Each absorbed word updates both lanes (distinct rotations and
+/// multipliers), and [`finish`](TwoLaneHasher::finish) applies a distinct
+/// finalizer per lane — one hashing pass, two 64-bit halves.
+struct TwoLaneHasher {
+    h1: u64,
+    h2: u64,
+}
+
+/// splitmix64 finalizer: full-avalanche mix of one word.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TwoLaneHasher {
+    #[inline]
+    fn new() -> Self {
+        TwoLaneHasher {
+            h1: 0x9E37_79B9_7F4A_7C15, // golden-ratio seed
+            h2: 0xC2B2_AE3D_27D4_EB4F, // xxh64 prime seed
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let m = mix64(v);
+        self.h1 = (self.h1 ^ m)
+            .rotate_left(27)
+            .wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        self.h2 = (self.h2 ^ m.rotate_left(32))
+            .rotate_left(31)
+            .wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    }
+
+    #[inline]
+    fn finish(self) -> [u64; 2] {
+        [mix64(self.h1), mix64(self.h2 ^ 0x165667B19E3779F9)]
+    }
 }
 
 impl CacheKey {
-    /// Build the key for `(model, input)`.
+    /// Build the key for `(model, input)` in a single pass over the input.
     pub fn new(model: &ModelId, input: &Input) -> Self {
-        let mut h1 = DefaultHasher::new();
-        0xA5A5_A5A5u64.hash(&mut h1);
-        for v in input.iter() {
-            v.to_bits().hash(&mut h1);
+        #[cfg(debug_assertions)]
+        KEY_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut h = TwoLaneHasher::new();
+        let name = model.name.as_bytes();
+        h.write_u64(((model.version as u64) << 32) ^ name.len() as u64);
+        for chunk in name.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            h.write_u64(u64::from_le_bytes(buf));
         }
-        let mut h2 = DefaultHasher::new();
-        0x5A5A_5A5Au64.hash(&mut h2);
-        input.len().hash(&mut h2);
-        for v in input.iter().rev() {
-            v.to_bits().hash(&mut h2);
+        h.write_u64(input.len() as u64);
+        let mut pairs = input.chunks_exact(2);
+        for pair in &mut pairs {
+            h.write_u64(((pair[0].to_bits() as u64) << 32) | pair[1].to_bits() as u64);
         }
-        CacheKey {
-            model: model.clone(),
-            fingerprint: (h1.finish(), h2.finish()),
+        if let [last] = pairs.remainder() {
+            h.write_u64(last.to_bits() as u64 ^ 0x8000_0000_0000_0000);
+        }
+        CacheKey { fp: h.finish() }
+    }
+
+    /// Construct a key directly from fingerprint halves. Test/bench aid:
+    /// lets load generators synthesize key populations without building
+    /// input vectors.
+    #[doc(hidden)]
+    pub fn from_fingerprint(a: u64, b: u64) -> Self {
+        CacheKey { fp: [a, b] }
+    }
+
+    /// Total [`CacheKey::new`] invocations so far, process-wide. Tests use
+    /// before/after deltas to prove the hot path hashes each input once.
+    /// Counts only in debug builds (always 0 in release — the counter is
+    /// compiled out of the hot path).
+    #[doc(hidden)]
+    pub fn build_count() -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            KEY_BUILDS.load(Ordering::Relaxed)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
         }
     }
 }
+
+impl Hash for CacheKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The fingerprint is already uniform; hand one half to the hasher.
+        state.write_u64(self.fp[0]);
+    }
+}
+
+/// Identity hasher for pre-hashed keys: `finish` returns the written word
+/// verbatim, so map probes do no rehashing at all.
+#[derive(Default)]
+pub struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by CacheKey, which writes one u64).
+        for &b in bytes {
+            self.0 = mix64(self.0 ^ b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpMap<V> = HashMap<CacheKey, V, BuildHasherDefault<FingerprintHasher>>;
 
 /// Outcome of a cache lookup.
 pub enum Lookup {
@@ -72,115 +203,82 @@ pub enum Lookup {
     MustCompute(oneshot::Receiver<FillResult>),
 }
 
+/// Aggregated cache telemetry (see [`PredictionCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from a stored value.
+    pub hits: u64,
+    /// Probes that found neither a value nor an in-flight computation.
+    pub misses: u64,
+    /// Completed entries displaced by CLOCK.
+    pub evictions: u64,
+    /// Probes that joined an in-flight computation instead of
+    /// re-evaluating — the §4.2 feedback-join path. Not misses: no model
+    /// evaluation results from them.
+    pub pending_joins: u64,
+}
+
+impl CacheStats {
+    /// All probes: hits + misses + pending joins.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses + self.pending_joins
+    }
+
+    /// Fraction of probes served without triggering a model evaluation
+    /// (hits and pending joins).
+    pub fn hit_rate(&self) -> f64 {
+        let p = self.probes();
+        if p == 0 {
+            return 0.0;
+        }
+        (self.hits + self.pending_joins) as f64 / p as f64
+    }
+}
+
 struct Slot {
     key: CacheKey,
     value: Output,
     referenced: bool,
 }
 
-struct CacheInner {
+struct ShardInner {
     /// CLOCK ring. `None` slots are free.
     slots: Vec<Option<Slot>>,
     hand: usize,
-    /// key → slot index.
-    index: HashMap<CacheKey, usize>,
+    /// key → slot index (identity-hashed: probes never rehash).
+    index: FpMap<usize>,
     /// In-flight computations and their waiters.
-    pending: HashMap<CacheKey, Vec<oneshot::Sender<FillResult>>>,
+    pending: FpMap<Vec<oneshot::Sender<FillResult>>>,
 }
 
-/// Concurrent CLOCK-evicted prediction cache. Clone shares the cache.
-#[derive(Clone)]
-pub struct PredictionCache {
-    inner: std::sync::Arc<Mutex<CacheInner>>,
+struct Shard {
+    inner: Mutex<ShardInner>,
     capacity: usize,
-    hits: Counter,
-    misses: Counter,
-    evictions: Counter,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    pending_joins: AtomicU64,
 }
 
-impl PredictionCache {
-    /// Create a cache holding up to `capacity` completed predictions.
-    /// Capacity 0 disables value storage but keeps the pending-join
-    /// machinery (in-flight dedup still works).
-    pub fn new(capacity: usize) -> Self {
-        PredictionCache {
-            inner: std::sync::Arc::new(Mutex::new(CacheInner {
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner {
                 slots: (0..capacity).map(|_| None).collect(),
                 hand: 0,
-                index: HashMap::new(),
-                pending: HashMap::new(),
-            })),
+                index: FpMap::default(),
+                pending: FpMap::default(),
+            }),
             capacity,
-            hits: Counter::new(),
-            misses: Counter::new(),
-            evictions: Counter::new(),
-        }
-    }
-
-    /// Non-blocking fetch (the paper's `fetch`): value if present.
-    pub fn fetch(&self, model: &ModelId, input: &Input) -> Option<Output> {
-        let key = CacheKey::new(model, input);
-        let mut inner = self.inner.lock();
-        if let Some(&slot_idx) = inner.index.get(&key) {
-            if let Some(slot) = inner.slots[slot_idx].as_mut() {
-                slot.referenced = true;
-                self.hits.inc();
-                return Some(slot.value.clone());
-            }
-        }
-        self.misses.inc();
-        None
-    }
-
-    /// The paper's `request`: returns the value, attaches to an in-flight
-    /// computation, or instructs the caller to compute.
-    pub fn lookup_or_pending(&self, model: &ModelId, input: &Input) -> Lookup {
-        let key = CacheKey::new(model, input);
-        let mut inner = self.inner.lock();
-        if let Some(&slot_idx) = inner.index.get(&key) {
-            if let Some(slot) = inner.slots[slot_idx].as_mut() {
-                slot.referenced = true;
-                self.hits.inc();
-                return Lookup::Hit(slot.value.clone());
-            }
-        }
-        self.misses.inc();
-        let (tx, rx) = oneshot::channel();
-        match inner.pending.get_mut(&key) {
-            Some(waiters) => {
-                waiters.push(tx);
-                Lookup::Pending(rx)
-            }
-            None => {
-                inner.pending.insert(key, vec![tx]);
-                Lookup::MustCompute(rx)
-            }
-        }
-    }
-
-    /// Complete an in-flight computation: store the value (on success),
-    /// wake every waiter.
-    pub fn fill(&self, model: &ModelId, input: &Input, result: FillResult) {
-        let key = CacheKey::new(model, input);
-        self.fill_key(key, result);
-    }
-
-    /// Like [`PredictionCache::fill`] but with a prebuilt key (the queue
-    /// dispatcher path, which avoids rehashing inputs).
-    pub fn fill_key(&self, key: CacheKey, result: FillResult) {
-        let mut inner = self.inner.lock();
-        if let Ok(ref value) = result {
-            self.store(&mut inner, key.clone(), value.clone());
-        }
-        if let Some(waiters) = inner.pending.remove(&key) {
-            for w in waiters {
-                let _ = w.send(result.clone());
-            }
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            pending_joins: AtomicU64::new(0),
         }
     }
 
     /// CLOCK insert: find a victim slot (second chance), replace it.
-    fn store(&self, inner: &mut CacheInner, key: CacheKey, value: Output) {
+    fn store(&self, inner: &mut ShardInner, key: CacheKey, value: Output) {
         if self.capacity == 0 {
             return;
         }
@@ -199,7 +297,7 @@ impl PredictionCache {
             match inner.slots[hand].as_mut() {
                 None => {
                     inner.slots[hand] = Some(Slot {
-                        key: key.clone(),
+                        key,
                         value,
                         referenced: true,
                     });
@@ -210,11 +308,11 @@ impl PredictionCache {
                     slot.referenced = false; // second chance
                 }
                 Some(slot) => {
-                    let old_key = slot.key.clone();
+                    let old_key = slot.key;
                     inner.index.remove(&old_key);
-                    self.evictions.inc();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                     inner.slots[hand] = Some(Slot {
-                        key: key.clone(),
+                        key,
                         value,
                         referenced: true,
                     });
@@ -224,15 +322,191 @@ impl PredictionCache {
             }
         }
     }
+}
 
-    /// (hits, misses, evictions) so far.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.hits.get(), self.misses.get(), self.evictions.get())
+/// Concurrent sharded CLOCK-evicted prediction cache. Clone shares the
+/// cache.
+#[derive(Clone)]
+pub struct PredictionCache {
+    shards: Arc<[Shard]>,
+    shard_mask: u64,
+    capacity: usize,
+}
+
+/// Shard count for `capacity` on this host: the next power of two above
+/// the available parallelism (capped at 64), reduced so every shard owns
+/// at least one slot whenever the cache stores values at all.
+fn default_shard_count(capacity: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut n = cores.next_power_of_two().min(64);
+    while n > 1 && capacity > 0 && capacity < n {
+        n /= 2;
+    }
+    n
+}
+
+impl PredictionCache {
+    /// Create a cache holding up to `capacity` completed predictions,
+    /// sharded for this host's parallelism. Capacity 0 disables value
+    /// storage but keeps the pending-join machinery (in-flight dedup
+    /// still works).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, default_shard_count(capacity))
+    }
+
+    /// Create a cache with an explicit shard count (rounded up to a power
+    /// of two, minimum 1). `capacity` is distributed across shards; with
+    /// fewer slots than shards some shards store nothing, so prefer
+    /// [`PredictionCache::new`] unless you need determinism (tests) or a
+    /// contention baseline (benchmarks).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let built: Vec<Shard> = (0..n)
+            .map(|i| Shard::new(capacity / n + usize::from(i < capacity % n)))
+            .collect();
+        PredictionCache {
+            shards: built.into(),
+            shard_mask: (n - 1) as u64,
+            capacity,
+        }
+    }
+
+    /// Number of independent shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total completed-entry capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn shard(&self, key: CacheKey) -> &Shard {
+        // fp[1] selects the shard; fp[0] indexes within it — independent
+        // halves, so shard choice and bucket choice never correlate.
+        &self.shards[(key.fp[1] & self.shard_mask) as usize]
+    }
+
+    /// Which shard `key` lives in (test/bench introspection).
+    #[doc(hidden)]
+    pub fn shard_of(&self, key: CacheKey) -> usize {
+        (key.fp[1] & self.shard_mask) as usize
+    }
+
+    /// Snapshot of one shard's occupied slots as `(key, referenced)`
+    /// pairs, in CLOCK-ring order starting at the hand (test
+    /// introspection for eviction-invariant checks).
+    #[doc(hidden)]
+    pub fn shard_slots(&self, shard: usize) -> Vec<(CacheKey, bool)> {
+        let s = &self.shards[shard];
+        let inner = s.inner.lock();
+        let cap = inner.slots.len();
+        (0..cap)
+            .map(|i| (inner.hand + i) % cap)
+            .filter_map(|i| inner.slots[i].as_ref())
+            .map(|slot| (slot.key, slot.referenced))
+            .collect()
+    }
+
+    /// Non-blocking fetch (the paper's `fetch`): value if present.
+    ///
+    /// A probe that finds an in-flight computation counts as a
+    /// `pending_join`, not a miss — no model evaluation results from it.
+    pub fn fetch(&self, key: CacheKey) -> Option<Output> {
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        if let Some(&slot_idx) = inner.index.get(&key) {
+            if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                slot.referenced = true;
+                let value = slot.value.clone();
+                drop(inner);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        let in_flight = inner.pending.contains_key(&key);
+        drop(inner);
+        if in_flight {
+            shard.pending_joins.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// The paper's `request`: returns the value, attaches to an in-flight
+    /// computation, or instructs the caller to compute.
+    pub fn lookup_or_pending(&self, key: CacheKey) -> Lookup {
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock();
+        if let Some(&slot_idx) = inner.index.get(&key) {
+            if let Some(slot) = inner.slots[slot_idx].as_mut() {
+                slot.referenced = true;
+                let value = slot.value.clone();
+                drop(inner);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Hit(value);
+            }
+        }
+        let (tx, rx) = oneshot::channel();
+        match inner.pending.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(tx);
+                drop(inner);
+                shard.pending_joins.fetch_add(1, Ordering::Relaxed);
+                Lookup::Pending(rx)
+            }
+            None => {
+                inner.pending.insert(key, vec![tx]);
+                drop(inner);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::MustCompute(rx)
+            }
+        }
+    }
+
+    /// Complete an in-flight computation: store the value (on success),
+    /// wake every waiter. Waiters are woken outside the shard lock.
+    pub fn fill(&self, key: CacheKey, result: FillResult) {
+        let shard = self.shard(key);
+        let waiters = {
+            let mut inner = shard.inner.lock();
+            if let Ok(ref value) = result {
+                shard.store(&mut inner, key, value.clone());
+            }
+            inner.pending.remove(&key)
+        };
+        if let Some(waiters) = waiters {
+            for w in waiters {
+                let _ = w.send(result.clone());
+            }
+        }
+    }
+
+    /// Fail an in-flight computation: wake every waiter with the error,
+    /// store nothing. The `MustCompute` caller uses this when it cannot
+    /// start the evaluation it claimed (e.g. no live replicas).
+    pub fn fail_pending(&self, key: CacheKey, reason: impl Into<String>) {
+        self.fill(key, Err(CacheFillError::Failed(reason.into())));
+    }
+
+    /// Aggregated counters across all shards. Reads relaxed per-shard
+    /// atomics only — never takes a shard lock.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for shard in self.shards.iter() {
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evictions += shard.evictions.load(Ordering::Relaxed);
+            s.pending_joins += shard.pending_joins.load(Ordering::Relaxed);
+        }
+        s
     }
 
     /// Number of completed entries currently stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().index.len()
+        self.shards.iter().map(|s| s.inner.lock().index.len()).sum()
     }
 
     /// Whether the cache holds no completed entries.
@@ -242,13 +516,18 @@ impl PredictionCache {
 
     /// Number of in-flight computations.
     pub fn pending_len(&self) -> usize {
-        self.inner.lock().pending.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().pending.len())
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
     use std::sync::Arc;
 
     fn input(vals: &[f32]) -> Input {
@@ -259,124 +538,316 @@ mod tests {
         ModelId::new(n, 1)
     }
 
+    fn key(n: &str, vals: &[f32]) -> CacheKey {
+        CacheKey::new(&model(n), &input(vals))
+    }
+
     #[test]
     fn fetch_miss_then_fill_then_hit() {
         let cache = PredictionCache::new(4);
+        let k = key("m", &[1.0, 2.0]);
+        assert!(cache.fetch(k).is_none());
+        cache.fill(k, Ok(Output::Class(3)));
+        assert_eq!(cache.fetch(k), Some(Output::Class(3)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        // (The exactly-one-pass-per-predict property is asserted in
+        // `tests/hash_passes.rs`, which owns its process — the build
+        // counter is process-global, so counting here would race with
+        // sibling tests.)
         let m = model("m");
+        let x = input(&[1.0, 2.0, 3.0]);
+        assert_eq!(CacheKey::new(&m, &x), CacheKey::new(&m, &x));
+    }
+
+    #[test]
+    fn keys_differ_across_models_versions_and_inputs() {
         let x = input(&[1.0, 2.0]);
-        assert!(cache.fetch(&m, &x).is_none());
-        cache.fill(&m, &x, Ok(Output::Class(3)));
-        assert_eq!(cache.fetch(&m, &x), Some(Output::Class(3)));
-        let (hits, misses, _) = cache.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let keys = [
+            CacheKey::new(&model("a"), &x),
+            CacheKey::new(&model("b"), &x),
+            CacheKey::new(&ModelId::new("a", 2), &x),
+            CacheKey::new(&model("a"), &input(&[1.0, 2.0, 0.0])),
+            CacheKey::new(&model("a"), &input(&[2.0, 1.0])),
+        ];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "key {i} vs {j}");
+            }
+        }
     }
 
     #[tokio::test]
     async fn must_compute_then_waiters_join() {
         let cache = PredictionCache::new(4);
-        let m = model("m");
-        let x = input(&[5.0]);
-        let first = cache.lookup_or_pending(&m, &x);
+        let k = key("m", &[5.0]);
+        let first = cache.lookup_or_pending(k);
         let rx1 = match first {
             Lookup::MustCompute(rx) => rx,
             _ => panic!("first lookup must be MustCompute"),
         };
         // Second lookup joins as a waiter.
-        let rx2 = match cache.lookup_or_pending(&m, &x) {
+        let rx2 = match cache.lookup_or_pending(k) {
             Lookup::Pending(rx) => rx,
             _ => panic!("second lookup must be Pending"),
         };
         assert_eq!(cache.pending_len(), 1);
-        cache.fill(&m, &x, Ok(Output::Class(7)));
+        cache.fill(k, Ok(Output::Class(7)));
         assert_eq!(rx1.await.unwrap().unwrap(), Output::Class(7));
         assert_eq!(rx2.await.unwrap().unwrap(), Output::Class(7));
         assert_eq!(cache.pending_len(), 0);
         // Third lookup hits.
-        assert!(matches!(cache.lookup_or_pending(&m, &x), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup_or_pending(k), Lookup::Hit(_)));
+        let s = cache.stats();
+        assert_eq!(s.pending_joins, 1, "the second lookup was a join");
+        assert_eq!(s.misses, 1, "only the MustCompute probe was a miss");
+    }
+
+    #[test]
+    fn fetch_during_pending_counts_as_join_not_miss() {
+        let cache = PredictionCache::new(4);
+        let k = key("m", &[5.0]);
+        let _rx = cache.lookup_or_pending(k); // MustCompute → 1 miss
+        assert!(cache.fetch(k).is_none());
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.pending_joins, 1, "fetch saw the in-flight entry");
     }
 
     #[tokio::test]
     async fn fill_error_propagates_and_is_not_cached() {
         let cache = PredictionCache::new(4);
-        let m = model("m");
-        let x = input(&[9.0]);
-        let rx = match cache.lookup_or_pending(&m, &x) {
+        let k = key("m", &[9.0]);
+        let rx = match cache.lookup_or_pending(k) {
             Lookup::MustCompute(rx) => rx,
             _ => panic!(),
         };
-        cache.fill(&m, &x, Err(CacheFillError::Failed("boom".into())));
+        cache.fail_pending(k, "boom");
         assert!(rx.await.unwrap().is_err());
-        assert!(cache.fetch(&m, &x).is_none(), "errors are not cached");
+        assert!(cache.fetch(k).is_none(), "errors are not cached");
     }
 
     #[test]
     fn distinct_models_do_not_collide() {
         let cache = PredictionCache::new(4);
-        let x = input(&[1.0]);
-        cache.fill(&model("a"), &x, Ok(Output::Class(1)));
-        cache.fill(&model("b"), &x, Ok(Output::Class(2)));
-        assert_eq!(cache.fetch(&model("a"), &x), Some(Output::Class(1)));
-        assert_eq!(cache.fetch(&model("b"), &x), Some(Output::Class(2)));
+        let x = [1.0];
+        cache.fill(key("a", &x), Ok(Output::Class(1)));
+        cache.fill(key("b", &x), Ok(Output::Class(2)));
+        assert_eq!(cache.fetch(key("a", &x)), Some(Output::Class(1)));
+        assert_eq!(cache.fetch(key("b", &x)), Some(Output::Class(2)));
     }
 
     #[test]
     fn clock_evicts_unreferenced_first() {
-        let cache = PredictionCache::new(2);
-        let m = model("m");
-        let (a, b, c) = (input(&[1.0]), input(&[2.0]), input(&[3.0]));
-        cache.fill(&m, &a, Ok(Output::Class(1)));
-        cache.fill(&m, &b, Ok(Output::Class(2)));
+        // Single shard so the CLOCK sweep is deterministic.
+        let cache = PredictionCache::with_shards(2, 1);
+        let (a, b, c) = (key("m", &[1.0]), key("m", &[2.0]), key("m", &[3.0]));
+        cache.fill(a, Ok(Output::Class(1)));
+        cache.fill(b, Ok(Output::Class(2)));
         // Touch `a` so it has its reference bit set; `b`'s gets cleared by
         // the first hand sweep and `b` becomes the victim.
-        cache.fetch(&m, &a);
-        cache.fill(&m, &c, Ok(Output::Class(3)));
+        cache.fetch(a);
+        cache.fill(c, Ok(Output::Class(3)));
         assert_eq!(cache.len(), 2);
-        assert!(cache.fetch(&m, &c).is_some(), "new entry stored");
-        let survivors = [cache.fetch(&m, &a).is_some(), cache.fetch(&m, &b).is_some()];
+        assert!(cache.fetch(c).is_some(), "new entry stored");
+        let survivors = [cache.fetch(a).is_some(), cache.fetch(b).is_some()];
         assert_eq!(
             survivors.iter().filter(|&&s| s).count(),
             1,
             "exactly one old entry survives"
         );
-        let (_, _, evictions) = cache.stats();
-        assert_eq!(evictions, 1);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
     fn refresh_same_key_does_not_grow() {
         let cache = PredictionCache::new(2);
-        let m = model("m");
-        let x = input(&[1.0]);
-        cache.fill(&m, &x, Ok(Output::Class(1)));
-        cache.fill(&m, &x, Ok(Output::Class(2)));
+        let k = key("m", &[1.0]);
+        cache.fill(k, Ok(Output::Class(1)));
+        cache.fill(k, Ok(Output::Class(2)));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.fetch(&m, &x), Some(Output::Class(2)));
+        assert_eq!(cache.fetch(k), Some(Output::Class(2)));
     }
 
     #[test]
     fn zero_capacity_joins_but_never_stores() {
         let cache = PredictionCache::new(0);
-        let m = model("m");
-        let x = input(&[1.0]);
-        assert!(matches!(
-            cache.lookup_or_pending(&m, &x),
-            Lookup::MustCompute(_)
-        ));
-        cache.fill(&m, &x, Ok(Output::Class(1)));
-        assert!(cache.fetch(&m, &x).is_none());
+        let k = key("m", &[1.0]);
+        assert!(matches!(cache.lookup_or_pending(k), Lookup::MustCompute(_)));
+        cache.fill(k, Ok(Output::Class(1)));
+        assert!(cache.fetch(k).is_none());
         assert!(cache.is_empty());
     }
 
     #[test]
     fn eviction_under_churn_keeps_capacity_bound() {
-        let cache = PredictionCache::new(8);
-        let m = model("m");
+        let cache = PredictionCache::with_shards(8, 1);
         for i in 0..100 {
-            let x = input(&[i as f32]);
-            cache.fill(&m, &x, Ok(Output::Class(i)));
+            cache.fill(key("m", &[i as f32]), Ok(Output::Class(i)));
         }
         assert_eq!(cache.len(), 8);
-        let (_, _, evictions) = cache.stats();
-        assert_eq!(evictions, 92);
+        assert_eq!(cache.stats().evictions, 92);
+    }
+
+    #[test]
+    fn sharding_spreads_keys_and_respects_capacity() {
+        let cache = PredictionCache::with_shards(64, 8);
+        assert_eq!(cache.shard_count(), 8);
+        let mut shards_used = HashSet::new();
+        for i in 0..256u32 {
+            let k = key("m", &[i as f32]);
+            shards_used.insert(cache.shard_of(k));
+            cache.fill(k, Ok(Output::Class(i)));
+            assert!(cache.len() <= 64);
+        }
+        assert!(
+            shards_used.len() >= 6,
+            "256 keys should land in most of 8 shards, got {}",
+            shards_used.len()
+        );
+    }
+
+    #[test]
+    fn default_shard_count_never_outnumbers_slots() {
+        for capacity in [1usize, 2, 3, 5, 7, 64, 0] {
+            let cache = PredictionCache::new(capacity);
+            if capacity > 0 {
+                assert!(
+                    cache.shard_count() <= capacity,
+                    "capacity {capacity}: {} shards",
+                    cache.shard_count()
+                );
+            }
+            assert!(cache.shard_count().is_power_of_two());
+        }
+    }
+
+    /// Satellite: K concurrent `lookup_or_pending` calls on one key yield
+    /// exactly one `MustCompute`; all K−1 `Pending` waiters observe the
+    /// fill. The fill happens only after every task has reported its
+    /// lookup outcome, so the counts are deterministic regardless of
+    /// scheduling.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_lookups_yield_one_computer_and_all_observe_fill() {
+        let cache = PredictionCache::new(64);
+        let k = key("m", &[42.0]);
+        const K: usize = 16;
+        let (report_tx, mut report_rx) = tokio::sync::mpsc::channel::<bool>(K);
+        let mut tasks = Vec::new();
+        for _ in 0..K {
+            let cache = cache.clone();
+            let report_tx = report_tx.clone();
+            tasks.push(tokio::spawn(async move {
+                let (was_computer, rx) = match cache.lookup_or_pending(k) {
+                    Lookup::MustCompute(rx) => (true, rx),
+                    Lookup::Pending(rx) => (false, rx),
+                    Lookup::Hit(_) => panic!("nothing fills before all lookups are in"),
+                };
+                report_tx.send(was_computer).await.unwrap();
+                (was_computer, rx.await.unwrap())
+            }));
+        }
+        drop(report_tx);
+        // Wait until every task has performed its lookup, then fill once.
+        // (Count to K rather than draining to channel-close: each task
+        // keeps its sender alive while it awaits the fill.)
+        for _ in 0..K {
+            report_rx.recv().await.expect("every task reports");
+        }
+        cache.fill(k, Ok(Output::Class(9)));
+
+        let mut computers = 0;
+        for t in tasks {
+            let (was_computer, result) = t.await.unwrap();
+            computers += usize::from(was_computer);
+            assert_eq!(result.unwrap(), Output::Class(9));
+        }
+        assert_eq!(computers, 1, "exactly one caller computes");
+        assert_eq!(cache.pending_len(), 0);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.pending_joins as usize, K - 1);
+    }
+
+    /// Satellite: the fail path also wakes every waiter, with the error.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_waiters_all_observe_fail_pending() {
+        let cache = PredictionCache::new(64);
+        let k = key("m", &[7.0]);
+        let rx0 = match cache.lookup_or_pending(k) {
+            Lookup::MustCompute(rx) => rx,
+            _ => panic!("first must compute"),
+        };
+        let mut waiters = Vec::new();
+        for _ in 0..8 {
+            match cache.lookup_or_pending(k) {
+                Lookup::Pending(rx) => waiters.push(rx),
+                _ => panic!("subsequent lookups must join"),
+            }
+        }
+        cache.fail_pending(k, "no replicas");
+        assert!(matches!(
+            rx0.await.unwrap(),
+            Err(CacheFillError::Failed(ref m)) if m == "no replicas"
+        ));
+        for rx in waiters {
+            assert!(rx.await.unwrap().is_err());
+        }
+        assert_eq!(cache.pending_len(), 0);
+        assert!(cache.fetch(k).is_none(), "failures are not cached");
+    }
+
+    /// Reference model of one CLOCK shard used by the eviction proptest.
+    fn unreferenced_set(cache: &PredictionCache, shard: usize) -> HashSet<u64> {
+        cache
+            .shard_slots(shard)
+            .into_iter()
+            .filter(|(_, referenced)| !referenced)
+            .map(|(k, _)| k.fp[0])
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// CLOCK never exceeds capacity, and never evicts a `referenced`
+        /// entry while an unreferenced one exists in the same shard.
+        #[test]
+        fn clock_eviction_invariants(
+            capacity in 1usize..12,
+            ops in proptest::collection::vec((0u32..48, any::<bool>()), 1..200),
+        ) {
+            let cache = PredictionCache::with_shards(capacity, 1);
+            for (id, is_fill) in ops {
+                let k = CacheKey::from_fingerprint(id as u64, 0);
+                if is_fill && cache.fetch(k).is_none() {
+                    let stored: HashSet<u64> =
+                        cache.shard_slots(0).into_iter().map(|(k, _)| k.fp[0]).collect();
+                    let unreferenced = unreferenced_set(&cache, 0);
+                    let evictions_before = cache.stats().evictions;
+                    cache.fill(k, Ok(Output::Class(id)));
+                    let after: HashSet<u64> =
+                        cache.shard_slots(0).into_iter().map(|(k, _)| k.fp[0]).collect();
+                    let evicted: Vec<u64> = stored.difference(&after).copied().collect();
+                    if cache.stats().evictions > evictions_before {
+                        prop_assert!(evicted.len() == 1, "one eviction must remove one key");
+                        if !unreferenced.is_empty() {
+                            prop_assert!(
+                                unreferenced.contains(&evicted[0]),
+                                "evicted a referenced entry while {:?} were unreferenced",
+                                unreferenced
+                            );
+                        }
+                    } else {
+                        prop_assert!(evicted.is_empty(), "no eviction counted but a key vanished");
+                    }
+                }
+                prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+            }
+        }
     }
 }

@@ -594,15 +594,17 @@ mod tests {
         clipper.predict("app", None, input.clone()).await.unwrap();
         // Give the cache a moment to fill both models.
         tokio::time::sleep(Duration::from_millis(20)).await;
-        let (hits_before, _, _) = clipper.abstraction().cache().stats();
+        let before = clipper.abstraction().cache().stats();
         clipper
             .feedback("app", None, input, Feedback::class(1))
             .await
             .unwrap();
-        let (hits_after, _, _) = clipper.abstraction().cache().stats();
+        let after = clipper.abstraction().cache().stats();
         assert!(
-            hits_after > hits_before,
-            "feedback join should hit the cache: {hits_before} -> {hits_after}"
+            after.hits > before.hits,
+            "feedback join should hit the cache: {} -> {}",
+            before.hits,
+            after.hits
         );
     }
 

@@ -51,7 +51,7 @@ pub mod types;
 
 pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError};
 pub use batching::{AimdController, BatchStrategy, QuantileController};
-pub use cache::PredictionCache;
+pub use cache::{CacheKey, CacheStats, PredictionCache};
 pub use clipper::{Clipper, ClipperBuilder};
 pub use frontend::HttpFrontend;
 pub use selection::{

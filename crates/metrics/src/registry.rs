@@ -15,6 +15,10 @@ enum Metric {
     Gauge(Gauge),
     Meter(Meter),
     Histogram(Histogram),
+    /// A counter whose value is read on demand at snapshot time. Lets
+    /// components that keep their own relaxed atomics (e.g. the sharded
+    /// prediction cache) report without double-counting on the hot path.
+    PollCounter(Arc<dyn Fn() -> u64 + Send + Sync>),
 }
 
 /// A concurrent, clonable collection of named metrics.
@@ -93,6 +97,30 @@ impl Registry {
         }
     }
 
+    /// Register (or replace) a counter that is *polled* at snapshot time
+    /// instead of incremented: `read` is called once per
+    /// [`Registry::snapshot`] and its value reported as a counter.
+    ///
+    /// Unlike the `get_or_*` methods this overwrites an existing polled
+    /// counter under the same name (the newest source wins).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a non-polled metric.
+    pub fn poll_counter(&self, name: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut m = self.metrics.write();
+        match m.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Metric::PollCounter(Arc::new(read)));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get() {
+                Metric::PollCounter(_) => {
+                    e.insert(Metric::PollCounter(Arc::new(read)));
+                }
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            },
+        }
+    }
+
     /// Names currently registered, sorted.
     pub fn names(&self) -> Vec<String> {
         self.metrics.read().keys().cloned().collect()
@@ -105,6 +133,7 @@ impl Registry {
         for (name, metric) in m.iter() {
             let v = match metric {
                 Metric::Counter(c) => MetricValue::Counter { value: c.get() },
+                Metric::PollCounter(read) => MetricValue::Counter { value: read() },
                 Metric::Gauge(g) => MetricValue::Gauge { value: g.get() },
                 Metric::Meter(meter) => MetricValue::Meter {
                     count: meter.count(),
@@ -175,6 +204,38 @@ mod tests {
             snap.values["h"],
             MetricValue::Histogram { count: 1, .. }
         ));
+    }
+
+    #[test]
+    fn poll_counter_reads_at_snapshot_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let r = Registry::new();
+        let source = Arc::new(AtomicU64::new(3));
+        let s = source.clone();
+        r.poll_counter("cache/hits", move || s.load(Ordering::Relaxed));
+        assert!(matches!(
+            r.snapshot().values["cache/hits"],
+            MetricValue::Counter { value: 3 }
+        ));
+        source.store(11, Ordering::Relaxed);
+        assert!(matches!(
+            r.snapshot().values["cache/hits"],
+            MetricValue::Counter { value: 11 }
+        ));
+        // Re-registration replaces the source.
+        r.poll_counter("cache/hits", || 42);
+        assert!(matches!(
+            r.snapshot().values["cache/hits"],
+            MetricValue::Counter { value: 42 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn poll_counter_conflicts_with_other_kinds() {
+        let r = Registry::new();
+        r.histogram("x");
+        r.poll_counter("x", || 0);
     }
 
     #[test]

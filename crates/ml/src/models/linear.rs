@@ -9,6 +9,49 @@ use crate::datasets::Dataset;
 use crate::linalg::{axpy, dot, softmax};
 use rand::prelude::*;
 
+/// Rocchio-style warm start shared by both linear models: initialize each
+/// one-vs-rest separator at the nearest-centroid discriminant
+/// (w = 2·m̂_c, b = -‖m̂_c‖²), rescaled so initial |scores| are O(1). In
+/// the high-dimensional low-sample regime this is close to the Bayes
+/// direction, and SGD then refines margins/calibration instead of having
+/// to find the direction from scratch.
+fn rocchio_init(dataset: &Dataset, k: usize, d: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let mut weights = vec![vec![0.0f32; d]; k];
+    let mut bias = vec![0.0f32; k];
+    let mut counts = vec![0usize; k];
+    for ex in &dataset.train {
+        counts[ex.y as usize] += 1;
+        for (w, &x) in weights[ex.y as usize].iter_mut().zip(ex.x.iter()) {
+            *w += x;
+        }
+    }
+    for c in 0..k {
+        let n = counts[c].max(1) as f32;
+        for w in weights[c].iter_mut() {
+            *w = 2.0 * *w / n;
+        }
+        bias[c] = -weights[c].iter().map(|w| w * w).sum::<f32>() / 4.0;
+    }
+    let mut score_sum = 0.0f32;
+    let mut score_n = 0usize;
+    for ex in dataset.train.iter().take(50) {
+        for c in 0..k {
+            score_sum += (dot(&weights[c], &ex.x) + bias[c]).abs();
+            score_n += 1;
+        }
+    }
+    if score_sum > 0.0 {
+        let beta = score_n as f32 / score_sum;
+        for c in 0..k {
+            for w in weights[c].iter_mut() {
+                *w *= beta;
+            }
+            bias[c] *= beta;
+        }
+    }
+    (weights, bias)
+}
+
 /// Hyperparameters for [`LogisticRegression::train`].
 #[derive(Clone, Debug)]
 pub struct LogisticRegressionConfig {
@@ -39,13 +82,15 @@ pub struct LogisticRegression {
 }
 
 impl LogisticRegression {
-    /// Train with softmax cross-entropy SGD on the dataset's train split.
+    /// Train with softmax cross-entropy SGD on the dataset's train split,
+    /// warm-started from the Rocchio centroid discriminant (the same init
+    /// [`LinearSvm::train`] uses) so SGD refines calibration instead of
+    /// finding the class directions from scratch.
     pub fn train(dataset: &Dataset, cfg: &LogisticRegressionConfig, seed: u64) -> Self {
         let k = dataset.num_classes();
         let d = dataset.num_features();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut weights = vec![vec![0.0f32; d]; k];
-        let mut bias = vec![0.0f32; k];
+        let (mut weights, mut bias) = rocchio_init(dataset, k, d);
 
         let mut order: Vec<usize> = (0..dataset.train.len()).collect();
         for _ in 0..cfg.epochs {
@@ -137,51 +182,13 @@ pub struct LinearSvm {
 }
 
 impl LinearSvm {
-    /// Train one binary hinge-loss separator per class.
+    /// Train one binary hinge-loss separator per class, warm-started from
+    /// the Rocchio centroid discriminant ([`rocchio_init`]).
     pub fn train(dataset: &Dataset, cfg: &LinearSvmConfig, seed: u64) -> Self {
         let k = dataset.num_classes();
         let d = dataset.num_features();
         let mut rng = StdRng::seed_from_u64(seed);
-
-        // Rocchio-style warm start: initialize each one-vs-rest separator
-        // at the nearest-centroid discriminant (w = 2·m̂_c, b = -‖m̂_c‖²),
-        // rescaled so initial |scores| are O(1) for the hinge. In the
-        // high-dimensional low-sample regime this is close to the Bayes
-        // direction, and SGD then refines the margins instead of having to
-        // find the direction from scratch.
-        let mut weights = vec![vec![0.0f32; d]; k];
-        let mut bias = vec![0.0f32; k];
-        let mut counts = vec![0usize; k];
-        for ex in &dataset.train {
-            counts[ex.y as usize] += 1;
-            for (w, &x) in weights[ex.y as usize].iter_mut().zip(ex.x.iter()) {
-                *w += x;
-            }
-        }
-        for c in 0..k {
-            let n = counts[c].max(1) as f32;
-            for w in weights[c].iter_mut() {
-                *w = 2.0 * *w / n;
-            }
-            bias[c] = -weights[c].iter().map(|w| w * w).sum::<f32>() / 4.0;
-        }
-        let mut score_sum = 0.0f32;
-        let mut score_n = 0usize;
-        for ex in dataset.train.iter().take(50) {
-            for c in 0..k {
-                score_sum += (dot(&weights[c], &ex.x) + bias[c]).abs();
-                score_n += 1;
-            }
-        }
-        if score_sum > 0.0 {
-            let beta = score_n as f32 / score_sum;
-            for c in 0..k {
-                for w in weights[c].iter_mut() {
-                    *w *= beta;
-                }
-                bias[c] *= beta;
-            }
-        }
+        let (mut weights, mut bias) = rocchio_init(dataset, k, d);
 
         let mut order: Vec<usize> = (0..dataset.train.len()).collect();
         for _ in 0..cfg.epochs {
@@ -281,6 +288,38 @@ mod tests {
         let a = LinearSvm::train(&ds, &LinearSvmConfig::default(), 9);
         let b = LinearSvm::train(&ds, &LinearSvmConfig::default(), 9);
         assert_eq!(a.scores(&ds.test[0].x), b.scores(&ds.test[0].x));
+    }
+
+    /// Both warm-started linear models converge across the Table-1
+    /// dataset shapes (MNIST-like 784×10, CIFAR-like 3072×10, speech-like
+    /// 425×39), far above the 10% / 10% / 2.6% chance rates.
+    #[test]
+    fn warm_start_converges_on_table1_shapes() {
+        let shapes = [
+            ("mnist", DatasetSpec::mnist_like(), 40, 0.90),
+            ("cifar", DatasetSpec::cifar_like(), 40, 0.60),
+            ("speech", DatasetSpec::speech_like(), 12, 0.90),
+        ];
+        for (name, spec, per_class, threshold) in shapes {
+            let classes = spec.num_classes;
+            let ds = spec
+                .with_train_size(classes * per_class)
+                .with_test_size(classes * 10)
+                .with_difficulty(0.25)
+                .generate(7);
+            let logreg = LogisticRegression::train(&ds, &LogisticRegressionConfig::default(), 1);
+            let svm = LinearSvm::train(&ds, &LinearSvmConfig::default(), 1);
+            let acc_lr = accuracy(&logreg, &ds.test);
+            let acc_svm = accuracy(&svm, &ds.test);
+            assert!(
+                acc_lr > threshold,
+                "{name}: warm-started logreg accuracy {acc_lr}"
+            );
+            assert!(
+                acc_svm > threshold,
+                "{name}: warm-started svm accuracy {acc_svm}"
+            );
+        }
     }
 
     #[test]

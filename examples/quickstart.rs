@@ -103,7 +103,10 @@ async fn main() {
             println!("{name}: {value:?}");
         }
     }
-    let (hits, misses, _) = clipper.abstraction().cache().stats();
-    println!("\nprediction cache: {hits} hits / {misses} misses");
+    let stats = clipper.abstraction().cache().stats();
+    println!(
+        "\nprediction cache: {} hits / {} misses / {} pending joins",
+        stats.hits, stats.misses, stats.pending_joins
+    );
     println!("(feedback joins hit the cache — that is §4.2's 1.6x speedup)");
 }

@@ -1,7 +1,7 @@
 //! Property-based tests on the core data structures and invariants.
 
 use clipper::core::batching::{AimdController, BatchController, QuantileController};
-use clipper::core::cache::PredictionCache;
+use clipper::core::cache::{CacheKey, PredictionCache};
 use clipper::core::selection::{weighted_combine, PolicyState, SelectionPolicy};
 use clipper::core::{Exp3Policy, Exp4Policy, Feedback, ModelId, Output};
 use clipper::metrics::Histogram;
@@ -78,17 +78,46 @@ proptest! {
     }
 
     /// The cache never stores more than its capacity, and a fill is always
-    /// observable until evicted.
+    /// observable until evicted — regardless of how keys spread over
+    /// shards.
     #[test]
     fn cache_respects_capacity(capacity in 1usize..32, keys in proptest::collection::vec(0u32..64, 1..128)) {
         let cache = PredictionCache::new(capacity);
         let model = ModelId::new("m", 1);
         for &k in &keys {
-            let input = Arc::new(vec![k as f32]);
-            cache.fill(&model, &input, Ok(Output::Class(k)));
+            let key = CacheKey::new(&model, &Arc::new(vec![k as f32]));
+            cache.fill(key, Ok(Output::Class(k)));
             prop_assert!(cache.len() <= capacity);
             // The just-filled key is immediately fetchable with its value.
-            prop_assert_eq!(cache.fetch(&model, &input), Some(Output::Class(k)));
+            prop_assert_eq!(cache.fetch(key), Some(Output::Class(k)));
+        }
+    }
+
+    /// Key construction is deterministic, order-sensitive, and
+    /// model-disambiguating: equal inputs agree, permuted or extended
+    /// inputs and different models disagree.
+    #[test]
+    fn cache_key_fingerprints_are_sound(vals in proptest::collection::vec(-1e6f32..1e6, 1..64), version in 1u32..8) {
+        let m = ModelId::new("m", version);
+        let input: clipper::core::Input = Arc::new(vals.clone());
+        prop_assert_eq!(CacheKey::new(&m, &input), CacheKey::new(&m, &input));
+        prop_assert_ne!(
+            CacheKey::new(&m, &input),
+            CacheKey::new(&ModelId::new("m", version + 1), &input)
+        );
+        let mut extended = vals.clone();
+        extended.push(0.0);
+        prop_assert_ne!(
+            CacheKey::new(&m, &input),
+            CacheKey::new(&m, &Arc::new(extended))
+        );
+        if vals.len() > 1 && vals[0].to_bits() != vals[1].to_bits() {
+            let mut swapped = vals.clone();
+            swapped.swap(0, 1);
+            prop_assert_ne!(
+                CacheKey::new(&m, &input),
+                CacheKey::new(&m, &Arc::new(swapped))
+            );
         }
     }
 

@@ -191,12 +191,12 @@ async fn cache_is_shared_across_predict_and_feedback() {
     let input: clipper::core::Input = Arc::new(vec![3.3; 16]);
     clipper.predict("app", None, input.clone()).await.unwrap();
     tokio::time::sleep(Duration::from_millis(20)).await;
-    let (_, misses_before, _) = clipper.abstraction().cache().stats();
+    let misses_before = clipper.abstraction().cache().stats().misses;
     clipper
         .feedback("app", None, input, Feedback::class(1))
         .await
         .unwrap();
-    let (_, misses_after, _) = clipper.abstraction().cache().stats();
+    let misses_after = clipper.abstraction().cache().stats().misses;
     assert_eq!(
         misses_before, misses_after,
         "feedback join must not re-evaluate a cached prediction"
