@@ -13,6 +13,7 @@
 use clipper_containers::ModelContainer;
 use clipper_metrics::{Histogram, Meter, Registry};
 use clipper_rpc::message::WireOutput;
+use clipper_rpc::transport::Input;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::sync::{mpsc, oneshot, Semaphore};
@@ -71,7 +72,7 @@ impl TfsMetrics {
 }
 
 struct Item {
-    input: Vec<f32>,
+    input: Input,
     enqueued: Instant,
     reply: oneshot::Sender<Result<WireOutput, String>>,
 }
@@ -98,7 +99,7 @@ impl TfServingLike {
         let (otx, orx) = oneshot::channel();
         self.tx
             .try_send(Item {
-                input,
+                input: Arc::new(input),
                 enqueued: start,
                 reply: otx,
             })
@@ -163,7 +164,8 @@ async fn serve_loop(
                     .record(item.enqueued.elapsed().as_micros() as u64);
             }
             metrics.batch_size.record(items.len() as u64);
-            let inputs: Vec<Vec<f32>> = items.iter().map(|i| i.input.clone()).collect();
+            // Arc clones only: the feature data stays shared.
+            let inputs: Vec<Input> = items.iter().map(|i| i.input.clone()).collect();
             let result =
                 tokio::task::spawn_blocking(move || container.evaluate_blocking(&inputs)).await;
             match result {

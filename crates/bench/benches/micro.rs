@@ -91,7 +91,7 @@ fn bench_codec(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
 
     let batch_msg = Message::PredictRequest {
-        inputs: vec![vec![0.5f32; 784]; 64],
+        inputs: clipper_rpc::as_inputs(vec![vec![0.5f32; 784]; 64]),
     };
     g.bench_function("encode_64x784", |b| {
         b.iter(|| black_box(batch_msg.encode(7)))

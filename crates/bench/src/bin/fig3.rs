@@ -28,7 +28,7 @@ fn main() {
         for &b in &batch_sizes {
             let hist = Histogram::new();
             let samples = if b >= 800 { 8 } else { 15 };
-            let batch = vec![vec![0.0f32; 8]; b];
+            let batch = clipper_rpc::as_inputs(vec![vec![0.0f32; 8]; b]);
             for _ in 0..samples {
                 let t0 = Instant::now();
                 let _ = container.evaluate_blocking(&batch);

@@ -1,0 +1,331 @@
+//! Replica-scaling benchmark — the scheduler entry in the repo's bench
+//! trajectory (`BENCH_replica_scaling.json`).
+//!
+//! Drives the model abstraction layer open-loop against 1/2/4 simulated
+//! replicas, homogeneous and heterogeneous (one replica 10× slower per
+//! query), under both scheduler policies:
+//!
+//! - `rr` — blind round-robin (the pre-scheduler baseline);
+//! - `p2c` — depth-aware power-of-two-choices over queue backlog ×
+//!   service-rate EWMA, with fall-through to any replica with room.
+//!
+//! Replicas are async-sleep transports (a batch of `n` costs
+//! `n × per_item`), so the benchmark measures *scheduling*, not model
+//! compute, and runs faithfully on a single-core container. Offered load
+//! is ~70% of the pool's aggregate homogeneous service capacity, which
+//! makes the heterogeneous round-robin rows overload their slow replica —
+//! exactly the regime the scheduler exists for.
+//!
+//! Flags: `--smoke` (short phases for CI), `--seconds <f64>`,
+//! `--out <path>` (default `BENCH_replica_scaling.json`). With
+//! `REPLICA_SCALING_ENFORCE=1` the binary exits non-zero if the emitted
+//! JSON fails to parse back, or the heterogeneous 2-replica comparison
+//! does not show p2c with lower p99 and no more sheds than round-robin
+//! (the ISSUE-3 acceptance gate).
+
+use clipper_core::abstraction::{BatchConfig, ModelAbstractionLayer, SchedulerPolicy};
+use clipper_core::{BatchStrategy, Input, ModelId, PredictError};
+use clipper_metrics::Registry;
+use clipper_rpc::message::{PredictReply, WireOutput};
+use clipper_rpc::transport::BatchTransport;
+use clipper_workload::{run_open_loop_outcomes, ArrivalProcess, RequestOutcome, Table};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fast replica service time per query.
+const FAST_US_PER_ITEM: u64 = 500;
+/// Heterogeneity factor: the slow replica is 10× slower.
+const SLOW_FACTOR: u32 = 10;
+/// Offered load as a fraction of aggregate homogeneous capacity.
+const LOAD_FRACTION: f64 = 0.7;
+/// Queue capacity per replica — small enough that an overloaded replica
+/// visibly sheds within a short phase.
+const QUEUE_CAPACITY: usize = 64;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct RunResult {
+    replicas: usize,
+    mix: String,
+    policy: String,
+    offered_qps: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed: u64,
+    errors: u64,
+    /// Fraction of served queries handled by replica 0 (the slow one in
+    /// heterogeneous rows).
+    replica0_share: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    cores: usize,
+    fast_us_per_item: u64,
+    slow_factor: u32,
+    load_fraction: f64,
+    queue_capacity: usize,
+    phase_seconds: f64,
+    results: Vec<RunResult>,
+    /// Heterogeneous 2-replica p99 (ms): round-robin vs p2c — the
+    /// headline comparison.
+    hetero_p99_ms_rr: f64,
+    hetero_p99_ms_p2c: f64,
+    hetero_shed_rr: u64,
+    hetero_shed_p2c: u64,
+}
+
+struct SimReplica {
+    per_item: Duration,
+    served: Arc<AtomicU64>,
+}
+
+impl BatchTransport for SimReplica {
+    fn predict_batch(
+        &self,
+        inputs: &[Input],
+    ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+        let n = inputs.len();
+        let (d, served) = (self.per_item, self.served.clone());
+        Box::pin(async move {
+            let total = d * n as u32;
+            tokio::time::sleep(total).await;
+            served.fetch_add(n as u64, Ordering::Relaxed);
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(0); n],
+                queue_us: 0,
+                compute_us: total.as_micros() as u64,
+            })
+        })
+    }
+    fn id(&self) -> String {
+        "sim".into()
+    }
+}
+
+fn policy_name(p: SchedulerPolicy) -> &'static str {
+    match p {
+        SchedulerPolicy::RoundRobin => "rr",
+        SchedulerPolicy::PowerOfTwoChoices => "p2c",
+    }
+}
+
+async fn run_once(
+    replicas: usize,
+    heterogeneous: bool,
+    policy: SchedulerPolicy,
+    phase: Duration,
+) -> RunResult {
+    let mal = ModelAbstractionLayer::new(16, Registry::new());
+    let m = ModelId::new("bench", 1);
+    mal.add_model_with_policy(
+        m.clone(),
+        BatchConfig {
+            strategy: BatchStrategy::Fixed(64),
+            queue_capacity: QUEUE_CAPACITY,
+            pipeline_depth: 1,
+            ..Default::default()
+        },
+        policy,
+    );
+    let mut counters = Vec::new();
+    for r in 0..replicas {
+        let per_item = if heterogeneous && r == 0 {
+            Duration::from_micros(FAST_US_PER_ITEM * SLOW_FACTOR as u64)
+        } else {
+            Duration::from_micros(FAST_US_PER_ITEM)
+        };
+        let served = Arc::new(AtomicU64::new(0));
+        counters.push(served.clone());
+        mal.add_replica(&m, Arc::new(SimReplica { per_item, served }))
+            .unwrap();
+    }
+
+    // Offered load is a fraction of the pool's *actual* aggregate
+    // capacity, so the pool always has slack — but a blind 1/R share
+    // still overloads the slow replica (its fair share exceeds its own
+    // capacity), which is exactly the regime the scheduler exists for.
+    let fast_capacity = 1_000_000.0 / FAST_US_PER_ITEM as f64;
+    let aggregate_capacity = if heterogeneous {
+        fast_capacity * (replicas - 1) as f64 + fast_capacity / SLOW_FACTOR as f64
+    } else {
+        fast_capacity * replicas as f64
+    };
+    let offered_qps = LOAD_FRACTION * aggregate_capacity;
+
+    let mal2 = mal.clone();
+    let m2 = m.clone();
+    let report = run_open_loop_outcomes(
+        ArrivalProcess::Uniform { rate: offered_qps },
+        phase,
+        11,
+        move |seq| {
+            let mal = mal2.clone();
+            let m = m2.clone();
+            async move {
+                match mal.predict(&m, Arc::new(vec![seq as f32]), false).await {
+                    Ok(_) => RequestOutcome::Ok,
+                    Err(PredictError::Overloaded) => RequestOutcome::Shed,
+                    Err(_) => RequestOutcome::Error,
+                }
+            }
+        },
+    )
+    .await;
+
+    let served_total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    RunResult {
+        replicas,
+        mix: if heterogeneous {
+            "heterogeneous".to_string()
+        } else {
+            "homogeneous".to_string()
+        },
+        policy: policy_name(policy).to_string(),
+        offered_qps,
+        throughput: report.throughput(),
+        p50_ms: report.latency.p50() as f64 / 1_000.0,
+        p99_ms: report.p99_ms(),
+        shed: report.shed,
+        errors: report.errors,
+        replica0_share: if served_total == 0 {
+            0.0
+        } else {
+            counters[0].load(Ordering::Relaxed) as f64 / served_total as f64
+        },
+    }
+}
+
+fn find<'a>(results: &'a [RunResult], replicas: usize, mix: &str, policy: &str) -> &'a RunResult {
+    results
+        .iter()
+        .find(|r| r.replicas == replicas && r.mix == mix && r.policy == policy)
+        .expect("scenario present")
+}
+
+#[tokio::main(flavor = "multi_thread", worker_threads = 4)]
+async fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut phase_seconds = 2.0f64;
+    let mut out_path = "BENCH_replica_scaling.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => phase_seconds = 0.8,
+            "--seconds" => {
+                i += 1;
+                phase_seconds = args[i].parse().expect("--seconds <f64>");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown flag {other:?} (see --smoke/--seconds/--out)"),
+        }
+        i += 1;
+    }
+    let phase = Duration::from_secs_f64(phase_seconds);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("== replica_scaling: round-robin vs p2c, {cores} cores ==\n");
+    let mut table = Table::new(&[
+        "replicas",
+        "mix",
+        "policy",
+        "offered qps",
+        "throughput",
+        "p99 (ms)",
+        "shed",
+        "slow-replica share",
+    ]);
+    let mut results = Vec::new();
+    for &replicas in &[1usize, 2, 4] {
+        for heterogeneous in [false, true] {
+            if heterogeneous && replicas < 2 {
+                continue; // heterogeneity needs a sibling
+            }
+            for policy in [
+                SchedulerPolicy::RoundRobin,
+                SchedulerPolicy::PowerOfTwoChoices,
+            ] {
+                let r = run_once(replicas, heterogeneous, policy, phase).await;
+                table.row(&[
+                    format!("{}", r.replicas),
+                    r.mix.clone(),
+                    r.policy.clone(),
+                    format!("{:.0}", r.offered_qps),
+                    format!("{:.0}", r.throughput),
+                    format!("{:.1}", r.p99_ms),
+                    format!("{}", r.shed),
+                    format!("{:.0}%", r.replica0_share * 100.0),
+                ]);
+                results.push(r);
+            }
+        }
+    }
+    table.print();
+
+    let rr = find(&results, 2, "heterogeneous", "rr").clone();
+    let p2c = find(&results, 2, "heterogeneous", "p2c").clone();
+    println!(
+        "\nheterogeneous 1 fast + 1 slow (10×): p99 rr {:.1}ms vs p2c {:.1}ms · sheds rr {} vs p2c {}",
+        rr.p99_ms, p2c.p99_ms, rr.shed, p2c.shed
+    );
+
+    let report = Report {
+        bench: "replica_scaling".to_string(),
+        cores,
+        fast_us_per_item: FAST_US_PER_ITEM,
+        slow_factor: SLOW_FACTOR,
+        load_fraction: LOAD_FRACTION,
+        queue_capacity: QUEUE_CAPACITY,
+        phase_seconds,
+        results,
+        hetero_p99_ms_rr: rr.p99_ms,
+        hetero_p99_ms_p2c: p2c.p99_ms,
+        hetero_shed_rr: rr.shed,
+        hetero_shed_p2c: p2c.shed,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // Self-validation: the emitted file must parse back and every run must
+    // have made progress.
+    let parsed: Report = serde_json::from_str(&std::fs::read_to_string(&out_path).expect("reread"))
+        .expect("emitted JSON must parse back into the report schema");
+    assert!(
+        !parsed.results.is_empty() && parsed.results.iter().all(|r| r.throughput > 0.0),
+        "malformed report: empty or zero-throughput runs"
+    );
+
+    if std::env::var("REPLICA_SCALING_ENFORCE").as_deref() == Ok("1") {
+        // The acceptance gate: with 1 fast + 1 slow replica, depth-aware
+        // p2c must yield a lower p99 and no more sheds than round-robin.
+        let mut ok = true;
+        if !(p2c.p99_ms < rr.p99_ms) {
+            eprintln!(
+                "FAIL: heterogeneous p2c p99 {:.1}ms not below round-robin {:.1}ms",
+                p2c.p99_ms, rr.p99_ms
+            );
+            ok = false;
+        }
+        if p2c.shed > rr.shed {
+            eprintln!(
+                "FAIL: heterogeneous p2c shed {} exceeds round-robin {}",
+                p2c.shed, rr.shed
+            );
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!(
+            "enforce: ok (p2c p99 {:.1}ms < rr {:.1}ms; sheds {} <= {})",
+            p2c.p99_ms, rr.p99_ms, p2c.shed, rr.shed
+        );
+    }
+}

@@ -13,7 +13,7 @@ use crate::logic::ContainerLogic;
 use clipper_rpc::client::{serve_container, BatchHandler, ContainerClientConfig};
 use clipper_rpc::error::RpcError;
 use clipper_rpc::message::PredictReply;
-use clipper_rpc::transport::{BatchTransport, BoxFuture};
+use clipper_rpc::transport::{BatchTransport, BoxFuture, Input};
 use parking_lot::Mutex;
 use rand::prelude::*;
 use std::net::SocketAddr;
@@ -80,11 +80,12 @@ impl ModelContainer {
         &self.cfg
     }
 
-    /// Evaluate one batch synchronously (call from a blocking context).
+    /// Evaluate one batch of shared feature vectors synchronously (call
+    /// from a blocking context).
     ///
     /// Returns the reply with `queue_us` = time spent waiting for the
     /// container/device and `compute_us` = time inside the model.
-    pub fn evaluate_blocking(&self, inputs: &[Vec<f32>]) -> PredictReply {
+    pub fn evaluate_blocking(&self, inputs: &[Input]) -> PredictReply {
         match &self.cfg.timing {
             TimingModel::Gpu(device) => {
                 // CPU-side answer computation is cheap; device time rules.
@@ -130,7 +131,7 @@ impl ModelContainer {
 }
 
 impl BatchHandler for ModelContainer {
-    fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String> {
+    fn handle_batch(&self, inputs: Vec<Input>) -> Result<PredictReply, String> {
         Ok(self.evaluate_blocking(&inputs))
     }
 }
@@ -149,8 +150,9 @@ impl LocalContainerTransport {
 }
 
 impl BatchTransport for LocalContainerTransport {
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
         let container = self.container.clone();
+        let inputs = inputs.to_vec(); // Arc clones only
         Box::pin(async move {
             tokio::task::spawn_blocking(move || container.evaluate_blocking(&inputs))
                 .await
@@ -181,6 +183,7 @@ pub fn spawn_tcp_container(
 mod tests {
     use super::*;
     use clipper_rpc::message::WireOutput;
+    use clipper_rpc::transport::as_inputs;
     use std::time::Duration;
 
     fn fixed_container(timing: TimingModel) -> Arc<ModelContainer> {
@@ -197,7 +200,7 @@ mod tests {
     #[test]
     fn measured_timing_reports_compute() {
         let c = fixed_container(TimingModel::Measured);
-        let r = c.evaluate_blocking(&[vec![0.0], vec![1.0]]);
+        let r = c.evaluate_blocking(&as_inputs(vec![vec![0.0], vec![1.0]]));
         assert_eq!(r.outputs, vec![WireOutput::Class(3); 2]);
         // No simulation: compute should be fast (well under a millisecond).
         assert!(r.compute_us < 5_000);
@@ -208,7 +211,7 @@ mod tests {
         let p = LatencyProfile::deterministic(Duration::from_millis(2), Duration::from_micros(500));
         let c = fixed_container(TimingModel::Profile(p));
         let start = Instant::now();
-        let r = c.evaluate_blocking(&vec![vec![0.0]; 4]);
+        let r = c.evaluate_blocking(&as_inputs(vec![vec![0.0]; 4]));
         let elapsed = start.elapsed();
         // Expected: 2ms + 4·0.5ms = 4ms.
         assert!(elapsed >= Duration::from_millis(4), "elapsed {elapsed:?}");
@@ -220,8 +223,8 @@ mod tests {
         let p = LatencyProfile::deterministic(Duration::from_millis(5), Duration::ZERO);
         let fast = fixed_container(TimingModel::Profile(p.clone()));
         let slow = fixed_container(TimingModel::ProfileWithOverhead(p, 0.5));
-        let rf = fast.evaluate_blocking(&[vec![0.0]]);
-        let rs = slow.evaluate_blocking(&[vec![0.0]]);
+        let rf = fast.evaluate_blocking(&[Arc::new(vec![0.0])]);
+        let rs = slow.evaluate_blocking(&[Arc::new(vec![0.0])]);
         assert!(
             rs.compute_us as f64 >= rf.compute_us as f64 * 1.3,
             "python overhead should add ≥30%: {} vs {}",
@@ -235,9 +238,9 @@ mod tests {
         let p = LatencyProfile::deterministic(Duration::from_millis(20), Duration::ZERO);
         let c = fixed_container(TimingModel::Profile(p));
         let c2 = c.clone();
-        let t = std::thread::spawn(move || c2.evaluate_blocking(&[vec![0.0]]));
+        let t = std::thread::spawn(move || c2.evaluate_blocking(&[Arc::new(vec![0.0])]));
         std::thread::sleep(Duration::from_millis(5));
-        let r = c.evaluate_blocking(&[vec![0.0]]);
+        let r = c.evaluate_blocking(&[Arc::new(vec![0.0])]);
         t.join().unwrap();
         assert!(
             r.queue_us >= 10_000,
@@ -250,7 +253,10 @@ mod tests {
     async fn local_transport_roundtrips() {
         let c = fixed_container(TimingModel::Measured);
         let t = LocalContainerTransport::new(c);
-        let r = t.predict_batch(vec![vec![0.0]; 5]).await.unwrap();
+        let r = t
+            .predict_batch(&as_inputs(vec![vec![0.0]; 5]))
+            .await
+            .unwrap();
         assert_eq!(r.outputs.len(), 5);
         assert_eq!(t.id(), "test:0");
     }
@@ -265,7 +271,10 @@ mod tests {
         let _task = spawn_tcp_container(addr, c);
         let (info, handle) = server.next_container().await.unwrap();
         assert_eq!(info.model_name, "test");
-        let r = handle.predict_batch(vec![vec![1.0, 2.0]]).await.unwrap();
+        let r = handle
+            .predict_batch(&[Arc::new(vec![1.0, 2.0])])
+            .await
+            .unwrap();
         assert_eq!(r.outputs, vec![WireOutput::Class(3)]);
     }
 }

@@ -3,6 +3,7 @@
 use clipper_ml::models::Model;
 use clipper_ml::speech::{DialectModel, Utterance};
 use clipper_rpc::message::WireOutput;
+use clipper_rpc::transport::Input;
 use std::sync::Arc;
 
 /// The prediction function a container hosts.
@@ -19,8 +20,8 @@ pub enum ContainerLogic {
 }
 
 impl ContainerLogic {
-    /// Evaluate a whole batch, preserving order.
-    pub fn evaluate(&self, inputs: &[Vec<f32>]) -> Vec<WireOutput> {
+    /// Evaluate a whole batch of shared feature vectors, preserving order.
+    pub fn evaluate(&self, inputs: &[Input]) -> Vec<WireOutput> {
         match self {
             ContainerLogic::Classifier(m) => {
                 let refs: Vec<&[f32]> = inputs.iter().map(|v| v.as_slice()).collect();
@@ -62,11 +63,12 @@ impl ContainerLogic {
 mod tests {
     use super::*;
     use clipper_ml::models::NoOpModel;
+    use clipper_rpc::transport::as_inputs;
 
     #[test]
     fn fixed_logic_replicates_answer() {
         let l = ContainerLogic::Fixed(WireOutput::Class(7));
-        let out = l.evaluate(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let out = l.evaluate(&as_inputs(vec![vec![0.0], vec![1.0], vec![2.0]]));
         assert_eq!(out, vec![WireOutput::Class(7); 3]);
         assert_eq!(l.kind(), "fixed");
     }
@@ -74,14 +76,14 @@ mod tests {
     #[test]
     fn classifier_logic_returns_labels() {
         let l = ContainerLogic::Classifier(Arc::new(NoOpModel::new(5)));
-        let out = l.evaluate(&vec![vec![0.0; 4]; 2]);
+        let out = l.evaluate(&as_inputs(vec![vec![0.0; 4]; 2]));
         assert_eq!(out, vec![WireOutput::Class(0); 2]);
     }
 
     #[test]
     fn scorer_logic_returns_score_vectors() {
         let l = ContainerLogic::Scorer(Arc::new(NoOpModel::new(3)));
-        let out = l.evaluate(&[vec![0.0]]);
+        let out = l.evaluate(&as_inputs(vec![vec![0.0]]));
         match &out[0] {
             WireOutput::Scores(s) => assert_eq!(s.len(), 3),
             other => panic!("expected scores, got {other:?}"),

@@ -5,14 +5,29 @@
 //!
 //! 1. **prediction cache** — hit returns immediately; a miss either joins
 //!    an in-flight computation or claims responsibility for one;
-//! 2. **replica choice** — round-robin over the model's healthy replicas
-//!    (each with independently tuned batching, §4.4.1);
-//! 3. **batching queue** — the replica's dispatcher forms batches and
-//!    ships them over the transport.
+//! 2. **replica scheduling** — a per-model [scheduler](SchedulerPolicy)
+//!    routes the query by *live replica state*: the default is
+//!    power-of-two-choices over each queue's backlog estimate (queued
+//!    plus in-flight queries, weighted by an EWMA of the replica's
+//!    observed service rate), so a slow or backlogged replica receives
+//!    less traffic than a fast one (each replica still tunes its own
+//!    batching independently, §4.4.1). If the chosen queue refuses — full
+//!    or draining — the query falls through to *any* replica with room;
+//!    it is shed only when every replica is full. Blind round-robin
+//!    remains available as a baseline policy.
+//! 3. **batching queue** — the replica's pull-based worker forms batches
+//!    and ships them zero-copy over the transport.
+//!
+//! Replicas can be attached and removed while traffic flows: removal
+//! drains the replica's queue gracefully (every accepted query completes
+//! or fail-fills; see [`crate::batching::QueueState`]), and the scheduler
+//! stops routing to it the moment the drain begins.
 //!
 //! The layer also tracks each model's *running default output* — the
 //! substitution value used when straggler mitigation renders a prediction
-//! without that model (§5.2.2).
+//! without that model (§5.2.2) — and exposes per-model `queue_depth` /
+//! `inflight` gauges plus a scheduler-level `shed` counter in the metrics
+//! registry.
 
 pub use crate::batching::queue::PredictError;
 use crate::batching::queue::{
@@ -20,17 +35,32 @@ use crate::batching::queue::{
 };
 use crate::cache::{CacheKey, CacheStats, Lookup, PredictionCache};
 use crate::types::{Input, ModelId, Output};
-use clipper_metrics::Registry;
+use clipper_metrics::{Counter, Registry};
 use clipper_rpc::transport::BatchTransport;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 use tokio::sync::oneshot;
 
 /// Per-model batching configuration (applied to each replica's queue).
 pub type BatchConfig = QueueConfig;
+
+/// How a model's scheduler picks a replica for each query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Depth-aware power-of-two-choices (the default): sample two distinct
+    /// replicas, route to the one with the smaller backlog estimate
+    /// (`(queued + inflight) × service-rate EWMA`), falling through to any
+    /// replica with room before shedding.
+    #[default]
+    PowerOfTwoChoices,
+    /// Blind round-robin over healthy replicas (the pre-scheduler
+    /// behavior, kept as the comparison baseline): sheds on a full queue
+    /// even when a sibling replica is idle.
+    RoundRobin,
+}
 
 /// Running summary of a model's outputs, used to substitute for missing
 /// predictions under straggler mitigation. For class outputs the default
@@ -87,12 +117,179 @@ struct Replica {
     transport: Arc<dyn BatchTransport>,
 }
 
+impl Replica {
+    fn is_routable(&self) -> bool {
+        self.transport.is_healthy() && self.queue.is_accepting()
+    }
+}
+
 struct ModelHandle {
     id: ModelId,
     cfg: QueueConfig,
-    replicas: RwLock<Vec<Replica>>,
-    next_replica: AtomicUsize,
+    policy: SchedulerPolicy,
+    replicas: RwLock<Vec<Arc<Replica>>>,
+    /// Round-robin cursor and p2c sampling token.
+    cursor: AtomicUsize,
+    /// Monotonic replica index so hot re-adds get fresh queue ids.
+    next_replica_idx: AtomicUsize,
+    /// Queries shed by the scheduler (no replica had room).
+    shed: Counter,
     defaults: Mutex<DefaultTracker>,
+}
+
+/// Fill `buf` with indices of routable replicas (excluding suspects when
+/// `clean_only`), stopping at the buffer's capacity. Returns the count.
+fn fill_candidates(buf: &mut [usize; 16], replicas: &[Arc<Replica>], clean_only: bool) -> usize {
+    let mut m = 0;
+    for (i, r) in replicas.iter().enumerate() {
+        if m == buf.len() {
+            break;
+        }
+        if r.is_routable() && (!clean_only || !r.queue.is_suspect()) {
+            buf[m] = i;
+            m += 1;
+        }
+    }
+    m
+}
+
+/// splitmix64 — cheap well-mixed bits for the two p2c samples.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ModelHandle {
+    /// Pick the index (into `replicas`) to try first.
+    fn pick(&self, replicas: &[Arc<Replica>]) -> usize {
+        let n = replicas.len();
+        debug_assert!(n > 0);
+        let token = self.cursor.fetch_add(1, Ordering::Relaxed) as u64;
+        match self.policy {
+            SchedulerPolicy::RoundRobin => token as usize % n,
+            SchedulerPolicy::PowerOfTwoChoices => {
+                // Routable candidates, preferring replicas whose recent
+                // batches succeeded: a black-hole replica fails instantly,
+                // keeps an empty queue, and would otherwise look ideal to
+                // depth-aware scoring. Fall back to all routable replicas
+                // when everything is suspect, and to raw indices when
+                // everything looks dead so the fall-through loop still
+                // reports the right error. Candidate indices live in a
+                // stack buffer — no per-query allocation for realistic
+                // replica counts (the buffer caps sampling at its size,
+                // which still yields a valid p2c pick in larger pools).
+                let mut buf = [0usize; 16];
+                let mut m = fill_candidates(&mut buf, replicas, true);
+                if m == 0 {
+                    m = fill_candidates(&mut buf, replicas, false);
+                }
+                let routable = &buf[..m];
+                match m {
+                    0 => token as usize % n,
+                    1 => routable[0],
+                    m => {
+                        let h = mix64(token);
+                        let a = (h % m as u64) as usize;
+                        // Distinct second sample from the high bits.
+                        let b = (a + 1 + ((h >> 32) % (m as u64 - 1)) as usize) % m;
+                        let (qa, qb) = (&replicas[routable[a]].queue, &replicas[routable[b]].queue);
+                        // Backlog (occupancy × service EWMA) only once both
+                        // candidates have observed rates; otherwise raw
+                        // occupancy, so an unobserved replica can't win on
+                        // an artificially zero estimate.
+                        let a_wins = if qa.has_service_estimate() && qb.has_service_estimate() {
+                            qa.backlog_estimate_ns() <= qb.backlog_estimate_ns()
+                        } else {
+                            qa.occupancy() <= qb.occupancy()
+                        };
+                        if a_wins {
+                            routable[a]
+                        } else {
+                            routable[b]
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Route one query. Consumes the sink: on any failure the sink is
+    /// completed with the returned error, so cache waiters always settle.
+    fn dispatch(&self, input: Input, sink: ReplySink) -> Result<(), PredictError> {
+        let replicas = self.replicas.read();
+        if replicas.is_empty() {
+            sink.complete(Err(PredictError::NoReplicas));
+            return Err(PredictError::NoReplicas);
+        }
+        let mut item = QueueItem {
+            input,
+            sink,
+            enqueued: Instant::now(),
+        };
+        let n = replicas.len();
+        let start = self.pick(&replicas);
+        match self.policy {
+            SchedulerPolicy::RoundRobin => {
+                // Baseline semantics: first healthy replica from the
+                // cursor gets the query; a full queue sheds it.
+                for offset in 0..n {
+                    let r = &replicas[(start + offset) % n];
+                    if r.transport.is_healthy() {
+                        r.queue.submit(item);
+                        return Ok(());
+                    }
+                }
+                let QueueItem { sink, .. } = item;
+                sink.complete(Err(PredictError::NoReplicas));
+                Err(PredictError::NoReplicas)
+            }
+            SchedulerPolicy::PowerOfTwoChoices => {
+                let mut saw_healthy = false;
+                // Two fall-through tiers: clean replicas first, suspect
+                // ones only when no clean replica had room — a suspect
+                // replica must never intercept a query a healthy sibling
+                // could serve.
+                for suspects in [false, true] {
+                    for offset in 0..n {
+                        let r = &replicas[(start + offset) % n];
+                        if !r.transport.is_healthy() || r.queue.is_suspect() != suspects {
+                            continue;
+                        }
+                        saw_healthy = true;
+                        // `try_submit` hands the item back on refusal (full
+                        // or draining) so it can fall through to a sibling.
+                        match r.queue.try_submit(item) {
+                            Ok(()) => return Ok(()),
+                            Err(back) => item = back,
+                        }
+                    }
+                }
+                let err = if saw_healthy {
+                    self.shed.inc();
+                    PredictError::Overloaded
+                } else {
+                    PredictError::NoReplicas
+                };
+                let QueueItem { sink, .. } = item;
+                sink.complete(Err(err.clone()));
+                Err(err)
+            }
+        }
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.replicas.read().iter().map(|r| r.queue.len()).sum()
+    }
+
+    fn inflight(&self) -> usize {
+        self.replicas
+            .read()
+            .iter()
+            .map(|r| r.queue.inflight())
+            .sum()
+    }
 }
 
 /// The model abstraction layer.
@@ -133,23 +330,47 @@ impl ModelAbstractionLayer {
         })
     }
 
-    /// Register a model with its batching configuration. Idempotent: a
-    /// second registration with the same id keeps the original.
+    /// Register a model with its batching configuration and the default
+    /// scheduler policy (power-of-two-choices). Idempotent: a second
+    /// registration with the same id keeps the original.
     pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
+        self.add_model_with_policy(id, cfg, SchedulerPolicy::default());
+    }
+
+    /// Register a model with an explicit scheduler policy.
+    ///
+    /// Also registers per-model poll gauges `model/<id>/queue_depth` and
+    /// `model/<id>/inflight` (live replica-state sums) and the scheduler's
+    /// `model/<id>/shed` counter.
+    pub fn add_model_with_policy(&self, id: ModelId, cfg: BatchConfig, policy: SchedulerPolicy) {
         let mut models = self.models.write();
+        let registry = &self.registry;
         models.entry(id.clone()).or_insert_with(|| {
-            Arc::new(ModelHandle {
-                id,
+            let handle = Arc::new(ModelHandle {
+                id: id.clone(),
                 cfg,
+                policy,
                 replicas: RwLock::new(Vec::new()),
-                next_replica: AtomicUsize::new(0),
+                cursor: AtomicUsize::new(0),
+                next_replica_idx: AtomicUsize::new(0),
+                shed: registry.counter(&format!("model/{id}/shed")),
                 defaults: Mutex::new(DefaultTracker::default()),
-            })
+            });
+            let weak: Weak<ModelHandle> = Arc::downgrade(&handle);
+            registry.poll_gauge(&format!("model/{id}/queue_depth"), {
+                let weak = weak.clone();
+                move || weak.upgrade().map_or(0, |h| h.queue_depth() as i64)
+            });
+            registry.poll_gauge(&format!("model/{id}/inflight"), move || {
+                weak.upgrade().map_or(0, |h| h.inflight() as i64)
+            });
+            handle
         });
     }
 
-    /// Attach a container replica to a registered model. Returns the
-    /// replica's queue id.
+    /// Attach a container replica to a registered model — safe while
+    /// traffic flows; the scheduler starts routing to it immediately.
+    /// Returns the replica's queue id.
     pub fn add_replica(
         &self,
         id: &ModelId,
@@ -161,8 +382,7 @@ impl ModelAbstractionLayer {
             .get(id)
             .cloned()
             .ok_or(PredictError::ModelUnknown)?;
-        let mut replicas = handle.replicas.write();
-        let idx = replicas.len();
+        let idx = handle.next_replica_idx.fetch_add(1, Ordering::Relaxed);
         let queue_id = format!("{}:{}", handle.id, idx);
         let metrics = QueueMetrics::register(&self.registry, &format!("queue/{queue_id}"));
         let queue = spawn_replica_queue(
@@ -171,11 +391,56 @@ impl ModelAbstractionLayer {
             handle.cfg.clone(),
             metrics,
         );
-        replicas.push(Replica { queue, transport });
+        // Per-replica depth gauge for operators (Weak: an unregistered
+        // replica must not be kept alive by the registry).
+        let weak_q: Weak<ReplicaQueue> = Arc::downgrade(&queue);
+        self.registry
+            .poll_gauge(&format!("queue/{queue_id}/depth"), move || {
+                weak_q.upgrade().map_or(0, |q| q.len() as i64)
+            });
+        handle
+            .replicas
+            .write()
+            .push(Arc::new(Replica { queue, transport }));
         Ok(queue_id)
     }
 
+    /// Hot-remove one replica by its queue id (as returned by
+    /// [`add_replica`](Self::add_replica)). The replica stops receiving
+    /// new queries immediately and drains gracefully: every query already
+    /// accepted completes (or fail-fills on transport error) — nothing is
+    /// dropped and no pending cache entry is left wedged. Returns the
+    /// queue handle so callers can `drained().await` for completion.
+    pub fn remove_replica(
+        &self,
+        id: &ModelId,
+        queue_id: &str,
+    ) -> Result<Arc<ReplicaQueue>, PredictError> {
+        let handle = self
+            .models
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or(PredictError::ModelUnknown)?;
+        let mut replicas = handle.replicas.write();
+        let pos = replicas
+            .iter()
+            .position(|r| r.queue.id() == queue_id)
+            .ok_or(PredictError::NoReplicas)?;
+        let replica = replicas.remove(pos);
+        replica.queue.shutdown();
+        // Reclaim the replica's per-queue metrics so churn doesn't grow
+        // the registry without bound (the trailing '/' keeps "m:v1:1"
+        // from matching "m:v1:10"). The draining queue still updates its
+        // own handles; they just stop being reported.
+        self.registry
+            .unregister_prefix(&format!("queue/{queue_id}/"));
+        Ok(replica.queue.clone())
+    }
+
     /// Remove all replicas of a model (failure injection / decommission).
+    /// Each replica drains gracefully, as in
+    /// [`remove_replica`](Self::remove_replica).
     pub fn remove_replicas(&self, id: &ModelId) {
         if let Some(handle) = self.models.read().get(id) {
             let mut replicas = handle.replicas.write();
@@ -196,6 +461,28 @@ impl ModelAbstractionLayer {
             .read()
             .get(id)
             .map_or(0, |h| h.replicas.read().len())
+    }
+
+    /// The queue ids of a model's live replicas.
+    pub fn replica_queue_ids(&self, id: &ModelId) -> Vec<String> {
+        self.models.read().get(id).map_or_else(Vec::new, |h| {
+            h.replicas
+                .read()
+                .iter()
+                .map(|r| r.queue.id().to_string())
+                .collect()
+        })
+    }
+
+    /// Total queued queries across a model's replicas (live gauge).
+    pub fn queue_depth(&self, id: &ModelId) -> usize {
+        self.models.read().get(id).map_or(0, |h| h.queue_depth())
+    }
+
+    /// Total in-flight (dispatched, unanswered) queries across a model's
+    /// replicas (live gauge).
+    pub fn inflight(&self, id: &ModelId) -> usize {
+        self.models.read().get(id).map_or(0, |h| h.inflight())
     }
 
     /// The shared prediction cache.
@@ -236,18 +523,16 @@ impl ModelAbstractionLayer {
                 Lookup::Hit(out) => return Ok(out),
                 Lookup::Pending(rx) => await_fill(rx).await,
                 Lookup::MustCompute(rx) => {
-                    let sink = ReplySink::Cache {
-                        cache: self.cache.clone(),
-                        key,
-                    };
-                    let enqueued = self
-                        .handle(model)
-                        .and_then(|handle| enqueue(&handle, input.clone(), sink));
-                    if let Err(e) = enqueued {
-                        // Nobody will ever fill the pending entry; fail it
-                        // ourselves so waiters see the error.
-                        self.cache.fail_pending(key, e.to_string());
-                        return Err(e);
+                    // `dispatch` consumes the sink: on any routing failure
+                    // it fail-fills the pending entry, so waiters (and the
+                    // rx we hold) always settle.
+                    let sink = ReplySink::cache(self.cache.clone(), key);
+                    match self.handle(model) {
+                        Ok(handle) => handle.dispatch(input, sink)?,
+                        Err(e) => {
+                            sink.complete(Err(e.clone()));
+                            return Err(e);
+                        }
                     }
                     await_fill(rx).await
                 }
@@ -255,7 +540,7 @@ impl ModelAbstractionLayer {
         } else {
             let (tx, rx) = oneshot::channel();
             let handle = self.handle(model)?;
-            enqueue(&handle, input, ReplySink::Direct(tx))?;
+            handle.dispatch(input, ReplySink::direct(tx))?;
             match rx.await {
                 Ok(r) => r,
                 Err(_) => Err(PredictError::Failed("reply channel dropped".into())),
@@ -291,36 +576,16 @@ async fn await_fill(
     }
 }
 
-/// Pick the next healthy replica round-robin and submit.
-fn enqueue(handle: &ModelHandle, input: Input, sink: ReplySink) -> Result<(), PredictError> {
-    let replicas = handle.replicas.read();
-    if replicas.is_empty() {
-        return Err(PredictError::NoReplicas);
-    }
-    let start = handle.next_replica.fetch_add(1, Ordering::Relaxed);
-    for offset in 0..replicas.len() {
-        let r = &replicas[(start + offset) % replicas.len()];
-        if r.transport.is_healthy() {
-            r.queue.submit(QueueItem {
-                input,
-                sink,
-                enqueued: Instant::now(),
-            });
-            return Ok(());
-        }
-    }
-    Err(PredictError::NoReplicas)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use clipper_rpc::message::{PredictReply, WireOutput};
     use clipper_rpc::transport::FnTransport;
     use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
 
     fn echo() -> Arc<dyn BatchTransport> {
-        Arc::new(FnTransport::new("echo", |inputs| {
+        Arc::new(FnTransport::new("echo", |inputs: &[Input]| {
             Ok(PredictReply {
                 outputs: inputs
                     .iter()
@@ -330,6 +595,43 @@ mod tests {
                 compute_us: 1,
             })
         }))
+    }
+
+    /// A transport that answers after a per-query async delay — simulates
+    /// a replica with a given service rate without burning CPU.
+    fn delayed(label: u32, per_item: Duration, counter: Arc<AtomicU64>) -> Arc<dyn BatchTransport> {
+        struct Delayed {
+            label: u32,
+            per_item: Duration,
+            counter: Arc<AtomicU64>,
+        }
+        impl BatchTransport for Delayed {
+            fn predict_batch(
+                &self,
+                inputs: &[Input],
+            ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+                let n = inputs.len();
+                let (label, d, counter) = (self.label, self.per_item, self.counter.clone());
+                Box::pin(async move {
+                    let total = d * n as u32;
+                    tokio::time::sleep(total).await;
+                    counter.fetch_add(n as u64, Ordering::Relaxed);
+                    Ok(PredictReply {
+                        outputs: vec![WireOutput::Class(label); n],
+                        queue_us: 0,
+                        compute_us: total.as_micros() as u64,
+                    })
+                })
+            }
+            fn id(&self) -> String {
+                format!("delayed-{}", self.label)
+            }
+        }
+        Arc::new(Delayed {
+            label,
+            per_item,
+            counter,
+        })
     }
 
     fn layer() -> Arc<ModelAbstractionLayer> {
@@ -391,24 +693,26 @@ mod tests {
     async fn round_robin_spreads_across_replicas() {
         let mal = layer();
         let m = ModelId::new("m", 1);
-        mal.add_model(
+        mal.add_model_with_policy(
             m.clone(),
             BatchConfig {
                 strategy: crate::batching::BatchStrategy::NoBatching,
                 ..Default::default()
             },
+            SchedulerPolicy::RoundRobin,
         );
         let c1 = Arc::new(AtomicU64::new(0));
         let c2 = Arc::new(AtomicU64::new(0));
         for counter in [c1.clone(), c2.clone()] {
-            let t: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("counted", move |inputs| {
-                counter.fetch_add(inputs.len() as u64, Ordering::Relaxed);
-                Ok(PredictReply {
-                    outputs: vec![WireOutput::Class(0); inputs.len()],
-                    queue_us: 0,
-                    compute_us: 0,
-                })
-            }));
+            let t: Arc<dyn BatchTransport> =
+                Arc::new(FnTransport::new("counted", move |inputs: &[Input]| {
+                    counter.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+                    Ok(PredictReply {
+                        outputs: vec![WireOutput::Class(0); inputs.len()],
+                        queue_us: 0,
+                        compute_us: 0,
+                    })
+                }));
             mal.add_replica(&m, t).unwrap();
         }
         assert_eq!(mal.replica_count(&m), 2);
@@ -424,12 +728,193 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn p2c_spreads_load_across_equal_replicas() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        let c1 = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, delayed(0, Duration::from_micros(100), c1.clone()))
+            .unwrap();
+        mal.add_replica(&m, delayed(0, Duration::from_micros(100), c2.clone()))
+            .unwrap();
+        let mut tasks = Vec::new();
+        for i in 0..64 {
+            let mal = mal.clone();
+            let m = m.clone();
+            tasks.push(tokio::spawn(async move {
+                mal.predict(&m, Arc::new(vec![i as f32]), false).await
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap().unwrap();
+        }
+        let (n1, n2) = (c1.load(Ordering::Relaxed), c2.load(Ordering::Relaxed));
+        assert_eq!(n1 + n2, 64);
+        assert!(
+            n1 >= 8 && n2 >= 8,
+            "p2c must use both equal replicas: {n1}/{n2}"
+        );
+    }
+
+    #[tokio::test]
+    async fn p2c_favors_the_fast_replica_under_heterogeneity() {
+        // One replica 20× slower per query: depth-aware routing must give
+        // the fast replica the dominant share. Round-robin would split
+        // 50/50 and back the slow replica up.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+        );
+        let fast = Arc::new(AtomicU64::new(0));
+        let slow = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, delayed(0, Duration::from_micros(200), fast.clone()))
+            .unwrap();
+        mal.add_replica(&m, delayed(0, Duration::from_millis(4), slow.clone()))
+            .unwrap();
+        // Sustained concurrent load so queue depths actually differ.
+        let mut tasks = Vec::new();
+        for c in 0..8 {
+            let mal = mal.clone();
+            let m = m.clone();
+            tasks.push(tokio::spawn(async move {
+                for q in 0..25u32 {
+                    let _ = mal
+                        .predict(&m, Arc::new(vec![c as f32, q as f32]), false)
+                        .await;
+                }
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap();
+        }
+        let (nf, ns) = (fast.load(Ordering::Relaxed), slow.load(Ordering::Relaxed));
+        assert!(
+            nf > ns * 2,
+            "fast replica should serve a dominant share: fast {nf} vs slow {ns}"
+        );
+    }
+
+    #[tokio::test]
+    async fn p2c_never_sheds_while_a_sibling_has_room() {
+        // Replica A is wedged (200ms/query); replica B drains fast. With
+        // as many concurrent queries as one queue holds, the old blind
+        // round-robin would shed whenever A's queue filled — the
+        // depth-aware scheduler must instead fall through to B and
+        // complete everything.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                queue_capacity: 16,
+                pipeline_depth: 1,
+                ..Default::default()
+            },
+        );
+        let stuck = Arc::new(AtomicU64::new(0));
+        let idle = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, delayed(1, Duration::from_millis(200), stuck.clone()))
+            .unwrap();
+        mal.add_replica(&m, delayed(2, Duration::from_micros(100), idle.clone()))
+            .unwrap();
+        // Sustained load (not one unbounded burst): each client issues its
+        // next query after the previous settles, so the slow replica's
+        // rate gets observed and routing converges onto the fast sibling.
+        let mut tasks = Vec::new();
+        for c in 0..16 {
+            let mal = mal.clone();
+            let m = m.clone();
+            tasks.push(tokio::spawn(async move {
+                let mut ok = 0;
+                for q in 0..4u32 {
+                    if mal
+                        .predict(&m, Arc::new(vec![c as f32, q as f32]), false)
+                        .await
+                        .is_ok()
+                    {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let mut ok = 0;
+        for t in tasks {
+            ok += t.await.unwrap();
+        }
+        assert_eq!(ok, 64, "no query may shed while a sibling has room");
+        assert!(
+            idle.load(Ordering::Relaxed) >= 40,
+            "the fast sibling should absorb the load, served {}",
+            idle.load(Ordering::Relaxed)
+        );
+    }
+
+    #[tokio::test]
+    async fn p2c_deprioritizes_a_replica_that_only_errors() {
+        // The trap: a black-hole replica fails instantly, so its queue is
+        // always empty and depth-aware scoring would love it. After a few
+        // consecutive failures it must be treated as suspect and avoided.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        let blackhole_hits = Arc::new(AtomicU64::new(0));
+        let bh = blackhole_hits.clone();
+        let blackhole: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("blackhole", move |inputs: &[Input]| {
+                bh.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+                Err(clipper_rpc::RpcError::Remote("black hole".into()))
+            }));
+        let good = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, blackhole).unwrap();
+        mal.add_replica(&m, delayed(1, Duration::from_micros(100), good.clone()))
+            .unwrap();
+        let mut ok = 0;
+        for i in 0..40 {
+            if mal
+                .predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        // A handful of probes land on the black hole before it turns
+        // suspect; everything after routes to the good replica.
+        assert!(
+            ok >= 30,
+            "suspect avoidance should rescue most queries, ok {ok} (blackhole ate {})",
+            blackhole_hits.load(Ordering::Relaxed)
+        );
+    }
+
+    #[tokio::test]
     async fn unhealthy_replicas_are_skipped() {
         struct Dead;
         impl BatchTransport for Dead {
             fn predict_batch(
                 &self,
-                _inputs: Vec<Vec<f32>>,
+                _inputs: &[Input],
             ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
                 Box::pin(async { Err(clipper_rpc::RpcError::ConnectionClosed) })
             }
@@ -487,22 +972,137 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn hot_remove_drains_without_dropping_or_wedging() {
+        // Two replicas under concurrent cached traffic; remove one
+        // mid-stream. Nothing may hang, and after the drain completes the
+        // cache must hold no pending entries.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::Fixed(4),
+                ..Default::default()
+            },
+        );
+        let c1 = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::new(AtomicU64::new(0));
+        let q1 = mal
+            .add_replica(&m, delayed(7, Duration::from_micros(300), c1.clone()))
+            .unwrap();
+        mal.add_replica(&m, delayed(7, Duration::from_micros(300), c2.clone()))
+            .unwrap();
+
+        let mut tasks = Vec::new();
+        for i in 0..120 {
+            let mal = mal.clone();
+            let m = m.clone();
+            tasks.push(tokio::spawn(async move {
+                mal.predict(&m, Arc::new(vec![i as f32]), true).await
+            }));
+        }
+        // Let some traffic land, then yank the first replica.
+        tokio::time::sleep(Duration::from_millis(2)).await;
+        let q = mal.remove_replica(&m, &q1).unwrap();
+        assert_eq!(mal.replica_count(&m), 1);
+
+        let mut ok = 0;
+        for t in tasks {
+            if t.await.unwrap().is_ok() {
+                ok += 1;
+            }
+        }
+        q.drained().await;
+        assert_eq!(
+            mal.cache().pending_len(),
+            0,
+            "drained replica must leave no wedged cache entries"
+        );
+        assert_eq!(ok, 120, "queries accepted before removal must complete");
+        // The survivor keeps serving.
+        let out = mal.predict(&m, Arc::new(vec![999.0]), true).await.unwrap();
+        assert_eq!(out, Output::Class(7));
+    }
+
+    #[tokio::test]
+    async fn hot_add_starts_receiving_traffic() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        let c1 = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, delayed(0, Duration::from_micros(500), c1.clone()))
+            .unwrap();
+        for i in 0..8 {
+            mal.predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .unwrap();
+        }
+        // Hot-add a second replica; under concurrent load it must pick up
+        // a share of the traffic.
+        let c2 = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, delayed(0, Duration::from_micros(500), c2.clone()))
+            .unwrap();
+        let mut tasks = Vec::new();
+        for i in 0..64 {
+            let mal = mal.clone();
+            let m = m.clone();
+            tasks.push(tokio::spawn(async move {
+                mal.predict(&m, Arc::new(vec![100.0 + i as f32]), false)
+                    .await
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap().unwrap();
+        }
+        assert!(
+            c2.load(Ordering::Relaxed) >= 8,
+            "hot-added replica must receive traffic, got {}",
+            c2.load(Ordering::Relaxed)
+        );
+    }
+
+    #[tokio::test]
+    async fn per_model_gauges_and_shed_counter_register() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, echo()).unwrap();
+        mal.predict(&m, Arc::new(vec![1.0]), false).await.unwrap();
+        let snap = mal.registry().snapshot();
+        assert!(snap.values.contains_key("model/m:v1/queue_depth"));
+        assert!(snap.values.contains_key("model/m:v1/inflight"));
+        assert!(snap.values.contains_key("model/m:v1/shed"));
+        assert!(snap
+            .values
+            .keys()
+            .any(|k| k.starts_with("queue/m:v1:0/depth")));
+        assert_eq!(mal.queue_depth(&m), 0);
+        assert_eq!(mal.inflight(&m), 0);
+    }
+
+    #[tokio::test]
     async fn concurrent_identical_queries_collapse_to_one_evaluation() {
         let mal = layer();
         let m = ModelId::new("m", 1);
         mal.add_model(m.clone(), BatchConfig::default());
         let evals = Arc::new(AtomicU64::new(0));
         let e2 = evals.clone();
-        let t: Arc<dyn BatchTransport> = Arc::new(FnTransport::new("slowcount", move |inputs| {
-            e2.fetch_add(inputs.len() as u64, Ordering::Relaxed);
-            std::thread::sleep(Duration::from_millis(20));
-            Ok(PredictReply {
-                outputs: vec![WireOutput::Class(1); inputs.len()],
-                queue_us: 0,
-                compute_us: 0,
-            })
-        }));
-        use std::time::Duration;
+        let t: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("slowcount", move |inputs: &[Input]| {
+                e2.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(PredictReply {
+                    outputs: vec![WireOutput::Class(1); inputs.len()],
+                    queue_us: 0,
+                    compute_us: 0,
+                })
+            }));
         mal.add_replica(&m, t).unwrap();
         let input: Input = Arc::new(vec![42.0]);
         let mut tasks = Vec::new();

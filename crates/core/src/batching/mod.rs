@@ -24,7 +24,7 @@ pub mod queue;
 pub use aimd::AimdController;
 pub use quantile::QuantileController;
 pub use queue::{
-    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
+    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, QueueState, ReplicaQueue, ReplySink,
 };
 
 use std::time::Duration;

@@ -11,8 +11,9 @@
 //! candidate model (the join the prediction cache accelerates, §4.2) and
 //! folds the result into the per-context policy state.
 
-use crate::abstraction::{BatchConfig, ModelAbstractionLayer};
+use crate::abstraction::{BatchConfig, ModelAbstractionLayer, SchedulerPolicy};
 use crate::batching::queue::PredictError;
+use crate::batching::ReplicaQueue;
 use crate::selection::{build_policy, SelectionPolicy, SelectionStateManager};
 use crate::types::{AppConfig, Feedback, Input, ModelId, Output, Prediction};
 use clipper_metrics::{Counter, Histogram, Meter, Registry};
@@ -133,18 +134,42 @@ impl Clipper {
             .insert(name, Arc::new(App { cfg, policy }));
     }
 
-    /// Register a model with per-replica batching configuration.
+    /// Register a model with per-replica batching configuration and the
+    /// default depth-aware scheduler (power-of-two-choices).
     pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
         self.inner.mal.add_model(id, cfg);
     }
 
-    /// Attach a container replica to a model.
+    /// Register a model with an explicit replica-scheduling policy.
+    pub fn add_model_with_policy(&self, id: ModelId, cfg: BatchConfig, policy: SchedulerPolicy) {
+        self.inner.mal.add_model_with_policy(id, cfg, policy);
+    }
+
+    /// Attach a container replica to a model — safe mid-traffic. Returns
+    /// the replica's queue id (the handle for hot removal).
     pub fn add_replica(
         &self,
         id: &ModelId,
         transport: Arc<dyn BatchTransport>,
     ) -> Result<String, PredictError> {
         self.inner.mal.add_replica(id, transport)
+    }
+
+    /// Hot-remove one replica by queue id: it stops receiving queries
+    /// immediately and drains gracefully (no query dropped, no cache
+    /// entry wedged). Await `drained()` on the returned queue to observe
+    /// completion.
+    pub fn remove_replica(
+        &self,
+        id: &ModelId,
+        queue_id: &str,
+    ) -> Result<Arc<ReplicaQueue>, PredictError> {
+        self.inner.mal.remove_replica(id, queue_id)
+    }
+
+    /// Remove (and gracefully drain) all replicas of a model.
+    pub fn remove_replicas(&self, id: &ModelId) {
+        self.inner.mal.remove_replicas(id);
     }
 
     /// The underlying model abstraction layer.
@@ -375,7 +400,7 @@ mod tests {
     impl BatchTransport for ConstTransport {
         fn predict_batch(
             &self,
-            inputs: Vec<Vec<f32>>,
+            inputs: &[Input],
         ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
             let (label, delay, n) = (self.label, self.delay, inputs.len());
             Box::pin(async move {

@@ -7,6 +7,8 @@
 //!   → `{"output": .., "confidence": .., "latency_us": ..}`
 //! - `POST /apps/{app}/update` with `{"input": [..], "label": 3}` or
 //!   `{"labels": [..]}` (feedback, §5)
+//! - `GET /models` → per-model scheduler state: replica queue ids, live
+//!   queue depth, and in-flight queries
 //! - `GET /metrics` → registry snapshot JSON
 //! - `GET /health` → `ok`
 //!
@@ -83,6 +85,14 @@ struct UpdateRequest {
     label: Option<u32>,
     #[serde(default)]
     labels: Option<Vec<u32>>,
+}
+
+#[derive(Serialize)]
+struct ModelStatus {
+    model: String,
+    replicas: Vec<String>,
+    queue_depth: usize,
+    inflight: usize,
 }
 
 /// JSON shape for outputs.
@@ -193,6 +203,24 @@ async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<
 async fn route(clipper: &Clipper, req: Request) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/models") => {
+            let mal = clipper.abstraction();
+            let mut models = mal.models();
+            models.sort();
+            let statuses: Vec<ModelStatus> = models
+                .iter()
+                .map(|m| ModelStatus {
+                    model: m.to_string(),
+                    replicas: mal.replica_queue_ids(m),
+                    queue_depth: mal.queue_depth(m),
+                    inflight: mal.inflight(m),
+                })
+                .collect();
+            match serde_json::to_string(&statuses) {
+                Ok(body) => (200, body),
+                Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
+            }
+        }
         ("GET", "/metrics") => {
             let snap = clipper.registry().snapshot();
             match serde_json::to_string(&snap) {
@@ -304,16 +332,21 @@ mod tests {
         clipper
             .add_replica(
                 &m,
-                Arc::new(FnTransport::new("echo", |inputs: Vec<Vec<f32>>| {
-                    Ok(PredictReply {
-                        outputs: inputs
-                            .iter()
-                            .map(|x| WireOutput::Class(x.first().copied().unwrap_or(0.0) as u32))
-                            .collect(),
-                        queue_us: 0,
-                        compute_us: 10,
-                    })
-                })),
+                Arc::new(FnTransport::new(
+                    "echo",
+                    |inputs: &[clipper_rpc::Input]| {
+                        Ok(PredictReply {
+                            outputs: inputs
+                                .iter()
+                                .map(
+                                    |x| WireOutput::Class(x.first().copied().unwrap_or(0.0) as u32),
+                                )
+                                .collect(),
+                            queue_us: 0,
+                            compute_us: 10,
+                        })
+                    },
+                )),
             )
             .unwrap();
         clipper.register_app(
@@ -401,6 +434,20 @@ mod tests {
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn models_endpoint_reports_scheduler_state() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /models HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"model\":\"m:v1\""), "{resp}");
+        assert!(resp.contains("\"queue_depth\""), "{resp}");
+        assert!(resp.contains("m:v1:0"), "{resp}");
     }
 
     #[tokio::test]

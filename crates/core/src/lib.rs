@@ -10,8 +10,13 @@
 //!   between predictions and later feedback (§4.2);
 //! - [`batching`]: per-replica adaptive batching queues — AIMD (the
 //!   default), online quantile regression, fixed, or none — plus delayed
-//!   batching under moderate load (§4.3);
-//! - replica routing with per-replica batch tuning (§4.4.1).
+//!   batching under moderate load (§4.3). Each queue is a pull-based
+//!   worker with an explicit `Running → Draining → Stopped` lifecycle and
+//!   zero-copy batch dispatch;
+//! - per-model replica scheduling (§4.4.1): depth-aware
+//!   power-of-two-choices over live queue state (backlog × service-rate
+//!   EWMA) with fall-through before shedding and graceful hot
+//!   add/remove — see [`abstraction::SchedulerPolicy`].
 //!
 //! **Model selection layer** ([`selection`]) — feedback-driven dispatch
 //! and combination (§5):
@@ -49,8 +54,8 @@ pub mod frontend;
 pub mod selection;
 pub mod types;
 
-pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError};
-pub use batching::{AimdController, BatchStrategy, QuantileController};
+pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError, SchedulerPolicy};
+pub use batching::{AimdController, BatchStrategy, QuantileController, QueueState};
 pub use cache::{CacheKey, CacheStats, PredictionCache};
 pub use clipper::{Clipper, ClipperBuilder};
 pub use frontend::HttpFrontend;

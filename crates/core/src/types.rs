@@ -1,7 +1,6 @@
 //! Core domain types shared across both layers.
 
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// A versioned model identity (`Predict(m, x)`'s `m`).
@@ -30,8 +29,9 @@ impl std::fmt::Display for ModelId {
 }
 
 /// A query input: a shared feature vector. `Arc` because one input fans out
-/// to many models, queues, and cache keys without copying.
-pub type Input = Arc<Vec<f32>>;
+/// to many models, queues, batches, and cache keys without copying — the
+/// alias lives in `clipper-rpc` so transports speak the same shared type.
+pub use clipper_rpc::transport::Input;
 
 /// A model (or ensemble) output. Re-exported wire type so containers,
 /// cache, and policies speak the same language.

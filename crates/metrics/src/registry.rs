@@ -19,6 +19,9 @@ enum Metric {
     /// components that keep their own relaxed atomics (e.g. the sharded
     /// prediction cache) report without double-counting on the hot path.
     PollCounter(Arc<dyn Fn() -> u64 + Send + Sync>),
+    /// A gauge read on demand at snapshot time — for instantaneous state
+    /// (queue depth, in-flight queries) that components already track.
+    PollGauge(Arc<dyn Fn() -> i64 + Send + Sync>),
 }
 
 /// A concurrent, clonable collection of named metrics.
@@ -121,6 +124,46 @@ impl Registry {
         }
     }
 
+    /// Register (or replace) a gauge that is *polled* at snapshot time:
+    /// `read` is called once per [`Registry::snapshot`] and its value
+    /// reported as a gauge. Like [`Registry::poll_counter`], repeated
+    /// registration under the same name replaces the source.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a non-polled-gauge metric.
+    pub fn poll_gauge(&self, name: &str, read: impl Fn() -> i64 + Send + Sync + 'static) {
+        let mut m = self.metrics.write();
+        match m.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Metric::PollGauge(Arc::new(read)));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get() {
+                Metric::PollGauge(_) => {
+                    e.insert(Metric::PollGauge(Arc::new(read)));
+                }
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            },
+        }
+    }
+
+    /// Remove every metric whose name starts with `prefix`. Used when a
+    /// component with per-instance metrics (e.g. a replica queue) is
+    /// decommissioned, so the registry does not grow without bound under
+    /// instance churn. Handles already held by the component keep
+    /// working; they just stop being reported.
+    pub fn unregister_prefix(&self, prefix: &str) -> usize {
+        let mut m = self.metrics.write();
+        let doomed: Vec<String> = m
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        for k in &doomed {
+            m.remove(k);
+        }
+        doomed.len()
+    }
+
     /// Names currently registered, sorted.
     pub fn names(&self) -> Vec<String> {
         self.metrics.read().keys().cloned().collect()
@@ -134,6 +177,7 @@ impl Registry {
             let v = match metric {
                 Metric::Counter(c) => MetricValue::Counter { value: c.get() },
                 Metric::PollCounter(read) => MetricValue::Counter { value: read() },
+                Metric::PollGauge(read) => MetricValue::Gauge { value: read() },
                 Metric::Gauge(g) => MetricValue::Gauge { value: g.get() },
                 Metric::Meter(meter) => MetricValue::Meter {
                     count: meter.count(),
@@ -236,6 +280,49 @@ mod tests {
         let r = Registry::new();
         r.histogram("x");
         r.poll_counter("x", || 0);
+    }
+
+    #[test]
+    fn poll_gauge_reads_at_snapshot_time() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let r = Registry::new();
+        let depth = Arc::new(AtomicI64::new(5));
+        let d = depth.clone();
+        r.poll_gauge("model/m/depth", move || d.load(Ordering::Relaxed));
+        assert!(matches!(
+            r.snapshot().values["model/m/depth"],
+            MetricValue::Gauge { value: 5 }
+        ));
+        depth.store(-1, Ordering::Relaxed);
+        assert!(matches!(
+            r.snapshot().values["model/m/depth"],
+            MetricValue::Gauge { value: -1 }
+        ));
+        // Re-registration replaces the source.
+        r.poll_gauge("model/m/depth", || 9);
+        assert!(matches!(
+            r.snapshot().values["model/m/depth"],
+            MetricValue::Gauge { value: 9 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn poll_gauge_conflicts_with_other_kinds() {
+        let r = Registry::new();
+        r.counter("y");
+        r.poll_gauge("y", || 0);
+    }
+
+    #[test]
+    fn unregister_prefix_removes_only_matching_metrics() {
+        let r = Registry::new();
+        r.counter("queue/m:v1:0/shed");
+        r.histogram("queue/m:v1:0/batch_size");
+        r.poll_gauge("queue/m:v1:0/depth", || 1);
+        r.counter("queue/m:v1:10/shed"); // shares a string prefix, distinct id
+        assert_eq!(r.unregister_prefix("queue/m:v1:0/"), 3);
+        assert_eq!(r.names(), vec!["queue/m:v1:10/shed".to_string()]);
     }
 
     #[test]

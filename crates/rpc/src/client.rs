@@ -11,6 +11,7 @@
 use crate::codec::{read_frame, write_frame};
 use crate::error::RpcError;
 use crate::message::{Message, PredictReply};
+use crate::transport::Input;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -23,16 +24,17 @@ use tokio::sync::mpsc;
 /// [`PredictReply::compute_us`] with its own measure of model time (the
 /// serving loop fills in `queue_us`).
 pub trait BatchHandler: Send + Sync + 'static {
-    /// Evaluate one batch. `Err` strings become [`RpcError::Remote`] on the
-    /// Clipper side and fail only that batch, not the connection.
-    fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String>;
+    /// Evaluate one batch of shared feature vectors. `Err` strings become
+    /// [`RpcError::Remote`] on the Clipper side and fail only that batch,
+    /// not the connection.
+    fn handle_batch(&self, inputs: Vec<Input>) -> Result<PredictReply, String>;
 }
 
 impl<F> BatchHandler for F
 where
-    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, String> + Send + Sync + 'static,
+    F: Fn(Vec<Input>) -> Result<PredictReply, String> + Send + Sync + 'static,
 {
-    fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String> {
+    fn handle_batch(&self, inputs: Vec<Input>) -> Result<PredictReply, String> {
         self(inputs)
     }
 }
@@ -89,7 +91,7 @@ pub async fn serve_container(
     });
 
     // Worker task: executes batches serially in arrival order.
-    let (work_tx, mut work_rx) = mpsc::unbounded_channel::<(u64, Vec<Vec<f32>>, Instant)>();
+    let (work_tx, mut work_rx) = mpsc::unbounded_channel::<(u64, Vec<Input>, Instant)>();
     let out_tx_worker = out_tx.clone();
     let worker = tokio::spawn(async move {
         while let Some((id, inputs, enqueued)) = work_rx.recv().await {
@@ -155,7 +157,7 @@ mod tests {
             model_version: 1,
         };
         tokio::spawn(async move {
-            let handler = |inputs: Vec<Vec<f32>>| -> Result<PredictReply, String> {
+            let handler = |inputs: Vec<Input>| -> Result<PredictReply, String> {
                 if inputs.len() == 13 {
                     Err("unlucky batch".into())
                 } else {
@@ -171,11 +173,17 @@ mod tests {
         let (_, handle) = server.next_container().await.unwrap();
         use crate::transport::BatchTransport;
 
-        let err = handle.predict_batch(vec![vec![0.0]; 13]).await.unwrap_err();
+        let err = handle
+            .predict_batch(&crate::transport::as_inputs(vec![vec![0.0]; 13]))
+            .await
+            .unwrap_err();
         assert!(matches!(err, RpcError::Remote(ref m) if m.contains("unlucky")));
 
         // The connection survives: the next batch succeeds.
-        let ok = handle.predict_batch(vec![vec![0.0]; 2]).await.unwrap();
+        let ok = handle
+            .predict_batch(&crate::transport::as_inputs(vec![vec![0.0]; 2]))
+            .await
+            .unwrap();
         assert_eq!(ok.outputs.len(), 2);
     }
 
@@ -189,7 +197,7 @@ mod tests {
             model_version: 1,
         };
         tokio::spawn(async move {
-            let handler = |inputs: Vec<Vec<f32>>| -> Result<PredictReply, String> {
+            let handler = |inputs: Vec<Input>| -> Result<PredictReply, String> {
                 std::thread::sleep(std::time::Duration::from_millis(30));
                 Ok(PredictReply {
                     outputs: vec![WireOutput::Class(0); inputs.len()],
@@ -206,9 +214,13 @@ mod tests {
         // Send two batches back to back: the second must queue behind the
         // first (serial container), so its queue_us reflects the wait.
         let h1 = handle.clone();
-        let first = tokio::spawn(async move { h1.predict_batch(vec![vec![0.0]]).await });
+        let first =
+            tokio::spawn(async move { h1.predict_batch(&[std::sync::Arc::new(vec![0.0])]).await });
         tokio::time::sleep(std::time::Duration::from_millis(5)).await;
-        let second = handle.predict_batch(vec![vec![0.0]]).await.unwrap();
+        let second = handle
+            .predict_batch(&[std::sync::Arc::new(vec![0.0])])
+            .await
+            .unwrap();
         first.await.unwrap().unwrap();
         assert!(
             second.queue_us >= 10_000,

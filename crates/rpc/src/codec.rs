@@ -73,7 +73,7 @@ mod tests {
     async fn frame_roundtrip_over_duplex() {
         let (mut a, mut b) = tokio::io::duplex(64 * 1024);
         let msg = Message::PredictRequest {
-            inputs: vec![vec![1.0, 2.0], vec![3.0]],
+            inputs: crate::transport::as_inputs(vec![vec![1.0, 2.0], vec![3.0]]),
         };
         write_frame(&mut a, &msg, 7).await.unwrap();
         let (id, got) = read_frame(&mut b).await.unwrap();

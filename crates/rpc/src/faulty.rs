@@ -8,7 +8,7 @@
 
 use crate::error::RpcError;
 use crate::message::PredictReply;
-use crate::transport::{BatchTransport, BoxFuture};
+use crate::transport::{BatchTransport, BoxFuture, Input};
 use parking_lot::Mutex;
 use rand::prelude::*;
 use std::sync::Arc;
@@ -80,7 +80,7 @@ impl FaultyTransport {
 }
 
 impl BatchTransport for FaultyTransport {
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
         // Decide the fault outcome up front (short lock; no awaits inside).
         let (delay, dropped) = {
             let mut rng = self.rng.lock();
@@ -95,6 +95,7 @@ impl BatchTransport for FaultyTransport {
             (delay, dropped)
         };
         let inner = self.inner.clone();
+        let inputs = inputs.to_vec(); // Arc clones only
         Box::pin(async move {
             if delay > Duration::ZERO {
                 tokio::time::sleep(delay).await;
@@ -102,7 +103,7 @@ impl BatchTransport for FaultyTransport {
             if dropped {
                 return Err(RpcError::Injected);
             }
-            inner.predict_batch(inputs).await
+            inner.predict_batch(&inputs).await
         })
     }
 
@@ -120,10 +121,15 @@ mod tests {
     use super::*;
     use crate::message::WireOutput;
     use crate::transport::FnTransport;
+    use std::sync::Arc;
     use std::time::Instant;
 
+    fn one_input() -> Vec<Input> {
+        vec![Arc::new(vec![0.0])]
+    }
+
     fn ok_transport() -> Arc<dyn BatchTransport> {
-        Arc::new(FnTransport::new("ok", |inputs| {
+        Arc::new(FnTransport::new("ok", |inputs: &[Input]| {
             Ok(PredictReply {
                 outputs: vec![WireOutput::Class(1); inputs.len()],
                 queue_us: 0,
@@ -135,7 +141,7 @@ mod tests {
     #[tokio::test]
     async fn no_faults_passes_through() {
         let t = FaultyTransport::new(ok_transport(), FaultConfig::default(), 1);
-        let r = t.predict_batch(vec![vec![0.0]]).await.unwrap();
+        let r = t.predict_batch(&one_input()).await.unwrap();
         assert_eq!(r.outputs.len(), 1);
         assert!(t.id().contains("ok"));
     }
@@ -147,7 +153,7 @@ mod tests {
             ..Default::default()
         };
         let t = FaultyTransport::new(ok_transport(), cfg, 1);
-        let err = t.predict_batch(vec![vec![0.0]]).await.unwrap_err();
+        let err = t.predict_batch(&one_input()).await.unwrap_err();
         assert!(matches!(err, RpcError::Injected));
     }
 
@@ -156,7 +162,7 @@ mod tests {
         let cfg = FaultConfig::latency(Duration::from_millis(25), Duration::ZERO);
         let t = FaultyTransport::new(ok_transport(), cfg, 1);
         let start = Instant::now();
-        t.predict_batch(vec![vec![0.0]]).await.unwrap();
+        t.predict_batch(&one_input()).await.unwrap();
         assert!(start.elapsed() >= Duration::from_millis(25));
     }
 
@@ -167,7 +173,7 @@ mod tests {
         let mut stragglers = 0;
         for _ in 0..100 {
             let start = Instant::now();
-            t.predict_batch(vec![vec![0.0]]).await.unwrap();
+            t.predict_batch(&one_input()).await.unwrap();
             if start.elapsed() >= Duration::from_millis(8) {
                 stragglers += 1;
             }

@@ -31,4 +31,4 @@ pub use client::{serve_container, BatchHandler, ContainerClientConfig};
 pub use error::RpcError;
 pub use message::{Message, PredictReply, WireOutput};
 pub use server::{ContainerInfo, RpcServer, TcpContainerHandle};
-pub use transport::{BatchTransport, BoxFuture};
+pub use transport::{as_inputs, BatchTransport, BoxFuture, Input};

@@ -14,7 +14,9 @@
 //! quantity the Figure-6 network-bottleneck experiment meters.
 
 use crate::error::RpcError;
+use crate::transport::Input;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Frame magic ("CLIP" little-endianized).
 pub const MAGIC: u32 = 0xC11B_BE55;
@@ -92,9 +94,13 @@ pub enum Message {
     /// Clipper → container: registration accepted.
     RegisterAck,
     /// Clipper → container: evaluate a batch.
+    ///
+    /// Inputs are `Arc`-shared feature vectors: building this message from
+    /// a dispatched batch clones pointers only; the `f32` payload is read
+    /// directly out of the shared vectors at encode time.
     PredictRequest {
         /// Feature vectors, one per query.
-        inputs: Vec<Vec<f32>>,
+        inputs: Vec<Input>,
     },
     /// Container → Clipper: batch results.
     PredictResponse(PredictReply),
@@ -205,7 +211,7 @@ impl Message {
                 let n = get_u32(&mut payload)? as usize;
                 let mut inputs = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
-                    inputs.push(get_f32s(&mut payload)?);
+                    inputs.push(Arc::new(get_f32s(&mut payload)?));
                 }
                 Message::PredictRequest { inputs }
             }
@@ -337,6 +343,7 @@ fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, RpcError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::as_inputs;
 
     fn roundtrip(msg: Message) -> Message {
         let frame = msg.encode(42);
@@ -365,7 +372,7 @@ mod tests {
     #[test]
     fn predict_request_roundtrips() {
         let m = Message::PredictRequest {
-            inputs: vec![vec![1.0, -2.5, 3.25], vec![], vec![0.0; 17]],
+            inputs: as_inputs(vec![vec![1.0, -2.5, 3.25], vec![], vec![0.0; 17]]),
         };
         assert_eq!(roundtrip(m.clone()), m);
     }
@@ -408,7 +415,7 @@ mod tests {
     #[test]
     fn truncated_payload_is_protocol_error() {
         let m = Message::PredictRequest {
-            inputs: vec![vec![1.0, 2.0]],
+            inputs: as_inputs(vec![vec![1.0, 2.0]]),
         };
         let frame = m.encode(1);
         // Chop the last 3 bytes off the payload.
@@ -431,7 +438,7 @@ mod tests {
         let msgs = vec![
             Message::Heartbeat,
             Message::PredictRequest {
-                inputs: vec![vec![1.0; 784]; 4],
+                inputs: as_inputs(vec![vec![1.0; 784]; 4]),
             },
             Message::PredictResponse(PredictReply {
                 outputs: vec![WireOutput::Class(1), WireOutput::Scores(vec![0.5; 10])],

@@ -8,7 +8,7 @@
 use crate::codec::{read_frame, write_frame};
 use crate::error::RpcError;
 use crate::message::{Message, PredictReply};
-use crate::transport::{BatchTransport, BoxFuture};
+use crate::transport::{BatchTransport, BoxFuture, Input};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -86,7 +86,7 @@ impl TcpContainerHandle {
 }
 
 impl TcpContainerHandle {
-    fn submit(&self, inputs: Vec<Vec<f32>>) -> oneshot::Receiver<Result<PredictReply, RpcError>> {
+    fn submit(&self, inputs: Vec<Input>) -> oneshot::Receiver<Result<PredictReply, RpcError>> {
         let (otx, orx) = oneshot::channel();
         if !self.healthy.load(Ordering::Acquire) {
             let _ = otx.send(Err(RpcError::ConnectionClosed));
@@ -108,8 +108,10 @@ impl TcpContainerHandle {
 }
 
 impl BatchTransport for TcpContainerHandle {
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
-        let rx = self.submit(inputs);
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
+        // `to_vec` clones `Arc` pointers; the feature data is read out of
+        // the shared vectors only when the frame is encoded.
+        let rx = self.submit(inputs.to_vec());
         Box::pin(async move {
             match rx.await {
                 Ok(r) => r,
@@ -277,11 +279,12 @@ mod tests {
     use super::*;
     use crate::client::{serve_container, BatchHandler, ContainerClientConfig};
     use crate::message::WireOutput;
+    use crate::transport::as_inputs;
     use std::time::Duration;
 
     struct Doubler;
     impl BatchHandler for Doubler {
-        fn handle_batch(&self, inputs: Vec<Vec<f32>>) -> Result<PredictReply, String> {
+        fn handle_batch(&self, inputs: Vec<Input>) -> Result<PredictReply, String> {
             Ok(PredictReply {
                 outputs: inputs
                     .iter()
@@ -315,7 +318,7 @@ mod tests {
         assert_eq!(info.container_name, "c0");
 
         let reply = handle
-            .predict_batch(vec![vec![0.0; 3], vec![0.0; 5]])
+            .predict_batch(&as_inputs(vec![vec![0.0; 3], vec![0.0; 5]]))
             .await
             .unwrap();
         assert_eq!(
@@ -334,7 +337,10 @@ mod tests {
         for i in 0..32usize {
             let h = handle.clone();
             tasks.push(tokio::spawn(async move {
-                let r = h.predict_batch(vec![vec![0.0; i]]).await.unwrap();
+                let r = h
+                    .predict_batch(&as_inputs(vec![vec![0.0; i]]))
+                    .await
+                    .unwrap();
                 assert_eq!(r.outputs[0], WireOutput::Class((i * 2) as u32));
             }));
         }
@@ -351,7 +357,10 @@ mod tests {
         client.abort();
         // Give the reader a moment to notice the close.
         tokio::time::sleep(Duration::from_millis(50)).await;
-        let err = handle.predict_batch(vec![vec![1.0]]).await.unwrap_err();
+        let err = handle
+            .predict_batch(&as_inputs(vec![vec![1.0]]))
+            .await
+            .unwrap_err();
         assert!(matches!(err, RpcError::ConnectionClosed | RpcError::Io(_)));
         assert!(!handle.is_healthy());
     }
@@ -384,7 +393,7 @@ mod tests {
         assert!(handle.is_healthy());
         handle.start_heartbeats(Duration::from_millis(20), Duration::from_millis(60));
         // A request gets stuck in the hung container...
-        let pending = handle.predict_batch(vec![vec![1.0]]);
+        let pending = handle.predict_batch(&as_inputs(vec![vec![1.0]]));
         // ...and the prober flags the replica and fails the request.
         let err = tokio::time::timeout(Duration::from_millis(500), pending)
             .await
@@ -401,7 +410,10 @@ mod tests {
         handle.start_heartbeats(Duration::from_millis(10), Duration::from_millis(40));
         tokio::time::sleep(Duration::from_millis(120)).await;
         assert!(handle.is_healthy(), "responsive container stays healthy");
-        let r = handle.predict_batch(vec![vec![0.0; 2]]).await.unwrap();
+        let r = handle
+            .predict_batch(&as_inputs(vec![vec![0.0; 2]]))
+            .await
+            .unwrap();
         assert_eq!(r.outputs.len(), 1);
     }
 

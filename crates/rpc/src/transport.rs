@@ -4,11 +4,25 @@
 //! in-process containers, fault-injection and simulated-network wrappers —
 //! implements [`BatchTransport`]. The trait is object-safe (boxed futures)
 //! so replica sets can mix transport kinds freely.
+//!
+//! # The zero-copy contract
+//!
+//! `predict_batch` consumes a slice of [`Input`]s — `Arc`-shared feature
+//! vectors. A dispatching queue assembles a batch by cloning `Arc`
+//! *pointers* only; an implementation that needs owned data for a `'static`
+//! future calls `inputs.to_vec()`, which again clones pointers, never the
+//! `f32` payload. The only place feature bytes are copied is wire
+//! serialization itself (the TCP codec), which no API shape can avoid.
 
 use crate::error::RpcError;
 use crate::message::PredictReply;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::Arc;
+
+/// A query input: a shared feature vector. `Arc` because one input fans
+/// out to many models, queues, batches, and cache keys without copying.
+pub type Input = Arc<Vec<f32>>;
 
 /// Boxed future alias used by object-safe async traits.
 pub type BoxFuture<T> = Pin<Box<dyn Future<Output = T> + Send>>;
@@ -19,8 +33,10 @@ pub trait BatchTransport: Send + Sync + 'static {
     ///
     /// Implementations must preserve input order in the reply and should
     /// populate [`PredictReply::queue_us`] / [`PredictReply::compute_us`]
-    /// when the information is available.
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>>;
+    /// when the information is available. Implementations take shared
+    /// ownership of individual inputs via `Arc` clones (`inputs.to_vec()`);
+    /// they must not deep-copy the feature data.
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>>;
 
     /// Stable identifier for logs/metrics (e.g. `"mnist-svm:0"`).
     fn id(&self) -> String;
@@ -40,7 +56,7 @@ pub struct FnTransport<F> {
 
 impl<F> FnTransport<F>
 where
-    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
+    F: Fn(&[Input]) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
 {
     /// Wrap `f` as a transport.
     pub fn new(id: &str, f: F) -> Self {
@@ -53,9 +69,9 @@ where
 
 impl<F> BatchTransport for FnTransport<F>
 where
-    F: Fn(Vec<Vec<f32>>) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
+    F: Fn(&[Input]) -> Result<PredictReply, RpcError> + Send + Sync + 'static,
 {
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
         let out = (self.f)(inputs);
         Box::pin(async move { out })
     }
@@ -65,6 +81,11 @@ where
     }
 }
 
+/// Wrap plain feature vectors as shared [`Input`]s (test/bench sugar).
+pub fn as_inputs(raw: Vec<Vec<f32>>) -> Vec<Input> {
+    raw.into_iter().map(Arc::new).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,7 +93,7 @@ mod tests {
 
     #[tokio::test]
     async fn fn_transport_echoes_batch_size() {
-        let t = FnTransport::new("echo", |inputs| {
+        let t = FnTransport::new("echo", |inputs: &[Input]| {
             Ok(PredictReply {
                 outputs: inputs
                     .iter()
@@ -83,7 +104,7 @@ mod tests {
             })
         });
         let reply = t
-            .predict_batch(vec![vec![0.0; 3], vec![0.0; 7]])
+            .predict_batch(&as_inputs(vec![vec![0.0; 3], vec![0.0; 7]]))
             .await
             .unwrap();
         assert_eq!(
@@ -96,8 +117,28 @@ mod tests {
 
     #[tokio::test]
     async fn fn_transport_propagates_errors() {
-        let t = FnTransport::new("bad", |_| Err(RpcError::Remote("kaput".into())));
-        let err = t.predict_batch(vec![]).await.unwrap_err();
+        let t = FnTransport::new("bad", |_: &[Input]| Err(RpcError::Remote("kaput".into())));
+        let err = t.predict_batch(&[]).await.unwrap_err();
         assert!(matches!(err, RpcError::Remote(_)));
+    }
+
+    #[tokio::test]
+    async fn fn_transport_sees_the_shared_vectors_not_copies() {
+        // The zero-copy contract: the transport observes the very same
+        // allocations the caller submitted.
+        let original: Input = Arc::new(vec![1.0, 2.0]);
+        let probe = original.clone();
+        let t = FnTransport::new("ptr-check", move |inputs: &[Input]| {
+            assert!(
+                Arc::ptr_eq(&inputs[0], &probe),
+                "input must arrive by Arc, not by copy"
+            );
+            Ok(PredictReply {
+                outputs: vec![WireOutput::Class(0)],
+                queue_us: 0,
+                compute_us: 0,
+            })
+        });
+        t.predict_batch(&[original]).await.unwrap();
     }
 }

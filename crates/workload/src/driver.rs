@@ -7,6 +7,22 @@ use std::future::Future;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How one driven request ended, for drivers that distinguish load
+/// shedding (a routing decision) from hard failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The request completed successfully.
+    Ok,
+    /// The request was shed (e.g. [`Overloaded`]: every replica's queue
+    /// was full) — counted separately so scheduler comparisons can tell
+    /// "refused under load" apart from "broke".
+    ///
+    /// [`Overloaded`]: https://en.wikipedia.org/wiki/Load_shedding
+    Shed,
+    /// The request failed for any other reason.
+    Error,
+}
+
 /// Results of a driven load phase.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
@@ -14,8 +30,10 @@ pub struct LoadReport {
     pub duration: Duration,
     /// Successfully completed requests.
     pub completed: u64,
-    /// Failed requests.
+    /// Failed requests (including shed ones).
     pub errors: u64,
+    /// Requests shed by load shedding (subset of `errors`).
+    pub shed: u64,
     /// Latency distribution of successful requests (µs).
     pub latency: HistogramSnapshot,
 }
@@ -85,6 +103,7 @@ where
         duration: start.elapsed(),
         completed: completed.get(),
         errors: errors.get(),
+        shed: 0,
         latency: latency.snapshot(),
     }
 }
@@ -102,9 +121,36 @@ where
     F: Fn(u64) -> Fut + Send + Sync + Clone + 'static,
     Fut: Future<Output = bool> + Send + 'static,
 {
+    run_open_loop_outcomes(arrivals, duration, seed, move |seq| {
+        let f = f.clone();
+        async move {
+            if f(seq).await {
+                RequestOutcome::Ok
+            } else {
+                RequestOutcome::Error
+            }
+        }
+    })
+    .await
+}
+
+/// Open-loop load with per-request [`RequestOutcome`]s, so the report can
+/// separate shed requests from hard failures — the counters the scheduler
+/// comparisons (`replica_scaling`) grade round-robin vs. p2c on.
+pub async fn run_open_loop_outcomes<F, Fut>(
+    arrivals: ArrivalProcess,
+    duration: Duration,
+    seed: u64,
+    f: F,
+) -> LoadReport
+where
+    F: Fn(u64) -> Fut + Send + Sync + Clone + 'static,
+    Fut: Future<Output = RequestOutcome> + Send + 'static,
+{
     let latency = Histogram::new();
     let completed = Counter::new();
     let errors = Counter::new();
+    let shed = Counter::new();
     let start = Instant::now();
     let deadline = start + duration;
     let inflight = Arc::new(tokio::sync::Semaphore::new(65_536));
@@ -122,14 +168,22 @@ where
         let latency = latency.clone();
         let completed = completed.clone();
         let errors = errors.clone();
+        let shed = shed.clone();
         let permit = inflight.clone().acquire_owned().await.expect("semaphore");
         handles.push(tokio::spawn(async move {
             let t0 = Instant::now();
-            if f(seq).await {
-                latency.record(t0.elapsed().as_micros() as u64);
-                completed.inc();
-            } else {
-                errors.inc();
+            match f(seq).await {
+                RequestOutcome::Ok => {
+                    latency.record(t0.elapsed().as_micros() as u64);
+                    completed.inc();
+                }
+                RequestOutcome::Shed => {
+                    shed.inc();
+                    errors.inc();
+                }
+                RequestOutcome::Error => {
+                    errors.inc();
+                }
             }
             drop(permit);
         }));
@@ -146,6 +200,7 @@ where
         duration: start.elapsed(),
         completed: completed.get(),
         errors: errors.get(),
+        shed: shed.get(),
         latency: latency.snapshot(),
     }
 }
@@ -196,6 +251,31 @@ mod tests {
             (100..=260).contains(&(report.completed as i64)),
             "completed {}",
             report.completed
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn open_loop_outcomes_separate_sheds_from_errors() {
+        let report = run_open_loop_outcomes(
+            ArrivalProcess::Uniform { rate: 600.0 },
+            Duration::from_millis(200),
+            1,
+            |seq| async move {
+                match seq % 3 {
+                    0 => RequestOutcome::Ok,
+                    1 => RequestOutcome::Shed,
+                    _ => RequestOutcome::Error,
+                }
+            },
+        )
+        .await;
+        assert!(report.completed > 0);
+        assert!(report.shed > 0, "sheds counted");
+        assert!(
+            report.errors >= report.shed,
+            "sheds are a subset of errors: {} vs {}",
+            report.errors,
+            report.shed
         );
     }
 

@@ -19,6 +19,8 @@ pub mod report;
 pub mod simlink;
 
 pub use arrivals::ArrivalProcess;
-pub use driver::{run_closed_loop, run_open_loop, LoadReport};
+pub use driver::{
+    run_closed_loop, run_open_loop, run_open_loop_outcomes, LoadReport, RequestOutcome,
+};
 pub use report::Table;
 pub use simlink::SimLink;

@@ -10,7 +10,7 @@
 
 use clipper_rpc::error::RpcError;
 use clipper_rpc::message::PredictReply;
-use clipper_rpc::transport::{BatchTransport, BoxFuture};
+use clipper_rpc::transport::{BatchTransport, BoxFuture, Input};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -81,7 +81,7 @@ struct SimLinkedTransport {
 
 /// Wire size of a batch request: frame header + count + per-input floats
 /// (matches `Message::PredictRequest::wire_size`).
-fn request_bytes(inputs: &[Vec<f32>]) -> usize {
+fn request_bytes(inputs: &[Input]) -> usize {
     22 + inputs.iter().map(|i| 4 + 4 * i.len()).sum::<usize>()
 }
 
@@ -90,15 +90,16 @@ fn reply_bytes(reply: &PredictReply) -> usize {
 }
 
 impl BatchTransport for SimLinkedTransport {
-    fn predict_batch(&self, inputs: Vec<Vec<f32>>) -> BoxFuture<Result<PredictReply, RpcError>> {
+    fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
         let link = self.link.clone();
         let inner = self.inner.clone();
+        let inputs = inputs.to_vec(); // Arc clones only
         Box::pin(async move {
             // Request serialization onto the wire (shared, serial).
             let req_done = link.tx.reserve(request_bytes(&inputs), link.bytes_per_sec);
             tokio::time::sleep_until((req_done + link.one_way).into()).await;
 
-            let reply = inner.predict_batch(inputs).await?;
+            let reply = inner.predict_batch(&inputs).await?;
 
             // Response transfer back.
             let resp_done = link.rx.reserve(reply_bytes(&reply), link.bytes_per_sec);
@@ -123,7 +124,7 @@ mod tests {
     use clipper_rpc::transport::FnTransport;
 
     fn instant_transport() -> Arc<dyn BatchTransport> {
-        Arc::new(FnTransport::new("fast", |inputs| {
+        Arc::new(FnTransport::new("fast", |inputs: &[Input]| {
             Ok(PredictReply {
                 outputs: vec![WireOutput::Class(0); inputs.len()],
                 queue_us: 0,
@@ -137,9 +138,9 @@ mod tests {
         // 1 Gbps = 125 MB/s. A 1.25MB batch should take ≈10ms one way.
         let link = SimLink::gbps(1.0, Duration::ZERO);
         let t = link.wrap(instant_transport());
-        let big_input = vec![0.0f32; 312_500]; // 1.25 MB
+        let big_input: Input = Arc::new(vec![0.0f32; 312_500]); // 1.25 MB
         let start = Instant::now();
-        t.predict_batch(vec![big_input]).await.unwrap();
+        t.predict_batch(&[big_input]).await.unwrap();
         let elapsed = start.elapsed();
         assert!(
             elapsed >= Duration::from_millis(9),
@@ -152,16 +153,19 @@ mod tests {
     async fn ten_gbps_is_ten_times_faster() {
         let slow = SimLink::gbps(1.0, Duration::ZERO);
         let fast = SimLink::gbps(10.0, Duration::ZERO);
-        let input = vec![0.0f32; 312_500];
+        let input: Input = Arc::new(vec![0.0f32; 312_500]);
 
         let t_slow = slow.wrap(instant_transport());
         let start = Instant::now();
-        t_slow.predict_batch(vec![input.clone()]).await.unwrap();
+        t_slow
+            .predict_batch(std::slice::from_ref(&input))
+            .await
+            .unwrap();
         let slow_elapsed = start.elapsed();
 
         let t_fast = fast.wrap(instant_transport());
         let start = Instant::now();
-        t_fast.predict_batch(vec![input]).await.unwrap();
+        t_fast.predict_batch(&[input]).await.unwrap();
         let fast_elapsed = start.elapsed();
 
         assert!(
@@ -177,11 +181,11 @@ mod tests {
         let link = SimLink::gbps(1.0, Duration::ZERO);
         let t1 = link.wrap(instant_transport());
         let t2 = link.wrap(instant_transport());
-        let input = vec![0.0f32; 312_500];
+        let input: Input = Arc::new(vec![0.0f32; 312_500]);
         let start = Instant::now();
         let (a, b) = tokio::join!(
-            t1.predict_batch(vec![input.clone()]),
-            t2.predict_batch(vec![input])
+            t1.predict_batch(std::slice::from_ref(&input)),
+            t2.predict_batch(std::slice::from_ref(&input))
         );
         a.unwrap();
         b.unwrap();
@@ -197,7 +201,7 @@ mod tests {
         let link = SimLink::gbps(10.0, Duration::from_millis(10));
         let t = link.wrap(instant_transport());
         let start = Instant::now();
-        t.predict_batch(vec![vec![0.0]]).await.unwrap();
+        t.predict_batch(&[Arc::new(vec![0.0])]).await.unwrap();
         let elapsed = start.elapsed();
         assert!(
             elapsed >= Duration::from_millis(10),

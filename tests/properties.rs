@@ -32,8 +32,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             model_version: v,
         }),
         ".*".prop_map(|message| Message::Error { message }),
-        proptest::collection::vec(proptest::collection::vec(-1e6f32..1e6, 0..50), 0..10)
-            .prop_map(|inputs| Message::PredictRequest { inputs }),
+        proptest::collection::vec(proptest::collection::vec(-1e6f32..1e6, 0..50), 0..10).prop_map(
+            |inputs| Message::PredictRequest {
+                inputs: clipper::rpc::as_inputs(inputs),
+            }
+        ),
         (
             proptest::collection::vec(arb_output(), 0..10),
             any::<u64>(),
