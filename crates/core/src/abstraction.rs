@@ -292,6 +292,19 @@ impl ModelHandle {
     }
 }
 
+/// What [`ModelAbstractionLayer::remove_model`] hands back: everything
+/// needed to await the drain and to revive the version later.
+pub struct RemovedModel {
+    /// The model's batching configuration.
+    pub cfg: BatchConfig,
+    /// The model's replica-scheduling policy.
+    pub policy: SchedulerPolicy,
+    /// The draining replica queues (await `drained()` on each).
+    pub queues: Vec<Arc<ReplicaQueue>>,
+    /// The replica transports, still connected — re-attachable on revive.
+    pub transports: Vec<Arc<dyn BatchTransport>>,
+}
+
 /// The model abstraction layer.
 pub struct ModelAbstractionLayer {
     cache: PredictionCache,
@@ -448,6 +461,46 @@ impl ModelAbstractionLayer {
                 r.queue.shutdown();
             }
         }
+    }
+
+    /// Unregister a model entirely — the control-plane primitive behind
+    /// version rollout. The model stops being dispatchable immediately
+    /// (new predicts see `ModelUnknown`); every replica queue begins a
+    /// graceful drain. The returned [`RemovedModel`] carries the queues
+    /// (await `drained()` on each to observe completion), the transports
+    /// (so the version can be *revived* later — rollback re-attaches
+    /// them), and the model's batch/scheduler configuration. Per-model
+    /// and per-queue metrics are unregistered so churn doesn't grow the
+    /// registry without bound.
+    pub fn remove_model(&self, id: &ModelId) -> Result<RemovedModel, PredictError> {
+        let handle = self
+            .models
+            .write()
+            .remove(id)
+            .ok_or(PredictError::ModelUnknown)?;
+        self.registry.unregister_prefix(&format!("model/{id}/"));
+        let mut replicas = handle.replicas.write();
+        let mut queues = Vec::with_capacity(replicas.len());
+        let mut transports = Vec::with_capacity(replicas.len());
+        for r in replicas.drain(..) {
+            r.queue.shutdown();
+            self.registry
+                .unregister_prefix(&format!("queue/{}/", r.queue.id()));
+            queues.push(r.queue.clone());
+            transports.push(r.transport.clone());
+        }
+        drop(replicas);
+        Ok(RemovedModel {
+            cfg: handle.cfg.clone(),
+            policy: handle.policy,
+            queues,
+            transports,
+        })
+    }
+
+    /// Whether a model id is registered.
+    pub fn has_model(&self, id: &ModelId) -> bool {
+        self.models.read().contains_key(id)
     }
 
     /// Registered model ids.
@@ -1022,6 +1075,42 @@ mod tests {
         // The survivor keeps serving.
         let out = mal.predict(&m, Arc::new(vec![999.0]), true).await.unwrap();
         assert_eq!(out, Output::Class(7));
+    }
+
+    #[tokio::test]
+    async fn remove_model_drains_and_is_revivable() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(m.clone(), BatchConfig::default());
+        mal.add_replica(&m, echo()).unwrap();
+        mal.predict(&m, Arc::new(vec![3.0]), false).await.unwrap();
+
+        let removed = mal.remove_model(&m).unwrap();
+        assert!(!mal.has_model(&m));
+        assert_eq!(removed.queues.len(), 1);
+        assert_eq!(removed.transports.len(), 1);
+        for q in &removed.queues {
+            q.drained().await;
+        }
+        // Dispatch refuses; metrics are reclaimed.
+        let err = mal
+            .predict(&m, Arc::new(vec![4.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::ModelUnknown);
+        let snap = mal.registry().snapshot();
+        assert!(
+            !snap.values.keys().any(|k| k.starts_with("model/m:v1/")),
+            "per-model metrics must be unregistered"
+        );
+
+        // Revive the version from what remove_model returned.
+        mal.add_model_with_policy(m.clone(), removed.cfg, removed.policy);
+        for t in removed.transports {
+            mal.add_replica(&m, t).unwrap();
+        }
+        let out = mal.predict(&m, Arc::new(vec![6.0]), false).await.unwrap();
+        assert_eq!(out, Output::Class(6));
     }
 
     #[tokio::test]

@@ -1,0 +1,640 @@
+//! The versioned control-plane API: wire types, persisted records, and
+//! the typed HTTP error taxonomy.
+//!
+//! Everything the `/api/v1/` REST surface speaks lives here, decoupled
+//! from the in-memory domain types in [`crate::types`]:
+//!
+//! - [`ApiError`] — every failure the control plane or data plane can
+//!   report, each with a canonical HTTP status and a stable machine code;
+//! - [`ErrorBody`] — the serde-serialized error envelope. **All** error
+//!   responses are built through it, never by string formatting, so a
+//!   message containing quotes or backslashes can't produce invalid JSON;
+//! - [`AppSpec`] / [`AppPatch`] / [`AppView`] — app registration,
+//!   live-update delta, and read-back shapes;
+//! - [`ModelView`] / [`RolloutRequest`] / [`RolloutOutcome`] — model
+//!   catalog and version-rollout shapes;
+//! - [`AppRecord`] / [`ModelRecord`] — the statestore-persisted forms
+//!   (mirroring the paper's Redis configuration state) that let a
+//!   frontend rehydrate its registry after a restart.
+
+use crate::batching::queue::PredictError;
+use crate::types::{AppConfig, AppUpdate, ModelId, Output, PolicyKind};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statestore key prefix for persisted app registrations.
+pub const APP_KEY_PREFIX: &str = "config/app/";
+/// Statestore key prefix for persisted model registrations.
+pub const MODEL_KEY_PREFIX: &str = "config/model/";
+
+/// Statestore key for an app's persisted registration.
+pub fn app_key(name: &str) -> String {
+    format!("{APP_KEY_PREFIX}{name}")
+}
+
+/// Statestore key for a model's persisted registration.
+pub fn model_key(name: &str) -> String {
+    format!("{MODEL_KEY_PREFIX}{name}")
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+
+/// Every failure the HTTP surface can report, with a canonical status
+/// mapping. Data-plane failures arrive via [`PredictError`] (which carries
+/// its own taxonomy); the remaining variants are control-plane outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// A data-plane (predict/feedback) failure.
+    Predict(PredictError),
+    /// Registration refused: the app already exists (use PATCH). HTTP 409.
+    AppExists(String),
+    /// The named app is not registered. HTTP 404.
+    AppUnknown(String),
+    /// The named model is not registered. HTTP 404.
+    ModelUnknown(String),
+    /// The model exists but the requested version was never registered.
+    /// HTTP 404.
+    VersionUnknown {
+        /// Model name.
+        model: String,
+        /// The unregistered version.
+        version: u32,
+    },
+    /// Registration refused: this model version already exists. HTTP 409.
+    VersionExists {
+        /// Model name.
+        model: String,
+        /// The already-registered version.
+        version: u32,
+    },
+    /// Rollout refused: the requested version is already current. HTTP 409.
+    AlreadyCurrent {
+        /// Model name.
+        model: String,
+        /// The already-current version.
+        version: u32,
+    },
+    /// Rollout refused: the target version has no live replicas, so
+    /// repointing apps at it would immediately fail predicts. HTTP 409.
+    NoReplicasForVersion {
+        /// Model name.
+        model: String,
+        /// The replica-less version.
+        version: u32,
+    },
+    /// Rollback refused: no rollout has happened, nothing to restore.
+    /// HTTP 409.
+    NoRolloutHistory(String),
+    /// The request body or parameters were malformed. HTTP 400.
+    BadRequest(String),
+    /// No route matches the request. HTTP 404.
+    NotFound,
+    /// An internal failure (serialization, statestore). HTTP 500.
+    Internal(String),
+}
+
+impl From<PredictError> for ApiError {
+    fn from(e: PredictError) -> Self {
+        ApiError::Predict(e)
+    }
+}
+
+impl ApiError {
+    /// Canonical HTTP status.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiError::Predict(e) => e.http_status(),
+            ApiError::AppExists(_)
+            | ApiError::VersionExists { .. }
+            | ApiError::AlreadyCurrent { .. }
+            | ApiError::NoReplicasForVersion { .. }
+            | ApiError::NoRolloutHistory(_) => 409,
+            ApiError::AppUnknown(_)
+            | ApiError::ModelUnknown(_)
+            | ApiError::VersionUnknown { .. }
+            | ApiError::NotFound => 404,
+            ApiError::BadRequest(_) => 400,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::Predict(e) => e.code(),
+            ApiError::AppExists(_) => "app_exists",
+            ApiError::AppUnknown(_) => "app_unknown",
+            ApiError::ModelUnknown(_) => "model_unknown",
+            ApiError::VersionUnknown { .. } => "version_unknown",
+            ApiError::VersionExists { .. } => "version_exists",
+            ApiError::AlreadyCurrent { .. } => "already_current",
+            ApiError::NoReplicasForVersion { .. } => "no_replicas_for_version",
+            ApiError::NoRolloutHistory(_) => "no_rollout_history",
+            ApiError::BadRequest(_) => "bad_request",
+            ApiError::NotFound => "not_found",
+            ApiError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether retrying the identical request later may succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ApiError::Predict(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Predict(e) => write!(f, "{e}"),
+            ApiError::AppExists(name) => {
+                write!(f, "application \"{name}\" already exists (PATCH to update)")
+            }
+            ApiError::AppUnknown(name) => write!(f, "unknown application \"{name}\""),
+            ApiError::ModelUnknown(name) => write!(f, "unknown model \"{name}\""),
+            ApiError::VersionUnknown { model, version } => {
+                write!(f, "model \"{model}\" has no registered version {version}")
+            }
+            ApiError::VersionExists { model, version } => {
+                write!(
+                    f,
+                    "model \"{model}\" version {version} is already registered"
+                )
+            }
+            ApiError::AlreadyCurrent { model, version } => {
+                write!(f, "model \"{model}\" version {version} is already current")
+            }
+            ApiError::NoReplicasForVersion { model, version } => {
+                write!(
+                    f,
+                    "model \"{model}\" version {version} has no live replicas"
+                )
+            }
+            ApiError::NoRolloutHistory(model) => {
+                write!(f, "model \"{model}\" has no rollout to roll back")
+            }
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::NotFound => write!(f, "not found"),
+            ApiError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The error payload inside [`ErrorBody`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ErrorInfo {
+    /// Stable machine-readable code (e.g. `"app_unknown"`).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Whether retrying the identical request later may succeed.
+    pub retryable: bool,
+    /// Whether this failure was load shedding (the shed-aware marker on
+    /// 429 responses: the request was refused by an admission decision,
+    /// not broken by a fault).
+    pub shed: bool,
+}
+
+/// The JSON envelope of every error response: `{"error": {...}}`.
+///
+/// Always serde-serialized — error messages containing quotes,
+/// backslashes, or control characters stay valid JSON.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ErrorBody {
+    /// The error payload.
+    pub error: ErrorInfo,
+}
+
+impl ErrorBody {
+    /// Build the envelope for an error.
+    pub fn of(err: &ApiError) -> Self {
+        ErrorBody {
+            error: ErrorInfo {
+                code: err.code().to_string(),
+                message: err.to_string(),
+                retryable: err.is_retryable(),
+                shed: matches!(err, ApiError::Predict(PredictError::Overloaded)),
+            },
+        }
+    }
+
+    /// Serialize to the response body (infallible: falls back to a static
+    /// envelope if serialization itself fails).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| {
+            "{\"error\":{\"code\":\"internal\",\"message\":\"error serialization failed\",\
+             \"retryable\":false,\"shed\":false}}"
+                .to_string()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Output wire shape
+// ---------------------------------------------------------------------
+
+/// JSON shape for model outputs (the wire form of [`Output`], whose
+/// tuple-variant enum can't derive serde directly).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JsonOutput {
+    /// A class label.
+    Class {
+        /// The label.
+        label: u32,
+    },
+    /// Per-class scores.
+    Scores {
+        /// The score vector.
+        scores: Vec<f32>,
+    },
+    /// A label sequence (speech transcription).
+    Labels {
+        /// The sequence.
+        labels: Vec<u32>,
+    },
+}
+
+impl From<Output> for JsonOutput {
+    fn from(o: Output) -> Self {
+        match o {
+            Output::Class(label) => JsonOutput::Class { label },
+            Output::Scores(scores) => JsonOutput::Scores { scores },
+            Output::Labels(labels) => JsonOutput::Labels { labels },
+        }
+    }
+}
+
+impl From<JsonOutput> for Output {
+    fn from(o: JsonOutput) -> Self {
+        match o {
+            JsonOutput::Class { label } => Output::Class(label),
+            JsonOutput::Scores { scores } => Output::Scores(scores),
+            JsonOutput::Labels { labels } => Output::Labels(labels),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// App lifecycle shapes
+// ---------------------------------------------------------------------
+
+/// `POST /api/v1/apps` request body: a full app registration.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AppSpec {
+    /// Application name (the predict/feedback routing key).
+    pub name: String,
+    /// Candidate models the selection layer chooses among.
+    pub candidate_models: Vec<ModelId>,
+    /// Selection policy (defaults to Exp3, η=0.1).
+    #[serde(default)]
+    pub policy: Option<PolicyKind>,
+    /// Latency objective in milliseconds (defaults to 20).
+    #[serde(default)]
+    pub slo_ms: Option<u64>,
+    /// Answer when no model responds in time (defaults to class 0).
+    #[serde(default)]
+    pub default_output: Option<JsonOutput>,
+    /// Seed for the policy's reproducible randomness (defaults to 0).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl AppSpec {
+    /// Materialize the spec into an [`AppConfig`], filling defaults.
+    pub fn into_config(self) -> AppConfig {
+        let mut cfg = AppConfig::new(&self.name, self.candidate_models);
+        if let Some(policy) = self.policy {
+            cfg = cfg.with_policy(policy);
+        }
+        if let Some(ms) = self.slo_ms {
+            cfg = cfg.with_slo(Duration::from_millis(ms));
+        }
+        if let Some(out) = self.default_output {
+            cfg = cfg.with_default_output(out.into());
+        }
+        if let Some(seed) = self.seed {
+            cfg = cfg.with_seed(seed);
+        }
+        cfg
+    }
+}
+
+/// `PATCH /api/v1/apps/{app}` request body: a partial update. Absent
+/// fields keep their current values.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct AppPatch {
+    /// New latency objective in milliseconds.
+    #[serde(default)]
+    pub slo_ms: Option<u64>,
+    /// New selection policy.
+    #[serde(default)]
+    pub policy: Option<PolicyKind>,
+    /// New candidate model set.
+    #[serde(default)]
+    pub candidate_models: Option<Vec<ModelId>>,
+    /// New default output.
+    #[serde(default)]
+    pub default_output: Option<JsonOutput>,
+    /// New policy seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl AppPatch {
+    /// Whether the patch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slo_ms.is_none()
+            && self.policy.is_none()
+            && self.candidate_models.is_none()
+            && self.default_output.is_none()
+            && self.seed.is_none()
+    }
+
+    /// Convert to the domain-level delta type.
+    pub fn into_update(self) -> AppUpdate {
+        AppUpdate {
+            slo: self.slo_ms.map(Duration::from_millis),
+            policy: self.policy,
+            candidate_models: self.candidate_models,
+            default_output: self.default_output.map(Into::into),
+            seed: self.seed,
+        }
+    }
+}
+
+/// `GET /api/v1/apps[/{app}]` response shape (also what a registration
+/// echoes back).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AppView {
+    /// Application name.
+    pub name: String,
+    /// Candidate models.
+    pub candidate_models: Vec<ModelId>,
+    /// Selection policy.
+    pub policy: PolicyKind,
+    /// Latency objective in milliseconds (rounded; for readability).
+    pub slo_ms: u64,
+    /// Latency objective in microseconds — the authoritative value, so
+    /// sub-millisecond SLOs survive persist/rehydrate round-trips.
+    #[serde(default)]
+    pub slo_us: Option<u64>,
+    /// Default output when nothing arrives in time.
+    pub default_output: JsonOutput,
+    /// Policy seed.
+    pub seed: u64,
+}
+
+impl From<&AppConfig> for AppView {
+    fn from(cfg: &AppConfig) -> Self {
+        AppView {
+            name: cfg.name.clone(),
+            candidate_models: cfg.candidate_models.clone(),
+            policy: cfg.policy.clone(),
+            slo_ms: cfg.slo.as_millis() as u64,
+            slo_us: Some(cfg.slo.as_micros() as u64),
+            default_output: cfg.default_output.clone().into(),
+            seed: cfg.seed,
+        }
+    }
+}
+
+impl AppView {
+    /// Rebuild the domain config (used by registry rehydration).
+    pub fn into_config(self) -> AppConfig {
+        let slo = self
+            .slo_us
+            .map(Duration::from_micros)
+            .unwrap_or_else(|| Duration::from_millis(self.slo_ms));
+        AppConfig::new(&self.name, self.candidate_models)
+            .with_policy(self.policy)
+            .with_slo(slo)
+            .with_default_output(self.default_output.into())
+            .with_seed(self.seed)
+    }
+}
+
+/// The statestore-persisted form of an app registration is exactly its
+/// read-back view.
+pub type AppRecord = AppView;
+
+// ---------------------------------------------------------------------
+// Model lifecycle shapes
+// ---------------------------------------------------------------------
+
+/// `POST /api/v1/models` request body: register a model version (replicas
+/// attach separately, over RPC or in-process).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: String,
+    /// Version to register.
+    pub version: u32,
+}
+
+/// One model name in `GET /api/v1/models`: version directory plus live
+/// scheduler state of the current version.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ModelView {
+    /// Model name.
+    pub name: String,
+    /// The version predicts currently resolve to.
+    pub current_version: u32,
+    /// Every registered version (live or parked), ascending.
+    pub versions: Vec<u32>,
+    /// Rollback stack (most recent previous version last).
+    pub history: Vec<u32>,
+    /// Live replica queue ids of the current version.
+    pub replicas: Vec<String>,
+    /// Queued queries across the current version's replicas.
+    pub queue_depth: usize,
+    /// In-flight queries across the current version's replicas.
+    pub inflight: usize,
+}
+
+/// The statestore-persisted form of a model's version directory.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ModelRecord {
+    /// Model name.
+    pub name: String,
+    /// Current version.
+    pub current: u32,
+    /// Every registered version.
+    pub versions: Vec<u32>,
+    /// Rollback stack.
+    pub history: Vec<u32>,
+}
+
+/// Summary of a registry rehydration from the statestore.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RehydrateReport {
+    /// Model version directories restored.
+    pub models: usize,
+    /// App registrations restored.
+    pub apps: usize,
+    /// Statestore keys whose records failed to parse and were skipped —
+    /// one corrupt record never aborts the rest of the recovery.
+    pub skipped: Vec<String>,
+}
+
+/// `POST /api/v1/models/{name}/rollout` request body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RolloutRequest {
+    /// The version to make current.
+    pub version: u32,
+}
+
+/// Response of a completed rollout or rollback.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RolloutOutcome {
+    /// Model name.
+    pub model: String,
+    /// The version that was current before.
+    pub from_version: u32,
+    /// The version that is current now.
+    pub to_version: u32,
+    /// Apps whose candidate sets were repointed.
+    pub repointed_apps: Vec<String>,
+    /// Replicas of the old version that were gracefully drained.
+    pub drained_replicas: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_body_with_quotes_and_backslashes_stays_valid_json() {
+        // The satellite regression: format!-built bodies emitted invalid
+        // JSON for messages containing quotes. The serde path must not.
+        let err = ApiError::AppUnknown("we\"ird\\app".to_string());
+        let body = ErrorBody::of(&err).to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&body).expect("body must be JSON");
+        assert_eq!(parsed["error"]["code"], "app_unknown");
+        let round: ErrorBody = serde_json::from_str(&body).unwrap();
+        assert!(round.error.message.contains("we\"ird\\app"));
+    }
+
+    #[test]
+    fn taxonomy_maps_to_canonical_statuses() {
+        assert_eq!(
+            ApiError::from(PredictError::AppUnknown).http_status(),
+            404,
+            "unknown app is 404, never 500"
+        );
+        assert_eq!(
+            ApiError::from(PredictError::ModelUnknown).http_status(),
+            404
+        );
+        assert_eq!(ApiError::from(PredictError::Overloaded).http_status(), 429);
+        assert_eq!(ApiError::from(PredictError::Timeout).http_status(), 504);
+        assert_eq!(
+            ApiError::from(PredictError::BadInput("x".into())).http_status(),
+            400
+        );
+        assert_eq!(ApiError::from(PredictError::NoReplicas).http_status(), 503);
+        assert_eq!(ApiError::AppExists("a".into()).http_status(), 409);
+        assert_eq!(ApiError::NotFound.http_status(), 404);
+    }
+
+    #[test]
+    fn overloaded_body_is_shed_aware() {
+        let body = ErrorBody::of(&ApiError::from(PredictError::Overloaded));
+        assert!(body.error.shed);
+        assert!(body.error.retryable);
+        let other = ErrorBody::of(&ApiError::from(PredictError::Failed("x".into())));
+        assert!(!other.error.shed);
+    }
+
+    #[test]
+    fn json_output_round_trips() {
+        for out in [
+            Output::Class(7),
+            Output::Scores(vec![0.25, 0.75]),
+            Output::Labels(vec![1, 2, 3]),
+        ] {
+            let wire: JsonOutput = out.clone().into();
+            let json = serde_json::to_string(&wire).unwrap();
+            let back: JsonOutput = serde_json::from_str(&json).unwrap();
+            assert_eq!(Output::from(back), out);
+        }
+    }
+
+    #[test]
+    fn app_spec_fills_defaults() {
+        let spec: AppSpec = serde_json::from_str(
+            "{\"name\":\"a\",\"candidate_models\":[{\"name\":\"m\",\"version\":1}]}",
+        )
+        .unwrap();
+        let cfg = spec.into_config();
+        assert_eq!(cfg.name, "a");
+        assert_eq!(cfg.slo, Duration::from_millis(20));
+        assert_eq!(cfg.default_output, Output::Class(0));
+    }
+
+    #[test]
+    fn sub_millisecond_slo_survives_the_record_round_trip() {
+        // Regression: persisting only whole milliseconds truncated a
+        // 500 µs SLO to zero, silencing the app after rehydration.
+        let cfg =
+            AppConfig::new("app", vec![ModelId::new("m", 1)]).with_slo(Duration::from_micros(500));
+        let record = AppRecord::from(&cfg);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: AppRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_config().slo, Duration::from_micros(500));
+        // A record written without slo_us (older shape) falls back to ms.
+        let legacy: AppRecord = serde_json::from_str(
+            "{\"name\":\"app\",\"candidate_models\":[{\"name\":\"m\",\"version\":1}],\
+             \"policy\":\"MajorityVote\",\"slo_ms\":30,\
+             \"default_output\":{\"kind\":\"class\",\"label\":0},\"seed\":0}",
+        )
+        .unwrap();
+        assert_eq!(legacy.into_config().slo, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn app_record_round_trips_through_json() {
+        let cfg = AppConfig::new("app", vec![ModelId::new("m", 3)])
+            .with_policy(PolicyKind::Exp4 { eta: 0.2 })
+            .with_slo(Duration::from_millis(75))
+            .with_default_output(Output::Scores(vec![0.5, 0.5]))
+            .with_seed(9);
+        let record = AppRecord::from(&cfg);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: AppRecord = serde_json::from_str(&json).unwrap();
+        let cfg2 = back.into_config();
+        assert_eq!(cfg2.name, cfg.name);
+        assert_eq!(cfg2.candidate_models, cfg.candidate_models);
+        assert_eq!(cfg2.policy, cfg.policy);
+        assert_eq!(cfg2.slo, cfg.slo);
+        assert_eq!(cfg2.default_output, cfg.default_output);
+        assert_eq!(cfg2.seed, cfg.seed);
+    }
+
+    #[test]
+    fn app_patch_defaults_to_empty() {
+        let patch: AppPatch = serde_json::from_str("{}").unwrap();
+        assert!(patch.is_empty());
+        let patch: AppPatch = serde_json::from_str("{\"slo_ms\": 50}").unwrap();
+        assert!(!patch.is_empty());
+        assert_eq!(patch.into_update().slo, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn model_record_round_trips() {
+        let rec = ModelRecord {
+            name: "m".into(),
+            current: 2,
+            versions: vec![1, 2],
+            history: vec![1],
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(serde_json::from_str::<ModelRecord>(&json).unwrap(), rec);
+    }
+}

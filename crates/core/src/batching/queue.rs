@@ -52,27 +52,71 @@ use crate::types::{Input, Output};
 use clipper_metrics::{Counter, Gauge, Histogram, Meter, Registry};
 use clipper_rpc::transport::BatchTransport;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::sync::{mpsc, oneshot, Semaphore};
 
 /// Cloneable prediction failure (fans out to many waiters).
+///
+/// The variants form a typed taxonomy with a canonical HTTP mapping
+/// ([`http_status`](PredictError::http_status)): callers — the HTTP
+/// frontend in particular — never have to pattern-match on message
+/// strings to decide between 404, 429, 500, and 504.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PredictError {
-    /// The query waited past its deadline (straggler path).
+    /// The query waited past its deadline (straggler path). HTTP 504.
     Timeout,
     /// Every eligible replica queue was full — shed load instead of
-    /// growing latency.
+    /// growing latency. HTTP 429.
     Overloaded,
-    /// The model has no live replicas.
+    /// The model has no live replicas. HTTP 503.
     NoReplicas,
-    /// The model is not registered.
+    /// The model is not registered. HTTP 404.
     ModelUnknown,
-    /// The application is not registered.
+    /// The application is not registered. HTTP 404.
     AppUnknown,
-    /// Evaluation failed (RPC or container error).
+    /// The caller's input was malformed (e.g. an empty feature vector).
+    /// HTTP 400.
+    BadInput(String),
+    /// Evaluation failed (RPC or container error). HTTP 500.
     Failed(String),
+}
+
+impl PredictError {
+    /// Canonical HTTP status for this failure.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            PredictError::Timeout => 504,
+            PredictError::Overloaded => 429,
+            PredictError::NoReplicas => 503,
+            PredictError::ModelUnknown | PredictError::AppUnknown => 404,
+            PredictError::BadInput(_) => 400,
+            PredictError::Failed(_) => 500,
+        }
+    }
+
+    /// Stable machine-readable code for error bodies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PredictError::Timeout => "timeout",
+            PredictError::Overloaded => "overloaded",
+            PredictError::NoReplicas => "no_replicas",
+            PredictError::ModelUnknown => "model_unknown",
+            PredictError::AppUnknown => "app_unknown",
+            PredictError::BadInput(_) => "bad_input",
+            PredictError::Failed(_) => "internal",
+        }
+    }
+
+    /// Whether retrying the same request later may succeed (transient
+    /// capacity/timing failures, not caller or registration errors).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PredictError::Timeout | PredictError::Overloaded | PredictError::NoReplicas
+        )
+    }
 }
 
 impl std::fmt::Display for PredictError {
@@ -83,6 +127,7 @@ impl std::fmt::Display for PredictError {
             PredictError::NoReplicas => write!(f, "no replicas available"),
             PredictError::ModelUnknown => write!(f, "unknown model"),
             PredictError::AppUnknown => write!(f, "unknown application"),
+            PredictError::BadInput(m) => write!(f, "bad input: {m}"),
             PredictError::Failed(m) => write!(f, "prediction failed: {m}"),
         }
     }
@@ -178,6 +223,16 @@ pub struct QueueConfig {
     /// Outstanding batches per replica (2 keeps a GPU's next batch queued
     /// while the current one runs, as both systems do in §6).
     pub pipeline_depth: usize,
+    /// Hang detector for draining queues: the longest a drain may go
+    /// **without a single query settling** before it is force-failed. A
+    /// deep backlog draining slowly re-arms the deadline on every bit of
+    /// progress and is never cut short; a transport whose future simply
+    /// never resolves — which would otherwise wedge
+    /// [`ReplicaQueue::drained`] forever — trips it. Past the deadline
+    /// the in-flight dispatch tasks are aborted (dropping their queue
+    /// items, whose sinks complete-on-drop) and any remaining backlog is
+    /// fail-filled, so every waiter still settles.
+    pub drain_deadline: Duration,
 }
 
 impl Default for QueueConfig {
@@ -189,6 +244,7 @@ impl Default for QueueConfig {
             queue_capacity: 8_192,
             max_batch_cap: 4_096,
             pipeline_depth: 1,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -271,6 +327,16 @@ struct QueueShared {
     consecutive_errors: AtomicUsize,
     /// Closed by the worker on exit; `drained()` waits on it.
     done: Semaphore,
+    /// Live dispatch tasks, retained so the drain watchdog can abort
+    /// whatever a hung transport is still holding hostage (finished
+    /// handles are pruned as new batches dispatch).
+    dispatch_tasks: Mutex<Vec<tokio::task::JoinHandle<()>>>,
+    /// Set by the drain watchdog once the deadline passes: batches pulled
+    /// after this point are fail-filled instead of dispatched, so a hung
+    /// transport can't re-wedge the drain.
+    force_failed: AtomicBool,
+    /// The configured drain deadline (see [`QueueConfig::drain_deadline`]).
+    drain_deadline: Duration,
 }
 
 impl QueueShared {
@@ -417,16 +483,76 @@ impl ReplicaQueue {
     /// Begin a graceful drain: refuse new submissions, let the worker
     /// complete (or fail-fill) everything already queued, then stop.
     /// Idempotent. Await [`ReplicaQueue::drained`] for completion.
+    ///
+    /// A watchdog enforces [`QueueConfig::drain_deadline`]: if in-flight
+    /// batches haven't resolved by then (a hung transport), their
+    /// dispatch tasks are aborted — every outstanding sink fail-fills via
+    /// complete-on-drop — and any backlog still queued is fail-filled
+    /// directly instead of being dispatched, so the drain always
+    /// terminates.
     pub fn shutdown(&self) {
-        let _ = self.shared.state.compare_exchange(
-            STATE_RUNNING,
-            STATE_DRAINING,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let began = self
+            .shared
+            .state
+            .compare_exchange(
+                STATE_RUNNING,
+                STATE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
         // Closing the channel (dropping the only sender) is what ends the
         // worker's pull loop after the backlog is consumed.
         self.tx.lock().take();
+        if began {
+            // Note: like `spawn_replica_queue` itself, this requires the
+            // (global, vendored) tokio runtime.
+            let shared = self.shared.clone();
+            tokio::spawn(async move {
+                let mut forcing = false;
+                // Occupancy only shrinks during a drain (submissions are
+                // refused), so an unchanged value across a full deadline
+                // means not one query settled — a hang, not a deep
+                // backlog draining slowly.
+                let mut last_occupancy =
+                    shared.depth.load(Ordering::Relaxed) + shared.inflight.load(Ordering::Relaxed);
+                loop {
+                    let wait = if forcing {
+                        // Re-sweep quickly until the worker announces
+                        // Stopped: a dispatch spawned concurrently with a
+                        // sweep might have missed the task-list snapshot.
+                        Duration::from_millis(50)
+                    } else {
+                        shared.drain_deadline
+                    };
+                    // `done` closes when the worker announces Stopped, so
+                    // a clean drain wakes (and ends) the watchdog
+                    // immediately instead of parking it for the full
+                    // deadline.
+                    if tokio::time::timeout(wait, shared.done.acquire())
+                        .await
+                        .is_ok()
+                    {
+                        return; // drain complete
+                    }
+                    let occupancy = shared.depth.load(Ordering::Relaxed)
+                        + shared.inflight.load(Ordering::Relaxed);
+                    if !forcing && occupancy < last_occupancy {
+                        // Progress since the last check: re-arm the full
+                        // deadline instead of force-failing a healthy (if
+                        // slow) drain of a deep backlog.
+                        last_occupancy = occupancy;
+                        continue;
+                    }
+                    forcing = true;
+                    shared.force_failed.store(true, Ordering::Release);
+                    let tasks = std::mem::take(&mut *shared.dispatch_tasks.lock());
+                    for t in &tasks {
+                        t.abort();
+                    }
+                }
+            });
+        }
     }
 
     /// Wait until the worker has exited and every accepted query settled
@@ -434,11 +560,12 @@ impl ReplicaQueue {
     /// (directly or via replica removal), otherwise this waits forever.
     ///
     /// The drain finishes once every in-flight batch *resolves* — with an
-    /// answer or an error. A transport whose future never resolves at all
-    /// stalls it; transports with liveness probing (the TCP handle's
-    /// heartbeats) fail their in-flight batches on a hang, which unblocks
-    /// the drain. A hard drain deadline for arbitrary transports is a
-    /// ROADMAP item.
+    /// answer or an error. Transports with liveness probing (the TCP
+    /// handle's heartbeats) fail their in-flight batches on a hang; for a
+    /// custom transport whose future never resolves at all, the queue's
+    /// [`QueueConfig::drain_deadline`] kicks in: the remaining dispatch
+    /// tasks are aborted and every outstanding sink fail-fills via the
+    /// complete-on-drop backstop, so this never waits forever.
     pub async fn drained(&self) {
         // The worker closes the semaphore on exit; a closed acquire is the
         // "done" signal. If it already closed, this returns immediately.
@@ -477,6 +604,9 @@ pub fn spawn_replica_queue(
         ewma_ns_per_item: AtomicU64::new(0),
         consecutive_errors: AtomicUsize::new(0),
         done: Semaphore::new(0),
+        dispatch_tasks: Mutex::new(Vec::new()),
+        force_failed: AtomicBool::new(false),
+        drain_deadline: cfg.drain_deadline,
     });
     // Detached on purpose: the worker owns its own exit (channel close →
     // drain → Stopped), so no JoinHandle juggling is needed.
@@ -549,19 +679,50 @@ async fn worker_loop(
             }
         }
 
-        shared.inflight.fetch_add(items.len(), Ordering::AcqRel);
-        tokio::spawn(dispatch_batch(
+        // Past the drain deadline the watchdog has aborted the wedged
+        // in-flight batches; dispatching more at the hung transport would
+        // re-wedge the drain, so the remaining backlog fail-fills here.
+        if shared.force_failed.load(Ordering::Acquire) {
+            let err = PredictError::Failed("replica drain deadline exceeded".into());
+            metrics.errors.add(items.len() as u64);
+            for item in items {
+                item.sink.complete(Err(err.clone()));
+            }
+            drop(permit);
+            continue;
+        }
+
+        let n = items.len();
+        shared.inflight.fetch_add(n, Ordering::AcqRel);
+        // The job struct travels inside the spawned future, so even if
+        // the task is aborted before its first poll (drain-deadline
+        // force-fail) the items settle and the counters release — in the
+        // struct's field order.
+        let job = BatchJob {
             items,
+            inflight: InflightGuard {
+                shared: shared.clone(),
+                n,
+            },
+            permit,
+        };
+        let task = tokio::spawn(dispatch_batch(
+            job,
             transport.clone(),
             controller.clone(),
             cfg.slo,
             metrics.clone(),
             shared.clone(),
-            permit,
         ));
+        let mut tasks = shared.dispatch_tasks.lock();
+        tasks.retain(|t| !t.is_finished());
+        tasks.push(task);
     }
     // Drain finished: wait for every in-flight batch by collecting all
-    // pipeline permits, then announce Stopped.
+    // pipeline permits, then announce Stopped. Progress is guaranteed:
+    // batches either resolve on their own, or the shutdown watchdog
+    // aborts them at the drain deadline — releasing their permits and
+    // fail-filling their sinks via complete-on-drop.
     let mut held = Vec::with_capacity(pipeline);
     for _ in 0..pipeline {
         match gate.clone().acquire_owned().await {
@@ -573,28 +734,61 @@ async fn worker_loop(
     shared.done.close();
 }
 
-async fn dispatch_batch(
+/// Decrements the queue's in-flight count on drop, so the count stays
+/// truthful even when a dispatch task is aborted by the drain deadline.
+struct InflightGuard {
+    shared: Arc<QueueShared>,
+    n: usize,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(self.n, Ordering::AcqRel);
+    }
+}
+
+/// Everything a dispatched batch owns. **Field order is load-bearing**:
+/// when the dispatch task is aborted (drain-deadline force-fail) the
+/// future drops this struct, and struct fields drop in declaration
+/// order — the items settle first (their sinks fail-fill on drop), then
+/// the in-flight count releases, and only then the pipeline permit. A
+/// worker woken by the freed permit can therefore rely on every sink
+/// having settled and the in-flight gauge reading true.
+struct BatchJob {
     items: Vec<QueueItem>,
+    inflight: InflightGuard,
+    permit: tokio::sync::OwnedSemaphorePermit,
+}
+
+async fn dispatch_batch(
+    job: BatchJob,
     transport: Arc<dyn BatchTransport>,
     controller: Arc<Mutex<Box<dyn BatchController>>>,
     slo: Duration,
     metrics: QueueMetrics,
     shared: Arc<QueueShared>,
-    permit: tokio::sync::OwnedSemaphorePermit,
 ) {
     let dispatch_time = Instant::now();
-    for item in &items {
+    for item in &job.items {
         metrics
             .queue_us
             .record(item.enqueued.elapsed().as_micros() as u64);
     }
     // Zero-copy batch assembly: clone Arc pointers, never feature data.
-    let inputs: Vec<Input> = items.iter().map(|i| i.input.clone()).collect();
-    let n = items.len();
+    let inputs: Vec<Input> = job.items.iter().map(|i| i.input.clone()).collect();
+    let n = job.items.len();
     metrics.batch_size.record(n as u64);
 
+    // `job` stays intact across the await: if the drain watchdog aborts
+    // this task here, dropping it settles sinks → inflight → permit, in
+    // that order (see [`BatchJob`]).
     let result = transport.predict_batch(&inputs).await;
     drop(inputs);
+    let BatchJob {
+        items,
+        inflight,
+        permit,
+    } = job;
     let rpc_elapsed = dispatch_time.elapsed();
     controller.lock().record(n, rpc_elapsed);
     metrics.rpc_us.record(rpc_elapsed.as_micros() as u64);
@@ -644,7 +838,7 @@ async fn dispatch_batch(
             }
         }
     }
-    shared.inflight.fetch_sub(n, Ordering::AcqRel);
+    drop(inflight);
     drop(permit);
 }
 
@@ -1069,6 +1263,154 @@ mod tests {
         for rx in rxs {
             let _ = rx.await.expect("waiter must be woken, not dropped");
         }
+    }
+
+    /// A transport whose batch future never resolves: the pending reply is
+    /// parked on a oneshot whose sender is intentionally leaked.
+    fn hung_transport() -> Arc<dyn BatchTransport> {
+        struct Hung;
+        impl BatchTransport for Hung {
+            fn predict_batch(
+                &self,
+                _inputs: &[Input],
+            ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+                let (tx, rx) = oneshot::channel::<()>();
+                std::mem::forget(tx);
+                Box::pin(async move {
+                    let _ = rx.await;
+                    Err(clipper_rpc::RpcError::ConnectionClosed)
+                })
+            }
+            fn id(&self) -> String {
+                "hung".into()
+            }
+        }
+        Arc::new(Hung)
+    }
+
+    #[tokio::test]
+    async fn drain_deadline_unwedges_a_hung_transport() {
+        // Regression for the ROADMAP item: a BatchTransport whose future
+        // never resolves used to stall `drained()` forever. With a drain
+        // deadline the remaining in-flight sinks are force-failed.
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            hung_transport(),
+            QueueConfig {
+                strategy: BatchStrategy::NoBatching,
+                drain_deadline: Duration::from_millis(100),
+                ..Default::default()
+            },
+            test_metrics(),
+        );
+        let mut rxs = Vec::new();
+        for v in 0..4 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        q.shutdown();
+        q.drained().await;
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "drain must not hang, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(q.state(), QueueState::Stopped);
+        assert_eq!(q.inflight(), 0, "aborted batches release in-flight");
+        // Every waiter settles with an error — none is wedged.
+        for rx in rxs {
+            let settled = rx.await.expect("waiter woken");
+            assert!(settled.is_err());
+        }
+    }
+
+    #[tokio::test]
+    async fn slow_but_healthy_drain_outlasting_the_deadline_is_not_cut_short() {
+        // Total drain time (10 items × ~20 ms) far exceeds the 50 ms
+        // deadline, but every batch makes progress — the watchdog must
+        // keep re-arming and every accepted query must get its real
+        // answer, not a force-fail.
+        struct SlowAsync;
+        impl BatchTransport for SlowAsync {
+            fn predict_batch(
+                &self,
+                inputs: &[Input],
+            ) -> clipper_rpc::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>> {
+                let outs: Vec<WireOutput> = inputs
+                    .iter()
+                    .map(|x| WireOutput::Class(x[0] as u32))
+                    .collect();
+                Box::pin(async move {
+                    tokio::time::sleep(Duration::from_millis(20)).await;
+                    Ok(PredictReply {
+                        outputs: outs,
+                        queue_us: 0,
+                        compute_us: 20_000,
+                    })
+                })
+            }
+            fn id(&self) -> String {
+                "slow-async".into()
+            }
+        }
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            Arc::new(SlowAsync),
+            QueueConfig {
+                strategy: BatchStrategy::NoBatching,
+                drain_deadline: Duration::from_millis(50),
+                ..Default::default()
+            },
+            test_metrics(),
+        );
+        let mut rxs = Vec::new();
+        for v in 0..10 {
+            let (item, rx) = direct_item(v as f32);
+            q.submit(item);
+            rxs.push((v, rx));
+        }
+        q.shutdown();
+        q.drained().await;
+        for (v, rx) in rxs {
+            let out = rx
+                .await
+                .unwrap()
+                .expect("progressing drain must not force-fail");
+            assert_eq!(out, Output::Class(v as u32));
+        }
+    }
+
+    #[tokio::test]
+    async fn drain_deadline_fails_pending_cache_entries_of_a_hung_transport() {
+        let cache = PredictionCache::new(16);
+        let model = crate::types::ModelId::new("m", 1);
+        let q = spawn_replica_queue(
+            "m:0".into(),
+            hung_transport(),
+            QueueConfig {
+                strategy: BatchStrategy::NoBatching,
+                drain_deadline: Duration::from_millis(100),
+                ..Default::default()
+            },
+            test_metrics(),
+        );
+        let input: Input = Arc::new(vec![5.0]);
+        let key = CacheKey::new(&model, &input);
+        let rx = match cache.lookup_or_pending(key) {
+            crate::cache::Lookup::MustCompute(rx) => rx,
+            _ => panic!(),
+        };
+        q.submit(QueueItem {
+            input,
+            sink: ReplySink::cache(cache.clone(), key),
+            enqueued: Instant::now(),
+        });
+        q.shutdown();
+        q.drained().await;
+        assert_eq!(cache.pending_len(), 0, "force-fail must settle the entry");
+        assert!(matches!(rx.await.unwrap(), Err(CacheFillError::Failed(_))));
     }
 
     #[tokio::test]

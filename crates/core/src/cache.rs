@@ -19,9 +19,9 @@
 //! mutex and each owning its own index and pending-waiter map. A key's
 //! shard is chosen by fingerprint bits, so concurrent probes for different
 //! keys almost never contend on a lock. Hit/miss/eviction/pending-join
-//! counts are relaxed per-shard atomics aggregated only in [`stats`]
-//! (`stats`: [`PredictionCache::stats`]), so telemetry never re-serializes
-//! the shards.
+//! counts are relaxed per-shard atomics aggregated only in
+//! [`PredictionCache::stats`], so telemetry never re-serializes the
+//! shards.
 //!
 //! Keys are 128-bit fingerprints of `(model, input)` built in a **single
 //! streaming pass** over the input ([`CacheKey::new`]); inputs themselves

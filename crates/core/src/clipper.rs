@@ -10,19 +10,45 @@
 //! `feedback` joins ground truth against the cached predictions of every
 //! candidate model (the join the prediction cache accelerates, §4.2) and
 //! folds the result into the per-context policy state.
+//!
+//! # Control plane (§3, §6.3)
+//!
+//! Applications and model versions are managed *at runtime*, without
+//! restarting the serving tier:
+//!
+//! - app lifecycle: [`register_app`](Clipper::register_app) /
+//!   [`update_app`](Clipper::update_app) /
+//!   [`unregister_app`](Clipper::unregister_app);
+//! - model-version lifecycle: each model name has a *current version*
+//!   (the indirection apps resolve through), a rollback history, and a
+//!   parking lot for drained versions.
+//!   [`rollout_model`](Clipper::rollout_model) atomically repoints every
+//!   referencing app at the new version, waits for predicts that already
+//!   selected the old version to settle (they complete against the
+//!   version they chose), then drains the old version's replicas through
+//!   the queues' graceful-drain machinery — zero dropped queries.
+//!   [`rollback_model`](Clipper::rollback_model) restores the previous
+//!   version, re-attaching the transports the rollout parked.
+//!
+//! Registrations persist to the statestore (mirroring the paper's Redis
+//! configuration state); [`rehydrate`](Clipper::rehydrate) rebuilds the
+//! registry from it after a restart.
 
 use crate::abstraction::{BatchConfig, ModelAbstractionLayer, SchedulerPolicy};
+use crate::api::{
+    self, ApiError, AppRecord, ModelRecord, ModelView, RehydrateReport, RolloutOutcome,
+};
 use crate::batching::queue::PredictError;
 use crate::batching::ReplicaQueue;
 use crate::selection::{build_policy, SelectionPolicy, SelectionStateManager};
-use crate::types::{AppConfig, Feedback, Input, ModelId, Output, Prediction};
+use crate::types::{AppConfig, AppUpdate, Feedback, Input, ModelId, Output, Prediction};
 use clipper_metrics::{Counter, Histogram, Meter, Registry};
 use clipper_rpc::transport::BatchTransport;
 use clipper_statestore::StateStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tokio::sync::mpsc;
 
 /// Builder for a [`Clipper`] instance.
@@ -81,7 +107,9 @@ impl ClipperBuilder {
             inner: Arc::new(Inner {
                 mal,
                 apps: RwLock::new(HashMap::new()),
-                state_mgr: SelectionStateManager::new(store),
+                models_dir: RwLock::new(HashMap::new()),
+                state_mgr: SelectionStateManager::new(store.clone()),
+                store,
                 cache_enabled: self.cache_enabled,
                 predictions: registry.meter("clipper/predictions"),
                 latency_us: registry.histogram("clipper/latency_us"),
@@ -99,10 +127,42 @@ struct App {
     policy: Box<dyn SelectionPolicy>,
 }
 
+/// A drained model version kept revivable: its configuration and its
+/// still-connected transports. Rollback re-attaches them behind fresh
+/// queues.
+struct ParkedVersion {
+    cfg: BatchConfig,
+    policy: SchedulerPolicy,
+    transports: Vec<Arc<dyn BatchTransport>>,
+}
+
+/// Per-model-name version directory: the current-version indirection that
+/// apps resolve through, plus the rollback stack and the parking lot.
+struct ModelDir {
+    current: u32,
+    versions: Vec<u32>,
+    history: Vec<u32>,
+    parked: HashMap<u32, ParkedVersion>,
+}
+
+impl ModelDir {
+    fn record(&self, name: &str) -> ModelRecord {
+        ModelRecord {
+            name: name.to_string(),
+            current: self.current,
+            versions: self.versions.clone(),
+            history: self.history.clone(),
+        }
+    }
+}
+
 struct Inner {
     mal: Arc<ModelAbstractionLayer>,
     apps: RwLock<HashMap<String, Arc<App>>>,
+    /// Lock ordering: `models_dir` before `apps`; never the reverse.
+    models_dir: RwLock<HashMap<String, ModelDir>>,
     state_mgr: SelectionStateManager,
+    store: Arc<StateStore>,
     cache_enabled: bool,
     registry: Registry,
     predictions: Meter,
@@ -110,6 +170,22 @@ struct Inner {
     feedback_count: Meter,
     defaults_used: Counter,
     substitutions: Counter,
+}
+
+impl Inner {
+    fn persist_app(&self, cfg: &AppConfig) {
+        if let Ok(bytes) = serde_json::to_vec(&AppRecord::from(cfg)) {
+            self.store.set(&api::app_key(&cfg.name), bytes);
+        }
+    }
+
+    fn persist_model(&self, name: &str) {
+        if let Some(dir) = self.models_dir.read().get(name) {
+            if let Ok(bytes) = serde_json::to_vec(&dir.record(name)) {
+                self.store.set(&api::model_key(name), bytes);
+            }
+        }
+    }
 }
 
 /// The Clipper prediction-serving system.
@@ -124,8 +200,12 @@ impl Clipper {
         ClipperBuilder::default()
     }
 
-    /// Register an application (name, candidate models, policy, SLO).
+    /// Register (or replace) an application — name, candidate models,
+    /// policy, SLO. Upsert semantics; the registration persists to the
+    /// statestore. Use [`try_register_app`](Self::try_register_app) for
+    /// create-only semantics (the control plane's `POST`).
     pub fn register_app(&self, cfg: AppConfig) {
+        self.inner.persist_app(&cfg);
         let policy = build_policy(&cfg.policy);
         let name = cfg.name.clone();
         self.inner
@@ -134,15 +214,422 @@ impl Clipper {
             .insert(name, Arc::new(App { cfg, policy }));
     }
 
-    /// Register a model with per-replica batching configuration and the
-    /// default depth-aware scheduler (power-of-two-choices).
-    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
-        self.inner.mal.add_model(id, cfg);
+    /// Create-only app registration: refuses a duplicate name (409), an
+    /// empty candidate set (400), and a candidate model that is not
+    /// registered (404).
+    pub fn try_register_app(&self, cfg: AppConfig) -> Result<(), ApiError> {
+        if cfg.candidate_models.is_empty() {
+            return Err(ApiError::BadRequest(
+                "candidate_models must not be empty".into(),
+            ));
+        }
+        for m in &cfg.candidate_models {
+            if !self.inner.mal.has_model(m) {
+                return Err(ApiError::ModelUnknown(m.to_string()));
+            }
+        }
+        if self.inner.apps.read().contains_key(&cfg.name) {
+            return Err(ApiError::AppExists(cfg.name.clone()));
+        }
+        self.register_app(cfg);
+        Ok(())
     }
 
-    /// Register a model with an explicit replica-scheduling policy.
+    /// Live-update an application with a [`AppUpdate`] delta. The swap is
+    /// atomic: in-flight predicts finish under the configuration they
+    /// started with; the next predict sees the amended one. Learned
+    /// policy state survives — when the candidate set changes, per-model
+    /// weights carry over by model name. Returns the amended config.
+    pub fn update_app(&self, name: &str, update: AppUpdate) -> Result<AppConfig, ApiError> {
+        if let Some(models) = &update.candidate_models {
+            // An empty candidate set would brick the app: selection would
+            // have nothing to choose from (and would wipe learned state).
+            if models.is_empty() {
+                return Err(ApiError::BadRequest(
+                    "candidate_models must not be empty".into(),
+                ));
+            }
+            for m in models {
+                if !self.inner.mal.has_model(m) {
+                    return Err(ApiError::ModelUnknown(m.to_string()));
+                }
+            }
+        }
+        let cfg = {
+            let mut apps = self.inner.apps.write();
+            let app = apps
+                .get_mut(name)
+                .ok_or_else(|| ApiError::AppUnknown(name.to_string()))?;
+            let cfg = app.cfg.clone().apply(update);
+            let policy = build_policy(&cfg.policy);
+            *app = Arc::new(App {
+                cfg: cfg.clone(),
+                policy,
+            });
+            cfg
+        };
+        self.inner.persist_app(&cfg);
+        Ok(cfg)
+    }
+
+    /// Unregister an application: it stops routing immediately (predicts
+    /// return `AppUnknown` → 404), its persisted registration and its
+    /// per-context selection state are deleted. In-flight predicts that
+    /// already resolved the app finish normally.
+    pub fn unregister_app(&self, name: &str) -> Result<(), ApiError> {
+        self.inner
+            .apps
+            .write()
+            .remove(name)
+            .ok_or_else(|| ApiError::AppUnknown(name.to_string()))?;
+        self.inner.store.del(&api::app_key(name));
+        for key in self
+            .inner
+            .store
+            .keys_with_prefix(&format!("selstate/{name}/"))
+        {
+            self.inner.store.del(&key);
+        }
+        Ok(())
+    }
+
+    /// The registered configuration of one app.
+    pub fn app_config(&self, name: &str) -> Option<AppConfig> {
+        self.inner.apps.read().get(name).map(|a| a.cfg.clone())
+    }
+
+    /// Register a model version with per-replica batching configuration
+    /// and the default depth-aware scheduler (power-of-two-choices). The
+    /// first registered version of a name becomes its *current* version;
+    /// later versions are rollout candidates until
+    /// [`rollout_model`](Self::rollout_model) promotes them.
+    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
+        self.add_model_with_policy(id, cfg, SchedulerPolicy::default());
+    }
+
+    /// Register a model version with an explicit replica-scheduling
+    /// policy. See [`add_model`](Self::add_model).
     pub fn add_model_with_policy(&self, id: ModelId, cfg: BatchConfig, policy: SchedulerPolicy) {
-        self.inner.mal.add_model_with_policy(id, cfg, policy);
+        self.inner
+            .mal
+            .add_model_with_policy(id.clone(), cfg, policy);
+        {
+            let mut dirs = self.inner.models_dir.write();
+            let dir = dirs.entry(id.name.clone()).or_insert_with(|| ModelDir {
+                current: id.version,
+                versions: Vec::new(),
+                history: Vec::new(),
+                parked: HashMap::new(),
+            });
+            if !dir.versions.contains(&id.version) {
+                dir.versions.push(id.version);
+                dir.versions.sort_unstable();
+            }
+        }
+        self.inner.persist_model(&id.name);
+    }
+
+    /// The version predicts for `name` currently resolve to.
+    pub fn current_version(&self, name: &str) -> Option<u32> {
+        self.inner.models_dir.read().get(name).map(|d| d.current)
+    }
+
+    /// The model catalog: every model name with its version directory and
+    /// the live scheduler state of its current version, sorted by name.
+    pub fn model_views(&self) -> Vec<ModelView> {
+        let dirs = self.inner.models_dir.read();
+        let mut views: Vec<ModelView> = dirs
+            .iter()
+            .map(|(name, dir)| self.view_of(name, dir))
+            .collect();
+        drop(dirs);
+        views.sort_by(|a, b| a.name.cmp(&b.name));
+        views
+    }
+
+    /// One model's catalog entry.
+    pub fn model_view(&self, name: &str) -> Option<ModelView> {
+        self.inner
+            .models_dir
+            .read()
+            .get(name)
+            .map(|dir| self.view_of(name, dir))
+    }
+
+    fn view_of(&self, name: &str, dir: &ModelDir) -> ModelView {
+        let id = ModelId::new(name, dir.current);
+        let mal = &self.inner.mal;
+        ModelView {
+            name: name.to_string(),
+            current_version: dir.current,
+            versions: dir.versions.clone(),
+            history: dir.history.clone(),
+            replicas: mal.replica_queue_ids(&id),
+            queue_depth: mal.queue_depth(&id),
+            inflight: mal.inflight(&id),
+        }
+    }
+
+    /// Roll `name` forward (or sideways) to `to_version`, which must be a
+    /// registered version with at least one live replica (a parked
+    /// version is revived from its retained transports). Atomically
+    /// repoints every app referencing the old version, waits for predicts
+    /// that already selected the old version to settle against it, then
+    /// gracefully drains the old version's replicas — every accepted
+    /// query completes or fail-fills; nothing is dropped and no pending
+    /// cache entry is left wedged. The old version parks, revivable by
+    /// [`rollback_model`](Self::rollback_model).
+    pub async fn rollout_model(
+        &self,
+        name: &str,
+        to_version: u32,
+    ) -> Result<RolloutOutcome, ApiError> {
+        self.rollout_inner(name, to_version).await
+    }
+
+    /// Undo the most recent rollout of `name`: restore the previous
+    /// version (reviving its parked replicas), repoint apps back, and
+    /// drain the version being rolled back. Errors with
+    /// [`ApiError::NoRolloutHistory`] when nothing was rolled out.
+    pub async fn rollback_model(&self, name: &str) -> Result<RolloutOutcome, ApiError> {
+        let prev = {
+            let mut dirs = self.inner.models_dir.write();
+            let dir = dirs
+                .get_mut(name)
+                .ok_or_else(|| ApiError::ModelUnknown(name.to_string()))?;
+            dir.history
+                .pop()
+                .ok_or_else(|| ApiError::NoRolloutHistory(name.to_string()))?
+        };
+        match self.rollout_inner(name, prev).await {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                // Undo the pop so a failed rollback stays retryable.
+                if let Some(dir) = self.inner.models_dir.write().get_mut(name) {
+                    dir.history.push(prev);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    async fn rollout_inner(&self, name: &str, to_version: u32) -> Result<RolloutOutcome, ApiError> {
+        let mal = self.inner.mal.clone();
+        let to_id = ModelId::new(name, to_version);
+        let from_version = {
+            let mut dirs = self.inner.models_dir.write();
+            let dir = dirs
+                .get_mut(name)
+                .ok_or_else(|| ApiError::ModelUnknown(name.to_string()))?;
+            if dir.current == to_version {
+                return Err(ApiError::AlreadyCurrent {
+                    model: name.to_string(),
+                    version: to_version,
+                });
+            }
+            if !mal.has_model(&to_id) {
+                // Revive a parked version from its retained transports.
+                let parked = dir.parked.remove(&to_version).ok_or({
+                    ApiError::VersionUnknown {
+                        model: name.to_string(),
+                        version: to_version,
+                    }
+                })?;
+                mal.add_model_with_policy(to_id.clone(), parked.cfg, parked.policy);
+                for t in parked.transports {
+                    let _ = mal.add_replica(&to_id, t);
+                }
+            }
+            if mal.replica_count(&to_id) == 0 {
+                return Err(ApiError::NoReplicasForVersion {
+                    model: name.to_string(),
+                    version: to_version,
+                });
+            }
+            let from = dir.current;
+            dir.current = to_version;
+            dir.history.push(from);
+            if !dir.versions.contains(&to_version) {
+                dir.versions.push(to_version);
+                dir.versions.sort_unstable();
+            }
+            from
+        };
+
+        // Atomically repoint every app referencing name:vFROM. The old
+        // App values are retained so we can wait for predicts that
+        // captured them to settle.
+        let mut repointed_apps = Vec::new();
+        let mut old_apps = Vec::new();
+        let mut repointed_cfgs = Vec::new();
+        let mut max_slo = Duration::ZERO;
+        {
+            let mut apps = self.inner.apps.write();
+            for (app_name, app) in apps.iter_mut() {
+                let refers_from = app
+                    .cfg
+                    .candidate_models
+                    .iter()
+                    .any(|m| m.name == name && m.version == from_version);
+                let refers_to = app
+                    .cfg
+                    .candidate_models
+                    .iter()
+                    .any(|m| m.name == name && m.version == to_version);
+                // An app referencing *both* versions is deliberately
+                // comparing them (A/B) — rewriting would collapse its
+                // candidate set into duplicates. Leave it pinned.
+                if !refers_from || refers_to {
+                    continue;
+                }
+                let mut cfg = app.cfg.clone();
+                for m in &mut cfg.candidate_models {
+                    if m.name == name && m.version == from_version {
+                        m.version = to_version;
+                    }
+                }
+                max_slo = max_slo.max(cfg.slo);
+                let policy = build_policy(&cfg.policy);
+                let prev = std::mem::replace(
+                    app,
+                    Arc::new(App {
+                        cfg: cfg.clone(),
+                        policy,
+                    }),
+                );
+                old_apps.push(prev);
+                repointed_apps.push(app_name.clone());
+                repointed_cfgs.push(cfg);
+            }
+        }
+        for cfg in &repointed_cfgs {
+            self.inner.persist_app(cfg);
+        }
+
+        // Quiesce: predicts that selected the old version hold a clone of
+        // the replaced App Arc and always return by their SLO deadline
+        // (straggler mitigation); wait for those clones to drop — bounded
+        // by 2×SLO plus margin — so no in-flight query still targets the
+        // old version when its queues begin draining.
+        let quiesce_deadline = Instant::now() + max_slo * 2 + Duration::from_millis(250);
+        while !old_apps.iter().all(|a| Arc::strong_count(a) == 1) {
+            if Instant::now() >= quiesce_deadline {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(1)).await;
+        }
+        // Margin for per-model fan-out tasks to reach their dispatch.
+        tokio::time::sleep(Duration::from_millis(10)).await;
+
+        // Drain the old version through the graceful-drain machinery and
+        // park it (configuration + transports) for rollback — unless an
+        // app still references it explicitly (A/B pinning), in which case
+        // it stays live and `drained_replicas` reports 0.
+        let from_id = ModelId::new(name, from_version);
+        let still_referenced = self
+            .inner
+            .apps
+            .read()
+            .values()
+            .any(|a| a.cfg.candidate_models.contains(&from_id));
+        let mut drained_replicas = 0;
+        if still_referenced {
+            self.inner.persist_model(name);
+            return Ok(RolloutOutcome {
+                model: name.to_string(),
+                from_version,
+                to_version,
+                repointed_apps,
+                drained_replicas,
+            });
+        }
+        if let Ok(removed) = mal.remove_model(&from_id) {
+            drained_replicas = removed.queues.len();
+            if let Some(dir) = self.inner.models_dir.write().get_mut(name) {
+                dir.parked.insert(
+                    from_version,
+                    ParkedVersion {
+                        cfg: removed.cfg,
+                        policy: removed.policy,
+                        transports: removed.transports,
+                    },
+                );
+            }
+            for q in &removed.queues {
+                q.drained().await;
+            }
+        }
+        self.inner.persist_model(name);
+        Ok(RolloutOutcome {
+            model: name.to_string(),
+            from_version,
+            to_version,
+            repointed_apps,
+            drained_replicas,
+        })
+    }
+
+    /// Rebuild the registry from the statestore's persisted configuration
+    /// (the paper's external-Redis config state): model version
+    /// directories and app registrations written by earlier instances.
+    /// Already-registered names are left untouched, and a corrupt record
+    /// is skipped (reported in [`RehydrateReport::skipped`]) rather than
+    /// aborting the rest of the recovery. Rehydrated models carry default
+    /// batching configuration until re-registered; replicas re-attach
+    /// afterwards via [`add_replica`](Self::add_replica).
+    pub fn rehydrate(&self) -> RehydrateReport {
+        let store = &self.inner.store;
+        let mut report = RehydrateReport::default();
+        for key in store.keys_with_prefix(api::MODEL_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<ModelRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            {
+                let mut dirs = self.inner.models_dir.write();
+                if dirs.contains_key(&rec.name) {
+                    continue;
+                }
+                dirs.insert(
+                    rec.name.clone(),
+                    ModelDir {
+                        current: rec.current,
+                        versions: rec.versions.clone(),
+                        history: rec.history.clone(),
+                        parked: HashMap::new(),
+                    },
+                );
+            }
+            for &v in &rec.versions {
+                self.inner
+                    .mal
+                    .add_model(ModelId::new(&rec.name, v), BatchConfig::default());
+            }
+            report.models += 1;
+        }
+        for key in store.keys_with_prefix(api::APP_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<AppRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            if self.inner.apps.read().contains_key(&rec.name) {
+                continue;
+            }
+            let cfg = rec.into_config();
+            let policy = build_policy(&cfg.policy);
+            self.inner
+                .apps
+                .write()
+                .insert(cfg.name.clone(), Arc::new(App { cfg, policy }));
+            report.apps += 1;
+        }
+        report
     }
 
     /// Attach a container replica to a model — safe mid-traffic. Returns
@@ -192,6 +679,11 @@ impl Clipper {
         self.inner.apps.read().keys().cloned().collect()
     }
 
+    /// The backing statestore (configuration + selection state).
+    pub fn store(&self) -> &Arc<StateStore> {
+        &self.inner.store
+    }
+
     fn app(&self, name: &str) -> Result<Arc<App>, PredictError> {
         self.inner
             .apps
@@ -199,6 +691,45 @@ impl Clipper {
             .get(name)
             .cloned()
             .ok_or(PredictError::AppUnknown)
+    }
+
+    /// Fetch (and lazily reconcile) the selection state for an app. After
+    /// an app update or a model-version rollout the stored state may
+    /// reference the previous candidate set; it is remapped — weights
+    /// carried over by model name — before any selection keys on it.
+    fn app_state(
+        &self,
+        app_name: &str,
+        context: Option<&str>,
+        app: &App,
+    ) -> Result<crate::selection::PolicyState, PredictError> {
+        let state = self
+            .inner
+            .state_mgr
+            .get_or_init(
+                app_name,
+                context,
+                app.policy.as_ref(),
+                &app.cfg.candidate_models,
+                app.cfg.seed,
+            )
+            .map_err(|e| PredictError::Failed(e.to_string()))?;
+        if state.models == app.cfg.candidate_models {
+            return Ok(state);
+        }
+        self.inner
+            .state_mgr
+            .update(
+                app_name,
+                context,
+                app.policy.as_ref(),
+                &app.cfg.candidate_models,
+                app.cfg.seed,
+                |s| {
+                    s.remap_models(&app.cfg.candidate_models);
+                },
+            )
+            .map_err(|e| PredictError::Failed(e.to_string()))
     }
 
     /// Serve one prediction for `app`, optionally under a user/session
@@ -212,18 +743,11 @@ impl Clipper {
         input: Input,
     ) -> Result<Prediction, PredictError> {
         let start = Instant::now();
+        if input.is_empty() {
+            return Err(PredictError::BadInput("empty feature vector".into()));
+        }
         let app = self.app(app_name)?;
-        let state = self
-            .inner
-            .state_mgr
-            .get_or_init(
-                app_name,
-                context,
-                app.policy.as_ref(),
-                &app.cfg.candidate_models,
-                app.cfg.seed,
-            )
-            .map_err(|e| PredictError::Failed(e.to_string()))?;
+        let state = self.app_state(app_name, context, &app)?;
 
         let selected = app.policy.select(&state, &input);
         if selected.is_empty() {
@@ -320,6 +844,9 @@ impl Clipper {
         input: Input,
         feedback: Feedback,
     ) -> Result<(), PredictError> {
+        if input.is_empty() {
+            return Err(PredictError::BadInput("empty feature vector".into()));
+        }
         let app = self.app(app_name)?;
 
         // Join feedback with predictions through the cache: recent
@@ -354,6 +881,9 @@ impl Clipper {
                 &app.cfg.candidate_models,
                 app.cfg.seed,
                 |state| {
+                    // Post-rollout/update the stored state may reference
+                    // the previous candidate set; remap before observing.
+                    state.remap_models(&app.cfg.candidate_models);
                     app.policy.observe(state, &input, &feedback, &preds);
                 },
             )
@@ -369,16 +899,7 @@ impl Clipper {
         context: Option<&str>,
     ) -> Result<crate::selection::PolicyState, PredictError> {
         let app = self.app(app_name)?;
-        self.inner
-            .state_mgr
-            .get_or_init(
-                app_name,
-                context,
-                app.policy.as_ref(),
-                &app.cfg.candidate_models,
-                app.cfg.seed,
-            )
-            .map_err(|e| PredictError::Failed(e.to_string()))
+        self.app_state(app_name, context, &app)
     }
 }
 
@@ -631,6 +1152,352 @@ mod tests {
             before.hits,
             after.hits
         );
+    }
+
+    #[tokio::test]
+    async fn empty_input_is_bad_input_not_internal() {
+        let (clipper, _) = setup(
+            &[1],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(50),
+        );
+        let err = clipper
+            .predict("app", None, Arc::new(vec![]))
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::BadInput("empty feature vector".into()));
+        assert_eq!(err.http_status(), 400);
+        let err = clipper
+            .feedback("app", None, Arc::new(vec![]), Feedback::class(1))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, PredictError::BadInput(_)));
+    }
+
+    #[tokio::test]
+    async fn try_register_app_refuses_duplicates_and_unknown_models() {
+        let (clipper, models) = setup(
+            &[1],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(50),
+        );
+        let dup = clipper.try_register_app(AppConfig::new("app", models.clone()));
+        assert!(matches!(dup, Err(crate::api::ApiError::AppExists(_))));
+        let ghost =
+            clipper.try_register_app(AppConfig::new("other", vec![ModelId::new("missing", 1)]));
+        assert!(matches!(ghost, Err(crate::api::ApiError::ModelUnknown(_))));
+        clipper
+            .try_register_app(AppConfig::new("other", models))
+            .unwrap();
+    }
+
+    #[tokio::test]
+    async fn update_app_applies_delta_live_and_persists() {
+        let (clipper, models) = setup(
+            &[3],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(50),
+        );
+        let cfg = clipper
+            .update_app(
+                "app",
+                crate::types::AppUpdate::new()
+                    .with_slo(Duration::from_millis(75))
+                    .with_policy(PolicyKind::MajorityVote),
+            )
+            .unwrap();
+        assert_eq!(cfg.slo, Duration::from_millis(75));
+        // The next predict runs under the amended config.
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(3));
+        // Persisted record reflects the update.
+        let bytes = clipper
+            .store()
+            .get(&crate::api::app_key("app"))
+            .expect("app persisted");
+        let rec: crate::api::AppRecord = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(rec.slo_ms, 75);
+        assert_eq!(rec.candidate_models, models);
+        // Unknown app → typed error.
+        assert!(matches!(
+            clipper.update_app("ghost", crate::types::AppUpdate::new()),
+            Err(crate::api::ApiError::AppUnknown(_))
+        ));
+        // An empty candidate set would brick the app — refused, and the
+        // app keeps serving with its previous set.
+        assert!(matches!(
+            clipper.update_app(
+                "app",
+                crate::types::AppUpdate::new().with_candidate_models(vec![])
+            ),
+            Err(crate::api::ApiError::BadRequest(_))
+        ));
+        let p = clipper
+            .predict("app", None, Arc::new(vec![2.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(3));
+    }
+
+    #[tokio::test]
+    async fn unregister_app_stops_routing_and_cleans_state() {
+        let (clipper, _) = setup(
+            &[1],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(50),
+        );
+        clipper
+            .feedback("app", Some("u1"), Arc::new(vec![1.0]), Feedback::class(1))
+            .await
+            .unwrap();
+        clipper.unregister_app("app").unwrap();
+        let err = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::AppUnknown);
+        assert!(clipper.store().get(&crate::api::app_key("app")).is_none());
+        assert!(clipper.store().keys_with_prefix("selstate/app/").is_empty());
+        assert!(matches!(
+            clipper.unregister_app("app"),
+            Err(crate::api::ApiError::AppUnknown(_))
+        ));
+    }
+
+    #[tokio::test]
+    async fn rollout_repoints_apps_and_rollback_revives_the_old_version() {
+        let clipper = Clipper::builder().build();
+        let v1 = ModelId::new("m", 1);
+        let v2 = ModelId::new("m", 2);
+        clipper.add_model(v1.clone(), BatchConfig::default());
+        clipper.add_replica(&v1, const_transport(1, None)).unwrap();
+        clipper.add_model(v2.clone(), BatchConfig::default());
+        clipper.add_replica(&v2, const_transport(2, None)).unwrap();
+        assert_eq!(clipper.current_version("m"), Some(1));
+        clipper.register_app(
+            AppConfig::new("app", vec![v1.clone()])
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(50)),
+        );
+        let p = clipper
+            .predict("app", None, Arc::new(vec![0.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(1));
+
+        let outcome = clipper.rollout_model("m", 2).await.unwrap();
+        assert_eq!(outcome.from_version, 1);
+        assert_eq!(outcome.to_version, 2);
+        assert_eq!(outcome.repointed_apps, vec!["app".to_string()]);
+        assert_eq!(outcome.drained_replicas, 1);
+        assert_eq!(clipper.current_version("m"), Some(2));
+        assert_eq!(
+            clipper.app_config("app").unwrap().candidate_models,
+            vec![v2.clone()]
+        );
+        let p = clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(2), "served by the new version");
+        assert_eq!(clipper.abstraction().cache().pending_len(), 0);
+
+        // Rollback restores v1 — including its replicas, revived from the
+        // transports the rollout parked.
+        let back = clipper.rollback_model("m").await.unwrap();
+        assert_eq!(back.to_version, 1);
+        assert_eq!(clipper.current_version("m"), Some(1));
+        let p = clipper
+            .predict("app", None, Arc::new(vec![2.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(1), "old version serves again");
+        assert_eq!(clipper.abstraction().cache().pending_len(), 0);
+    }
+
+    #[tokio::test]
+    async fn rollout_guards_bad_targets() {
+        let clipper = Clipper::builder().build();
+        let v1 = ModelId::new("m", 1);
+        clipper.add_model(v1.clone(), BatchConfig::default());
+        clipper.add_replica(&v1, const_transport(1, None)).unwrap();
+        assert!(matches!(
+            clipper.rollout_model("ghost", 2).await,
+            Err(crate::api::ApiError::ModelUnknown(_))
+        ));
+        assert!(matches!(
+            clipper.rollout_model("m", 1).await,
+            Err(crate::api::ApiError::AlreadyCurrent { .. })
+        ));
+        assert!(matches!(
+            clipper.rollout_model("m", 9).await,
+            Err(crate::api::ApiError::VersionUnknown { .. })
+        ));
+        // A registered but replica-less version is refused.
+        clipper.add_model(ModelId::new("m", 2), BatchConfig::default());
+        assert!(matches!(
+            clipper.rollout_model("m", 2).await,
+            Err(crate::api::ApiError::NoReplicasForVersion { .. })
+        ));
+        // Nothing rolled out yet → nothing to roll back.
+        assert!(matches!(
+            clipper.rollback_model("m").await,
+            Err(crate::api::ApiError::NoRolloutHistory(_))
+        ));
+    }
+
+    #[tokio::test]
+    async fn rollout_keeps_learned_policy_weights_by_model_name() {
+        // Exp3 learns that "good" beats "bad"; rolling "good" to v2 must
+        // keep the learned weight rather than resetting the bandit.
+        let clipper = Clipper::builder().build();
+        let good1 = ModelId::new("good", 1);
+        let bad = ModelId::new("bad", 1);
+        clipper.add_model(good1.clone(), BatchConfig::default());
+        clipper
+            .add_replica(&good1, const_transport(1, None))
+            .unwrap();
+        clipper.add_model(bad.clone(), BatchConfig::default());
+        clipper.add_replica(&bad, const_transport(0, None)).unwrap();
+        clipper.register_app(
+            AppConfig::new("app", vec![good1.clone(), bad.clone()])
+                .with_policy(PolicyKind::Exp3 { eta: 0.5 })
+                .with_slo(Duration::from_millis(100)),
+        );
+        for i in 0..40 {
+            clipper
+                .feedback("app", None, Arc::new(vec![i as f32]), Feedback::class(1))
+                .await
+                .unwrap();
+        }
+        let before = clipper.policy_state("app", None).unwrap();
+        let w_good = before.weights[before.index_of(&good1).unwrap()];
+
+        let good2 = ModelId::new("good", 2);
+        clipper.add_model(good2.clone(), BatchConfig::default());
+        clipper
+            .add_replica(&good2, const_transport(1, None))
+            .unwrap();
+        clipper.rollout_model("good", 2).await.unwrap();
+
+        let after = clipper.policy_state("app", None).unwrap();
+        let idx = after.index_of(&good2).expect("state remapped to v2");
+        assert_eq!(
+            after.weights[idx], w_good,
+            "learned weight carries across the version bump"
+        );
+        assert_eq!(after.total, before.total);
+    }
+
+    #[tokio::test]
+    async fn registry_rehydrates_from_the_statestore() {
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        {
+            let first = Clipper::builder().statestore(store.clone()).build();
+            let v1 = ModelId::new("m", 1);
+            let v2 = ModelId::new("m", 2);
+            first.add_model(v1.clone(), BatchConfig::default());
+            first.add_replica(&v1, const_transport(1, None)).unwrap();
+            first.add_model(v2.clone(), BatchConfig::default());
+            first.add_replica(&v2, const_transport(2, None)).unwrap();
+            first.register_app(
+                AppConfig::new("app", vec![v1])
+                    .with_policy(PolicyKind::Static { model_index: 0 })
+                    .with_slo(Duration::from_millis(42)),
+            );
+            first.rollout_model("m", 2).await.unwrap();
+        }
+        // A fresh frontend instance over the same store restores the
+        // registry: versions, current pointer, history, app config.
+        let second = Clipper::builder().statestore(store).build();
+        let report = second.rehydrate();
+        assert_eq!((report.models, report.apps), (1, 1));
+        assert!(report.skipped.is_empty());
+        assert_eq!(second.current_version("m"), Some(2));
+        let view = second.model_view("m").unwrap();
+        assert_eq!(view.versions, vec![1, 2]);
+        assert_eq!(view.history, vec![1]);
+        let cfg = second.app_config("app").unwrap();
+        assert_eq!(cfg.candidate_models, vec![ModelId::new("m", 2)]);
+        assert_eq!(cfg.slo, Duration::from_millis(42));
+        // Replicas re-attach and serving resumes.
+        second
+            .add_replica(&ModelId::new("m", 2), const_transport(2, None))
+            .unwrap();
+        let p = second
+            .predict("app", None, Arc::new(vec![5.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(2));
+        // Rehydration is idempotent.
+        let again = second.rehydrate();
+        assert_eq!((again.models, again.apps), (0, 0));
+    }
+
+    #[tokio::test]
+    async fn rehydrate_skips_corrupt_records_and_restores_the_rest() {
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        {
+            let first = Clipper::builder().statestore(store.clone()).build();
+            let v1 = ModelId::new("good", 1);
+            first.add_model(v1.clone(), BatchConfig::default());
+            first.register_app(AppConfig::new("app", vec![v1]));
+        }
+        store.set(&crate::api::model_key("bad"), b"not json".to_vec());
+        let second = Clipper::builder().statestore(store).build();
+        let report = second.rehydrate();
+        assert_eq!((report.models, report.apps), (1, 1));
+        assert_eq!(report.skipped, vec![crate::api::model_key("bad")]);
+        assert!(second.app_config("app").is_some());
+    }
+
+    #[tokio::test]
+    async fn rollout_leaves_ab_pinned_apps_and_their_old_version_alone() {
+        // An app deliberately comparing v1 vs v2 must keep both pins, and
+        // the old version must stay live while it is still referenced.
+        let clipper = Clipper::builder().build();
+        let v1 = ModelId::new("m", 1);
+        let v2 = ModelId::new("m", 2);
+        clipper.add_model(v1.clone(), BatchConfig::default());
+        clipper.add_replica(&v1, const_transport(1, None)).unwrap();
+        clipper.add_model(v2.clone(), BatchConfig::default());
+        clipper.add_replica(&v2, const_transport(2, None)).unwrap();
+        clipper.register_app(
+            AppConfig::new("ab", vec![v1.clone(), v2.clone()])
+                .with_policy(PolicyKind::MajorityVote)
+                .with_slo(Duration::from_millis(50)),
+        );
+        clipper.register_app(
+            AppConfig::new("plain", vec![v1.clone()])
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(50)),
+        );
+        let outcome = clipper.rollout_model("m", 2).await.unwrap();
+        assert_eq!(outcome.repointed_apps, vec!["plain".to_string()]);
+        assert_eq!(
+            outcome.drained_replicas, 0,
+            "v1 is still pinned by the A/B app and must not drain"
+        );
+        // The A/B app keeps its explicit pins and both versions serve.
+        assert_eq!(
+            clipper.app_config("ab").unwrap().candidate_models,
+            vec![v1.clone(), v2.clone()]
+        );
+        assert!(clipper.abstraction().has_model(&v1));
+        let p = clipper
+            .predict("ab", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.models_used, 2, "both pinned versions answered");
+        // The repointed app serves from v2.
+        let p = clipper
+            .predict("plain", None, Arc::new(vec![2.0]))
+            .await
+            .unwrap();
+        assert_eq!(p.output, Output::Class(2));
     }
 
     #[tokio::test]

@@ -1,30 +1,50 @@
-//! Application-facing HTTP frontend (§3's "REST API").
+//! Application-facing HTTP frontend: the data plane (§3's "REST API")
+//! plus the versioned `/api/v1/` control plane (§3, §6.3).
 //!
 //! A deliberately small HTTP/1.1 server on tokio — request line, headers,
-//! `Content-Length` body — serving:
+//! `Content-Length` body — routed through a typed `Route` parser
+//! (method + path segments, no string-prefix matching):
 //!
-//! - `POST /apps/{app}/predict` with `{"input": [..], "context": "u1"}`
-//!   → `{"output": .., "confidence": .., "latency_us": ..}`
-//! - `POST /apps/{app}/update` with `{"input": [..], "label": 3}` or
-//!   `{"labels": [..]}` (feedback, §5)
-//! - `GET /models` → per-model scheduler state: replica queue ids, live
-//!   queue depth, and in-flight queries
-//! - `GET /metrics` → registry snapshot JSON
-//! - `GET /health` → `ok`
+//! | Route | Purpose |
+//! |---|---|
+//! | `POST /api/v1/apps/{app}/predict` | serve one prediction |
+//! | `POST /api/v1/apps/{app}/update`  | feedback (§5) |
+//! | `GET/POST /api/v1/apps`, `GET/PATCH/DELETE /api/v1/apps/{app}` | app lifecycle |
+//! | `GET/POST /api/v1/models`, `GET /api/v1/models/{name}` | model catalog |
+//! | `POST /api/v1/models/{name}/rollout` / `.../rollback` | version rollout |
+//! | `GET /metrics`, `GET /health` | telemetry / liveness |
 //!
-//! Connections are keep-alive; one request is served at a time per
-//! connection (standard HTTP/1.1 without pipelining).
+//! Legacy `POST /apps/{app}/predict|update` and `GET /models` remain as
+//! aliases onto the v1 handlers.
+//!
+//! Every error response is a serde-serialized [`ErrorBody`] carrying the
+//! taxonomy's stable code and canonical status — an unknown app is a 404,
+//! shed load a 429 with `"shed": true`, a timeout a 504 — and messages
+//! containing quotes or backslashes stay valid JSON.
+//!
+//! Each accepted connection is served on its own spawned task, so a slow
+//! or idle client never blocks the accept loop. Connections are
+//! keep-alive; request heads are read in buffered chunks (scanning for
+//! `\r\n\r\n`, with overread bytes carried into the body and the next
+//! pipelined request), never byte-at-a-time.
 
+use crate::api::{
+    ApiError, AppPatch, AppSpec, AppView, ErrorBody, JsonOutput, ModelSpec, RolloutRequest,
+};
 use crate::clipper::Clipper;
-use crate::types::{Feedback, Output};
+use crate::types::{Feedback, ModelId};
 use serde::{Deserialize, Serialize};
 use std::net::SocketAddr;
 use std::sync::Arc;
-use tokio::io::{AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 
 /// Maximum accepted request body (4 MiB).
 const MAX_BODY: usize = 4 << 20;
+/// Maximum accepted request head (64 KiB).
+const MAX_HEAD: usize = 64 * 1024;
+/// Socket read granularity.
+const READ_CHUNK: usize = 8 * 1024;
 
 /// A running HTTP frontend.
 pub struct HttpFrontend {
@@ -38,6 +58,8 @@ impl HttpFrontend {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
         let task = tokio::spawn(async move {
+            // One spawned task per connection: a stalled request on one
+            // connection never holds up accepting the next.
             while let Ok((conn, _)) = listener.accept().await {
                 let clipper = clipper.clone();
                 tokio::spawn(async move {
@@ -59,6 +81,10 @@ impl Drop for HttpFrontend {
         self.task.abort();
     }
 }
+
+// ---------------------------------------------------------------------
+// Data-plane request/response shapes
+// ---------------------------------------------------------------------
 
 #[derive(Deserialize)]
 struct PredictRequest {
@@ -88,31 +114,20 @@ struct UpdateRequest {
 }
 
 #[derive(Serialize)]
-struct ModelStatus {
-    model: String,
-    replicas: Vec<String>,
-    queue_depth: usize,
-    inflight: usize,
+struct StatusBody {
+    status: String,
 }
 
-/// JSON shape for outputs.
-#[derive(Serialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-enum JsonOutput {
-    Class { label: u32 },
-    Scores { scores: Vec<f32> },
-    Labels { labels: Vec<u32> },
+fn status_body(status: &str) -> String {
+    serde_json::to_string(&StatusBody {
+        status: status.to_string(),
+    })
+    .unwrap_or_default()
 }
 
-impl From<Output> for JsonOutput {
-    fn from(o: Output) -> Self {
-        match o {
-            Output::Class(label) => JsonOutput::Class { label },
-            Output::Scores(scores) => JsonOutput::Scores { scores },
-            Output::Labels(labels) => JsonOutput::Labels { labels },
-        }
-    }
-}
+// ---------------------------------------------------------------------
+// Request reading
+// ---------------------------------------------------------------------
 
 struct Request {
     method: String,
@@ -121,73 +136,124 @@ struct Request {
     keep_alive: bool,
 }
 
-async fn read_request(
-    reader: &mut BufReader<tokio::net::tcp::OwnedReadHalf>,
-) -> std::io::Result<Option<Request>> {
-    // Read until the end of headers.
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    loop {
-        let n = reader.read(&mut byte).await?;
-        if n == 0 {
-            return Ok(None); // clean EOF between requests
+/// Buffered request reader: reads the socket in chunks, scans for the
+/// head terminator, and carries overread bytes into the body and into the
+/// next pipelined request on the connection.
+struct RequestReader {
+    rd: tokio::net::tcp::OwnedReadHalf,
+    carry: Vec<u8>,
+}
+
+/// First index of `\r\n\r\n` at or after `from`.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.min(buf.len());
+    buf[start..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| start + p)
+}
+
+impl RequestReader {
+    fn new(rd: tokio::net::tcp::OwnedReadHalf) -> Self {
+        RequestReader {
+            rd,
+            carry: Vec::with_capacity(READ_CHUNK),
         }
-        head.push(byte[0]);
-        if head.len() > 64 * 1024 {
+    }
+
+    async fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; READ_CHUNK];
+        let n = self.rd.read(&mut chunk).await?;
+        self.carry.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Read one request, or `None` on clean EOF between requests.
+    async fn next(&mut self) -> std::io::Result<Option<Request>> {
+        // Locate the end of the head, reading chunks as needed. `scanned`
+        // remembers how far previous scans got (minus terminator overlap)
+        // so each byte is examined once.
+        let mut scanned = 0usize;
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.carry, scanned) {
+                break pos + 4;
+            }
+            scanned = self.carry.len().saturating_sub(3);
+            if self.carry.len() > MAX_HEAD {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "headers too large",
+                ));
+            }
+            if self.fill().await? == 0 {
+                if self.carry.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-head",
+                ));
+            }
+        };
+
+        let head = String::from_utf8_lossy(&self.carry[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or_default().to_string();
+        let path = parts.next().unwrap_or_default().to_string();
+
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in lines {
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+            if lower.starts_with("connection:") && lower.contains("close") {
+                keep_alive = false;
+            }
+        }
+        if content_length > MAX_BODY {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "headers too large",
+                "body too large",
             ));
         }
-        if head.ends_with(b"\r\n\r\n") {
-            break;
-        }
-    }
-    let head_str = String::from_utf8_lossy(&head);
-    let mut lines = head_str.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
 
-    let mut content_length = 0usize;
-    let mut keep_alive = true;
-    for line in lines {
-        let lower = line.to_ascii_lowercase();
-        if let Some(v) = lower.strip_prefix("content-length:") {
-            content_length = v.trim().parse().unwrap_or(0);
+        // The body may be partly (or fully) in the carry already.
+        let total = head_end + content_length;
+        while self.carry.len() < total {
+            if self.fill().await? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
         }
-        if lower.starts_with("connection:") && lower.contains("close") {
-            keep_alive = false;
-        }
+        let body = self.carry[head_end..total].to_vec();
+        // Whatever follows belongs to the next pipelined request.
+        self.carry.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        }))
     }
-    if content_length > MAX_BODY {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "body too large",
-        ));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).await?;
-    Ok(Some(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    }))
 }
 
 async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<()> {
     conn.set_nodelay(true)?;
     let (rd, mut wr) = conn.into_split();
-    let mut reader = BufReader::new(rd);
+    let mut reader = RequestReader::new(rd);
     loop {
-        let req = match read_request(&mut reader).await {
+        let req = match reader.next().await {
             Ok(Some(r)) => r,
             Ok(None) => return Ok(()),
             Err(e) => {
-                let _ =
-                    write_response(&mut wr, 400, &format!("{{\"error\":\"{e}\"}}"), false).await;
+                let err = ApiError::BadRequest(e.to_string());
+                let _ = write_response(&mut wr, 400, &ErrorBody::of(&err).to_json(), false).await;
                 return Ok(());
             }
         };
@@ -200,88 +266,216 @@ async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<
     }
 }
 
-async fn route(clipper: &Clipper, req: Request) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => (200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/models") => {
-            let mal = clipper.abstraction();
-            let mut models = mal.models();
-            models.sort();
-            let statuses: Vec<ModelStatus> = models
-                .iter()
-                .map(|m| ModelStatus {
-                    model: m.to_string(),
-                    replicas: mal.replica_queue_ids(m),
-                    queue_depth: mal.queue_depth(m),
-                    inflight: mal.inflight(m),
-                })
-                .collect();
-            match serde_json::to_string(&statuses) {
-                Ok(body) => (200, body),
-                Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
-            }
-        }
-        ("GET", "/metrics") => {
-            let snap = clipper.registry().snapshot();
-            match serde_json::to_string(&snap) {
-                Ok(body) => (200, body),
-                Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
-            }
-        }
-        ("POST", path) if path.starts_with("/apps/") => {
-            let rest = &path["/apps/".len()..];
-            let Some((app, action)) = rest.split_once('/') else {
-                return (404, "{\"error\":\"not found\"}".to_string());
-            };
-            match action {
-                "predict" => handle_predict(clipper, app, &req.body).await,
-                "update" => handle_update(clipper, app, &req.body).await,
-                _ => (404, "{\"error\":\"not found\"}".to_string()),
-            }
-        }
-        _ => (404, "{\"error\":\"not found\"}".to_string()),
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+/// HTTP methods the surface speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Method {
+    Get,
+    Post,
+    Patch,
+    Delete,
+}
+
+/// A typed route: method plus non-empty path segments (query stripped).
+/// Replaces the old string-prefix matching — handlers match on exact
+/// segment shapes.
+struct Route<'a> {
+    method: Method,
+    segments: Vec<&'a str>,
+}
+
+impl<'a> Route<'a> {
+    fn parse(method: &str, path: &'a str) -> Option<Route<'a>> {
+        let method = match method {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PATCH" => Method::Patch,
+            "DELETE" => Method::Delete,
+            _ => return None,
+        };
+        let path = path.split('?').next().unwrap_or("");
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        Some(Route { method, segments })
     }
 }
 
-async fn handle_predict(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, String) {
-    let parsed: PredictRequest = match serde_json::from_slice(body) {
-        Ok(p) => p,
-        Err(e) => return (400, format!("{{\"error\":\"bad request: {e}\"}}")),
+fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    serde_json::from_slice(body).map_err(|e| ApiError::BadRequest(format!("bad request: {e}")))
+}
+
+fn json_ok<T: Serialize>(status: u16, value: &T) -> Result<(u16, String), ApiError> {
+    let body = serde_json::to_string(value).map_err(|e| ApiError::Internal(e.to_string()))?;
+    Ok((status, body))
+}
+
+async fn route(clipper: &Clipper, req: Request) -> (u16, String) {
+    let parsed = Route::parse(&req.method, &req.path);
+    let result = match parsed {
+        None => Err(ApiError::BadRequest(format!(
+            "unsupported method {}",
+            req.method
+        ))),
+        Some(r) => dispatch(clipper, r, &req.body).await,
     };
-    match clipper
+    match result {
+        Ok(ok) => ok,
+        Err(e) => (e.http_status(), ErrorBody::of(&e).to_json()),
+    }
+}
+
+async fn dispatch(
+    clipper: &Clipper,
+    route: Route<'_>,
+    body: &[u8],
+) -> Result<(u16, String), ApiError> {
+    use Method::*;
+    match (route.method, route.segments.as_slice()) {
+        (Get, ["health"]) => Ok((200, status_body("ok"))),
+        (Get, ["metrics"]) => {
+            let snap = clipper.registry().snapshot();
+            json_ok(200, &snap)
+        }
+
+        // --- data plane (v1 + legacy aliases) ---
+        (Post, ["api", "v1", "apps", app, "predict"]) | (Post, ["apps", app, "predict"]) => {
+            handle_predict(clipper, app, body).await
+        }
+        (Post, ["api", "v1", "apps", app, "update"]) | (Post, ["apps", app, "update"]) => {
+            handle_update(clipper, app, body).await
+        }
+
+        // --- app lifecycle ---
+        (Get, ["api", "v1", "apps"]) => {
+            let mut views: Vec<AppView> = clipper
+                .apps()
+                .iter()
+                .filter_map(|name| clipper.app_config(name))
+                .map(|cfg| AppView::from(&cfg))
+                .collect();
+            views.sort_by(|a, b| a.name.cmp(&b.name));
+            json_ok(200, &views)
+        }
+        (Post, ["api", "v1", "apps"]) => {
+            let spec: AppSpec = parse_json(body)?;
+            if spec.name.is_empty() {
+                return Err(ApiError::BadRequest("app name must not be empty".into()));
+            }
+            if spec.candidate_models.is_empty() {
+                return Err(ApiError::BadRequest(
+                    "candidate_models must not be empty".into(),
+                ));
+            }
+            let cfg = spec.into_config();
+            clipper.try_register_app(cfg.clone())?;
+            json_ok(201, &AppView::from(&cfg))
+        }
+        (Get, ["api", "v1", "apps", app]) => {
+            let cfg = clipper
+                .app_config(app)
+                .ok_or_else(|| ApiError::AppUnknown(app.to_string()))?;
+            json_ok(200, &AppView::from(&cfg))
+        }
+        (Patch, ["api", "v1", "apps", app]) => {
+            let patch: AppPatch = parse_json(body)?;
+            let cfg = clipper.update_app(app, patch.into_update())?;
+            json_ok(200, &AppView::from(&cfg))
+        }
+        (Delete, ["api", "v1", "apps", app]) => {
+            clipper.unregister_app(app)?;
+            Ok((200, status_body("deleted")))
+        }
+
+        // --- model lifecycle ---
+        (Get, ["api", "v1", "models"]) | (Get, ["models"]) => json_ok(200, &clipper.model_views()),
+        (Post, ["api", "v1", "models"]) => {
+            let spec: ModelSpec = parse_json(body)?;
+            if spec.name.is_empty() {
+                return Err(ApiError::BadRequest("model name must not be empty".into()));
+            }
+            let id = ModelId::new(&spec.name, spec.version);
+            // Create-only, like POST /api/v1/apps: re-registering an
+            // existing version would silently no-op (the MAL keeps the
+            // original config), so surface it as a conflict instead.
+            if clipper.abstraction().has_model(&id) {
+                return Err(ApiError::VersionExists {
+                    model: spec.name.clone(),
+                    version: spec.version,
+                });
+            }
+            clipper.add_model(id, Default::default());
+            let view = clipper
+                .model_view(&spec.name)
+                .ok_or_else(|| ApiError::Internal("model registration lost".into()))?;
+            json_ok(201, &view)
+        }
+        (Get, ["api", "v1", "models", name]) => {
+            let view = clipper
+                .model_view(name)
+                .ok_or_else(|| ApiError::ModelUnknown(name.to_string()))?;
+            json_ok(200, &view)
+        }
+        (Post, ["api", "v1", "models", name, "rollout"]) => {
+            let req: RolloutRequest = parse_json(body)?;
+            let outcome = clipper.rollout_model(name, req.version).await?;
+            json_ok(200, &outcome)
+        }
+        (Post, ["api", "v1", "models", name, "rollback"]) => {
+            let outcome = clipper.rollback_model(name).await?;
+            json_ok(200, &outcome)
+        }
+
+        _ => Err(ApiError::NotFound),
+    }
+}
+
+/// Lift a data-plane failure into the API taxonomy, attaching the app
+/// name to `AppUnknown` so 404 bodies say which app was missing.
+fn data_plane_err(e: crate::batching::queue::PredictError, app: &str) -> ApiError {
+    match e {
+        crate::batching::queue::PredictError::AppUnknown => ApiError::AppUnknown(app.to_string()),
+        other => ApiError::Predict(other),
+    }
+}
+
+async fn handle_predict(
+    clipper: &Clipper,
+    app: &str,
+    body: &[u8],
+) -> Result<(u16, String), ApiError> {
+    let parsed: PredictRequest = parse_json(body)?;
+    let p = clipper
         .predict(app, parsed.context.as_deref(), Arc::new(parsed.input))
         .await
-    {
-        Ok(p) => {
-            let resp = PredictResponse {
-                output: p.output.into(),
-                confidence: p.confidence,
-                models_used: p.models_used,
-                models_missing: p.models_missing,
-                latency_us: p.latency.as_micros() as u64,
-            };
-            (200, serde_json::to_string(&resp).unwrap_or_default())
-        }
-        Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
-    }
+        .map_err(|e| data_plane_err(e, app))?;
+    let resp = PredictResponse {
+        output: p.output.into(),
+        confidence: p.confidence,
+        models_used: p.models_used,
+        models_missing: p.models_missing,
+        latency_us: p.latency.as_micros() as u64,
+    };
+    json_ok(200, &resp)
 }
 
-async fn handle_update(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, String) {
-    let parsed: UpdateRequest = match serde_json::from_slice(body) {
-        Ok(p) => p,
-        Err(e) => return (400, format!("{{\"error\":\"bad request: {e}\"}}")),
-    };
+async fn handle_update(
+    clipper: &Clipper,
+    app: &str,
+    body: &[u8],
+) -> Result<(u16, String), ApiError> {
+    let parsed: UpdateRequest = parse_json(body)?;
     let feedback = match (parsed.label, parsed.labels) {
         (Some(label), None) => Feedback::class(label),
         (None, Some(labels)) => Feedback::labels(labels),
         _ => {
-            return (
-                400,
-                "{\"error\":\"provide exactly one of label / labels\"}".to_string(),
-            );
+            return Err(ApiError::BadRequest(
+                "provide exactly one of label / labels".into(),
+            ));
         }
     };
-    match clipper
+    clipper
         .feedback(
             app,
             parsed.context.as_deref(),
@@ -289,10 +483,8 @@ async fn handle_update(clipper: &Clipper, app: &str, body: &[u8]) -> (u16, Strin
             feedback,
         )
         .await
-    {
-        Ok(()) => (200, "{\"status\":\"ok\"}".to_string()),
-        Err(e) => (500, format!("{{\"error\":\"{e}\"}}")),
-    }
+        .map_err(|e| data_plane_err(e, app))?;
+    Ok((200, status_body("ok")))
 }
 
 async fn write_response(
@@ -303,8 +495,13 @@ async fn write_response(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
     let conn = if keep_alive { "keep-alive" } else { "close" };
@@ -369,11 +566,15 @@ mod tests {
         buf
     }
 
-    fn post(path: &str, body: &str) -> String {
+    fn request(method: &str, path: &str, body: &str) -> String {
         format!(
-            "POST {path} HTTP/1.1\r\nhost: x\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: x\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
             body.len()
         )
+    }
+
+    fn post(path: &str, body: &str) -> String {
+        request("POST", path, body)
     }
 
     #[tokio::test]
@@ -391,14 +592,16 @@ mod tests {
     #[tokio::test]
     async fn predict_over_http() {
         let (frontend, _clipper) = start_frontend().await;
-        let resp = http_call(
-            frontend.local_addr(),
-            &post("/apps/digits/predict", "{\"input\": [7.0, 1.0]}"),
-        )
-        .await;
-        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains("\"label\":7"), "{resp}");
-        assert!(resp.contains("\"confidence\":1.0"), "{resp}");
+        for path in ["/apps/digits/predict", "/api/v1/apps/digits/predict"] {
+            let resp = http_call(
+                frontend.local_addr(),
+                &post(path, "{\"input\": [7.0, 1.0]}"),
+            )
+            .await;
+            assert!(resp.starts_with("HTTP/1.1 200"), "{path}: {resp}");
+            assert!(resp.contains("\"label\":7"), "{resp}");
+            assert!(resp.contains("\"confidence\":1.0"), "{resp}");
+        }
     }
 
     #[tokio::test]
@@ -410,12 +613,21 @@ mod tests {
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let resp = http_call(
+            frontend.local_addr(),
+            &post(
+                "/api/v1/apps/digits/update",
+                "{\"input\": [4.0], \"label\": 4}",
+            ),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         let state = clipper.policy_state("digits", None).unwrap();
-        assert_eq!(state.total, 1);
+        assert_eq!(state.total, 2);
     }
 
     #[tokio::test]
-    async fn bad_json_is_a_400() {
+    async fn bad_json_is_a_400_with_typed_body() {
         let (frontend, _clipper) = start_frontend().await;
         let resp = http_call(
             frontend.local_addr(),
@@ -423,6 +635,50 @@ mod tests {
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn unknown_app_predict_is_a_404_not_a_500() {
+        // Satellite regression: predict/update on an unregistered app used
+        // to surface as 500; the taxonomy maps AppUnknown to 404.
+        let (frontend, _clipper) = start_frontend().await;
+        for path in [
+            "/apps/ghost/predict",
+            "/api/v1/apps/ghost/predict",
+            "/apps/ghost/update",
+        ] {
+            let body = if path.ends_with("update") {
+                "{\"input\": [1.0], \"label\": 1}"
+            } else {
+                "{\"input\": [1.0]}"
+            };
+            let resp = http_call(frontend.local_addr(), &post(path, body)).await;
+            assert!(resp.starts_with("HTTP/1.1 404"), "{path}: {resp}");
+            assert!(resp.contains("\"code\":\"app_unknown\""), "{resp}");
+        }
+    }
+
+    #[tokio::test]
+    async fn error_bodies_with_quotes_are_valid_json() {
+        // Satellite regression: format!-built error bodies emitted broken
+        // JSON when the message contained a quote.
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            &post("/apps/we\"ird\\app/predict", "{\"input\": [1.0]}"),
+        )
+        .await;
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        let parsed: serde_json::Value =
+            serde_json::from_str(body).expect("error body must be valid JSON");
+        assert_eq!(parsed["error"]["code"], "app_unknown");
+        assert!(
+            parsed["error"]["message"]
+                .as_str()
+                .is_some_and(|m| m.contains("we\"ird\\app")),
+            "message carries the raw name: {body}"
+        );
     }
 
     #[tokio::test]
@@ -434,20 +690,158 @@ mod tests {
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("\"code\":\"not_found\""), "{resp}");
     }
 
     #[tokio::test]
-    async fn models_endpoint_reports_scheduler_state() {
+    async fn models_endpoint_reports_catalog_and_scheduler_state() {
         let (frontend, _clipper) = start_frontend().await;
+        for path in ["/models", "/api/v1/models"] {
+            let resp = http_call(
+                frontend.local_addr(),
+                &format!("GET {path} HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"),
+            )
+            .await;
+            assert!(resp.starts_with("HTTP/1.1 200"), "{path}: {resp}");
+            assert!(resp.contains("\"name\":\"m\""), "{resp}");
+            assert!(resp.contains("\"current_version\":1"), "{resp}");
+            assert!(resp.contains("\"queue_depth\""), "{resp}");
+            assert!(resp.contains("m:v1:0"), "{resp}");
+        }
+    }
+
+    #[tokio::test]
+    async fn app_crud_over_http() {
+        let (frontend, _clipper) = start_frontend().await;
+        let addr = frontend.local_addr();
+        // Create.
         let resp = http_call(
-            frontend.local_addr(),
-            "GET /models HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+            addr,
+            &post(
+                "/api/v1/apps",
+                "{\"name\":\"crud\",\"candidate_models\":[{\"name\":\"m\",\"version\":1}],\
+                 \"slo_ms\":30}",
+            ),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+        // Duplicate create → 409.
+        let resp = http_call(
+            addr,
+            &post(
+                "/api/v1/apps",
+                "{\"name\":\"crud\",\"candidate_models\":[{\"name\":\"m\",\"version\":1}]}",
+            ),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 409"), "{resp}");
+        assert!(resp.contains("\"code\":\"app_exists\""), "{resp}");
+        // Read back.
+        let resp = http_call(
+            addr,
+            "GET /api/v1/apps/crud HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
-        assert!(resp.contains("\"model\":\"m:v1\""), "{resp}");
-        assert!(resp.contains("\"queue_depth\""), "{resp}");
-        assert!(resp.contains("m:v1:0"), "{resp}");
+        assert!(resp.contains("\"slo_ms\":30"), "{resp}");
+        // Live-update the SLO.
+        let resp = http_call(
+            addr,
+            &request("PATCH", "/api/v1/apps/crud", "{\"slo_ms\":99}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"slo_ms\":99"), "{resp}");
+        // The new app serves predictions.
+        let resp = http_call(
+            addr,
+            &post("/api/v1/apps/crud/predict", "{\"input\":[5.0]}"),
+        )
+        .await;
+        assert!(resp.contains("\"label\":5"), "{resp}");
+        // List contains both apps.
+        let resp = http_call(
+            addr,
+            "GET /api/v1/apps HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(
+            resp.contains("\"crud\"") && resp.contains("\"digits\""),
+            "{resp}"
+        );
+        // Delete; reads and predicts then 404.
+        let resp = http_call(addr, &request("DELETE", "/api/v1/apps/crud", "")).await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let resp = http_call(
+            addr,
+            "GET /api/v1/apps/crud HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = http_call(
+            addr,
+            &post("/api/v1/apps/crud/predict", "{\"input\":[1.0]}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn model_registration_and_rollout_over_http() {
+        let (frontend, clipper) = start_frontend().await;
+        let addr = frontend.local_addr();
+        // Register version 2 over HTTP, then attach a replica in-process
+        // (replicas are transports; they connect via RPC, not JSON).
+        let resp = http_call(
+            addr,
+            &post("/api/v1/models", "{\"name\":\"m\",\"version\":2}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+        // Re-registering the same version is a conflict, not a silent
+        // 201 no-op.
+        let resp = http_call(
+            addr,
+            &post("/api/v1/models", "{\"name\":\"m\",\"version\":2}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 409"), "{resp}");
+        assert!(resp.contains("\"code\":\"version_exists\""), "{resp}");
+        // Rollout before any replica attaches → 409.
+        let resp = http_call(addr, &post("/api/v1/models/m/rollout", "{\"version\":2}")).await;
+        assert!(resp.starts_with("HTTP/1.1 409"), "{resp}");
+        assert!(resp.contains("no_replicas_for_version"), "{resp}");
+        clipper
+            .add_replica(
+                &ModelId::new("m", 2),
+                Arc::new(FnTransport::new("v2", |inputs: &[clipper_rpc::Input]| {
+                    Ok(PredictReply {
+                        outputs: vec![WireOutput::Class(42); inputs.len()],
+                        queue_us: 0,
+                        compute_us: 5,
+                    })
+                })),
+            )
+            .unwrap();
+        let resp = http_call(addr, &post("/api/v1/models/m/rollout", "{\"version\":2}")).await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"to_version\":2"), "{resp}");
+        assert!(resp.contains("digits"), "app repointed: {resp}");
+        // Predicts now come from v2.
+        let resp = http_call(addr, &post("/apps/digits/predict", "{\"input\":[9.0]}")).await;
+        assert!(resp.contains("\"label\":42"), "{resp}");
+        // Rollback over HTTP restores v1 (echo transport).
+        let resp = http_call(addr, &post("/api/v1/models/m/rollback", "")).await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let resp = http_call(addr, &post("/apps/digits/predict", "{\"input\":[8.0]}")).await;
+        assert!(resp.contains("\"label\":8"), "{resp}");
+        // Unknown model rollout → 404.
+        let resp = http_call(
+            addr,
+            &post("/api/v1/models/ghost/rollout", "{\"version\":1}"),
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
     }
 
     #[tokio::test]
@@ -487,6 +881,29 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn pipelined_requests_are_carried_across_reads() {
+        // Two requests written in one burst: the buffered reader must
+        // carve the first body out of the overread and keep the remainder
+        // for the second request.
+        let (frontend, _clipper) = start_frontend().await;
+        let mut conn = TcpStream::connect(frontend.local_addr()).await.unwrap();
+        let b1 = "{\"input\": [1.0]}";
+        let b2 = "{\"input\": [2.0]}";
+        let burst = format!(
+            "POST /apps/digits/predict HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{b1}\
+             POST /apps/digits/predict HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{b2}",
+            b1.len(),
+            b2.len()
+        );
+        conn.write_all(burst.as_bytes()).await.unwrap();
+        conn.shutdown().await.unwrap();
+        let mut all = String::new();
+        conn.read_to_string(&mut all).await.unwrap();
+        assert!(all.contains("\"label\":1"), "{all}");
+        assert!(all.contains("\"label\":2"), "{all}");
+    }
+
+    #[tokio::test]
     async fn update_requires_exactly_one_feedback_kind() {
         let (frontend, _clipper) = start_frontend().await;
         let resp = http_call(
@@ -495,5 +912,6 @@ mod tests {
         )
         .await;
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
     }
 }

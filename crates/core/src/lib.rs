@@ -30,8 +30,13 @@
 //! - contextualization: per-user/session policy state in an external
 //!   statestore (§5.3).
 //!
-//! The [`Clipper`] facade ties the layers together; [`frontend`] exposes
-//! them over HTTP. Start from [`ClipperBuilder`]:
+//! The [`Clipper`] facade ties the layers together and carries the
+//! **control plane** (§3, §6.3): live app lifecycle
+//! (register/update/unregister), model-version rollout and rollback with
+//! graceful drain of the old version, statestore-persisted registrations
+//! with restart rehydration, and the typed error taxonomy in [`api`].
+//! [`frontend`] exposes both planes over HTTP as the versioned `/api/v1`
+//! REST surface. Start from [`ClipperBuilder`]:
 //!
 //! ```no_run
 //! # use clipper_core::*;
@@ -47,6 +52,7 @@
 //! ```
 
 pub mod abstraction;
+pub mod api;
 pub mod batching;
 pub mod cache;
 pub mod clipper;
@@ -55,6 +61,9 @@ pub mod selection;
 pub mod types;
 
 pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError, SchedulerPolicy};
+pub use api::{
+    ApiError, AppPatch, AppSpec, AppView, ErrorBody, ModelView, RehydrateReport, RolloutOutcome,
+};
 pub use batching::{AimdController, BatchStrategy, QuantileController, QueueState};
 pub use cache::{CacheKey, CacheStats, PredictionCache};
 pub use clipper::{Clipper, ClipperBuilder};
@@ -63,4 +72,6 @@ pub use selection::{
     EpsilonGreedyPolicy, Exp3Policy, Exp4Policy, PolicyState, SelectionPolicy, StaticPolicy,
     ThompsonSamplingPolicy, UcbPolicy,
 };
-pub use types::{output_loss, AppConfig, Feedback, Input, ModelId, Output, PolicyKind, Prediction};
+pub use types::{
+    output_loss, AppConfig, AppUpdate, Feedback, Input, ModelId, Output, PolicyKind, Prediction,
+};

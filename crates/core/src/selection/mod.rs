@@ -92,6 +92,50 @@ impl PolicyState {
         (h.finish() >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// Reconcile this state with an amended candidate-model set (app
+    /// update or model-version rollout). Learned weights and counts carry
+    /// over by model *name* — a version bump keeps what the bandit learned
+    /// about the model, which is the point of transparent rollouts
+    /// (§2.2) — while genuinely new models start at the uniform weight.
+    /// Returns whether anything changed.
+    pub fn remap_models(&mut self, models: &[ModelId]) -> bool {
+        if self.models == models {
+            return false;
+        }
+        let mut weights = vec![1.0; models.len()];
+        let mut counts = vec![0u64; models.len()];
+        // Exact-id matches claim their old entries first, so a candidate
+        // set that deliberately contains two versions of the same model
+        // (A/B comparison) keeps each version's own learned state; only
+        // then do leftover new entries inherit by name (version bump).
+        let mut used = vec![false; self.models.len()];
+        let mut matched = vec![false; models.len()];
+        for (i, m) in models.iter().enumerate() {
+            if let Some(j) = (0..self.models.len()).find(|&j| !used[j] && &self.models[j] == m) {
+                weights[i] = self.weights[j];
+                counts[i] = self.counts[j];
+                used[j] = true;
+                matched[i] = true;
+            }
+        }
+        for (i, m) in models.iter().enumerate() {
+            if matched[i] {
+                continue;
+            }
+            if let Some(j) =
+                (0..self.models.len()).find(|&j| !used[j] && self.models[j].name == m.name)
+            {
+                weights[i] = self.weights[j];
+                counts[i] = self.counts[j];
+                used[j] = true;
+            }
+        }
+        self.models = models.to_vec();
+        self.weights = weights;
+        self.counts = counts;
+        true
+    }
+
     /// Guard against weight overflow/underflow: renormalize so weights sum
     /// to the model count (preserves probabilities exactly).
     pub fn renormalize(&mut self) {
@@ -285,6 +329,38 @@ mod tests {
         let before = s.derived_uniform(&x);
         s.total += 1;
         assert_ne!(before, s.derived_uniform(&x));
+    }
+
+    #[test]
+    fn remap_models_carries_learned_weights_across_versions() {
+        let old = vec![ModelId::new("a", 1), ModelId::new("b", 1)];
+        let mut s = PolicyState::uniform(&old, 5);
+        s.weights = vec![4.0, 0.5];
+        s.counts = vec![10, 2];
+        s.total = 12;
+        // Roll "a" to v2 and introduce a brand-new model "c".
+        let new = vec![ModelId::new("a", 2), ModelId::new("c", 1)];
+        assert!(s.remap_models(&new));
+        assert_eq!(s.models, new);
+        assert_eq!(s.weights, vec![4.0, 1.0], "a keeps its weight, c is fresh");
+        assert_eq!(s.counts, vec![10, 0]);
+        assert_eq!(s.total, 12, "observation history is not rewritten");
+        // Identical set: no-op.
+        assert!(!s.remap_models(&new));
+    }
+
+    #[test]
+    fn remap_models_keeps_per_version_state_in_ab_sets() {
+        // An app comparing two versions of one model must not have their
+        // learned weights collapsed onto the first name match.
+        let old = vec![ModelId::new("m", 1), ModelId::new("m", 2)];
+        let mut s = PolicyState::uniform(&old, 1);
+        s.weights = vec![3.0, 7.0];
+        s.counts = vec![30, 70];
+        let new = vec![ModelId::new("m", 2), ModelId::new("m", 1)];
+        assert!(s.remap_models(&new));
+        assert_eq!(s.weights, vec![7.0, 3.0], "exact ids keep their state");
+        assert_eq!(s.counts, vec![70, 30]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn sample_from(probs: &[f64], u: f64) -> usize {
 /// the importance-weighted exponential rule `wᵢ ← wᵢ·exp(−η·L/pᵢ)`.
 ///
 /// The paper's §5.1 sketch omits the γ-uniform exploration term, but the
-/// underlying algorithm it cites (Auer et al. [6]) requires it — and so
+/// underlying algorithm it cites (Auer et al. \[6\]) requires it — and so
 /// does the Figure-8 behavior: without γ a model whose weight collapsed
 /// during a failure would never be re-explored after it heals.
 pub struct Exp3Policy {

@@ -157,6 +157,21 @@ impl StateStoreClient {
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }
     }
+
+    /// `KEYS prefix` → sorted live keys under the prefix (config-plane
+    /// scan used for registry rehydration).
+    pub async fn keys(&self, prefix: &str) -> Result<Vec<String>, ClientError> {
+        match self.call(vec![b"KEYS".to_vec(), prefix.into()]).await? {
+            RespValue::Array(items) => items
+                .into_iter()
+                .map(|v| match v {
+                    RespValue::Bulk(b) => Ok(String::from_utf8_lossy(&b).into_owned()),
+                    other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+                })
+                .collect(),
+            other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +200,8 @@ mod tests {
         assert_eq!(v, 1);
         assert_eq!(client.get("k").await.unwrap().unwrap(), b"value");
         assert_eq!(client.dbsize().await.unwrap(), 1);
+        assert_eq!(client.keys("k").await.unwrap(), vec!["k".to_string()]);
+        assert!(client.keys("nope").await.unwrap().is_empty());
         assert!(client.del("k").await.unwrap());
     }
 

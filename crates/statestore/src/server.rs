@@ -148,6 +148,13 @@ fn execute(store: &StateStore, req: RespValue) -> RespValue {
             }
         }
         ("DBSIZE", 1) => RespValue::Integer(store.len() as i64),
+        ("KEYS", 2) => RespValue::Array(
+            store
+                .keys_with_prefix(&key(1))
+                .into_iter()
+                .map(|k| RespValue::Bulk(k.into_bytes()))
+                .collect(),
+        ),
         _ => RespValue::Error(format!("ERR unknown command {cmd}/{}", args.len())),
     }
 }
@@ -188,6 +195,15 @@ mod tests {
             RespValue::Error(_)
         ));
         assert_eq!(execute(&store, cmd(&[b"DBSIZE"])), RespValue::Integer(1));
+        assert_eq!(
+            execute(&store, cmd(&[b"KEYS", b"k"])),
+            RespValue::Array(vec![RespValue::Bulk(b"k".to_vec())]),
+            "KEYS returns live keys under the prefix"
+        );
+        assert_eq!(
+            execute(&store, cmd(&[b"KEYS", b"zzz"])),
+            RespValue::Array(vec![])
+        );
         assert_eq!(execute(&store, cmd(&[b"DEL", b"k"])), RespValue::Integer(1));
         assert!(matches!(
             execute(&store, cmd(&[b"BOGUS"])),

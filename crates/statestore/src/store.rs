@@ -172,6 +172,26 @@ impl StateStore {
         }
     }
 
+    /// All live keys starting with `prefix`, sorted. O(n) over the store —
+    /// a configuration-plane operation (registry rehydration, `KEYS` over
+    /// the wire), not a serving-path one.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let now = Instant::now();
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .filter(|(k, e)| k.starts_with(prefix) && !e.is_expired(now))
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
     /// Number of live (unexpired) keys. O(n): for tests and reporting.
     pub fn len(&self) -> usize {
         let now = Instant::now();
@@ -292,6 +312,27 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(final_n, total, "every CAS win increments exactly once");
+    }
+
+    #[test]
+    fn prefix_scan_returns_sorted_live_keys() {
+        let s = StateStore::new();
+        s.set("config/app/b", b"1".to_vec());
+        s.set("config/app/a", b"1".to_vec());
+        s.set("config/model/m", b"1".to_vec());
+        s.set("other", b"1".to_vec());
+        assert_eq!(
+            s.keys_with_prefix("config/app/"),
+            vec!["config/app/a".to_string(), "config/app/b".to_string()]
+        );
+        assert_eq!(s.keys_with_prefix("config/").len(), 3);
+        // Expired keys are hidden from the scan.
+        s.expire("config/app/a", Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            s.keys_with_prefix("config/app/"),
+            vec!["config/app/b".to_string()]
+        );
     }
 
     #[test]

@@ -8,17 +8,22 @@
 //! - [`driver`]: load drivers that apply an arrival process to any async
 //!   request function and collect a [`driver::LoadReport`] (throughput,
 //!   latency distribution, errors);
+//! - [`churn`]: config-churn-under-load — open-loop traffic with
+//!   scheduled control-plane actions (rollouts, app updates) firing
+//!   mid-run, reporting both load and per-action outcomes;
 //! - [`simlink`]: bandwidth/latency-simulated network links for the
 //!   Figure-6 cluster-scaling study (1 Gbps vs 10 Gbps);
 //! - [`report`]: aligned text tables matching the rows/series the paper's
 //!   figures report.
 
 pub mod arrivals;
+pub mod churn;
 pub mod driver;
 pub mod report;
 pub mod simlink;
 
 pub use arrivals::ArrivalProcess;
+pub use churn::{http_request, run_open_loop_with_churn, ActionOutcome, ChurnAction, ChurnReport};
 pub use driver::{
     run_closed_loop, run_open_loop, run_open_loop_outcomes, LoadReport, RequestOutcome,
 };

@@ -42,8 +42,8 @@ pub use clipper_workload as workload;
 pub mod prelude {
     pub use clipper_containers::{ContainerConfig, LatencyProfile};
     pub use clipper_core::{
-        AppConfig, Clipper, ClipperBuilder, Feedback, Input, ModelId, Output, PolicyKind,
-        Prediction,
+        ApiError, AppConfig, AppUpdate, Clipper, ClipperBuilder, Feedback, HttpFrontend, Input,
+        ModelId, Output, PolicyKind, Prediction,
     };
     pub use clipper_ml::datasets::{Dataset, DatasetSpec};
     pub use clipper_ml::models::Model;
