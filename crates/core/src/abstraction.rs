@@ -345,40 +345,57 @@ impl ModelAbstractionLayer {
 
     /// Register a model with its batching configuration and the default
     /// scheduler policy (power-of-two-choices). Idempotent: a second
-    /// registration with the same id keeps the original.
-    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
-        self.add_model_with_policy(id, cfg, SchedulerPolicy::default());
+    /// registration with the same id keeps the original (and returns
+    /// `false`).
+    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) -> bool {
+        self.add_model_with_policy(id, cfg, SchedulerPolicy::default())
     }
 
-    /// Register a model with an explicit scheduler policy.
+    /// Register a model with an explicit scheduler policy. Returns
+    /// whether the id was newly registered — the check and the insert
+    /// happen under one write lock, so exactly one of two concurrent
+    /// registrations observes `true` (the control plane's create-only
+    /// 409 relies on this).
     ///
     /// Also registers per-model poll gauges `model/<id>/queue_depth` and
     /// `model/<id>/inflight` (live replica-state sums) and the scheduler's
     /// `model/<id>/shed` counter.
-    pub fn add_model_with_policy(&self, id: ModelId, cfg: BatchConfig, policy: SchedulerPolicy) {
+    pub fn add_model_with_policy(
+        &self,
+        id: ModelId,
+        cfg: BatchConfig,
+        policy: SchedulerPolicy,
+    ) -> bool {
         let mut models = self.models.write();
+        if models.contains_key(&id) {
+            return false;
+        }
         let registry = &self.registry;
-        models.entry(id.clone()).or_insert_with(|| {
-            let handle = Arc::new(ModelHandle {
-                id: id.clone(),
-                cfg,
-                policy,
-                replicas: RwLock::new(Vec::new()),
-                cursor: AtomicUsize::new(0),
-                next_replica_idx: AtomicUsize::new(0),
-                shed: registry.counter(&format!("model/{id}/shed")),
-                defaults: Mutex::new(DefaultTracker::default()),
-            });
-            let weak: Weak<ModelHandle> = Arc::downgrade(&handle);
-            registry.poll_gauge(&format!("model/{id}/queue_depth"), {
-                let weak = weak.clone();
-                move || weak.upgrade().map_or(0, |h| h.queue_depth() as i64)
-            });
-            registry.poll_gauge(&format!("model/{id}/inflight"), move || {
-                weak.upgrade().map_or(0, |h| h.inflight() as i64)
-            });
-            handle
+        let handle = Arc::new(ModelHandle {
+            id: id.clone(),
+            cfg,
+            policy,
+            replicas: RwLock::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+            next_replica_idx: AtomicUsize::new(0),
+            shed: registry.counter(&format!("model/{id}/shed")),
+            defaults: Mutex::new(DefaultTracker::default()),
         });
+        let weak: Weak<ModelHandle> = Arc::downgrade(&handle);
+        registry.poll_gauge(&format!("model/{id}/queue_depth"), {
+            let weak = weak.clone();
+            move || weak.upgrade().map_or(0, |h| h.queue_depth() as i64)
+        });
+        registry.poll_gauge(&format!("model/{id}/inflight"), move || {
+            weak.upgrade().map_or(0, |h| h.inflight() as i64)
+        });
+        models.insert(id, handle);
+        true
+    }
+
+    /// The batching configuration a model was registered with.
+    pub fn model_config(&self, id: &ModelId) -> Option<BatchConfig> {
+        self.models.read().get(id).map(|h| h.cfg.clone())
     }
 
     /// Attach a container replica to a registered model — safe while

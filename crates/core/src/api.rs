@@ -17,7 +17,9 @@
 //!   (mirroring the paper's Redis configuration state) that let a
 //!   frontend rehydrate its registry after a restart.
 
-use crate::batching::queue::PredictError;
+use crate::batching::queue::{PredictError, QueueConfig};
+use crate::batching::BatchStrategy;
+use crate::json_emit::NonFiniteFloat;
 use crate::types::{AppConfig, AppUpdate, ModelId, Output, PolicyKind};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -224,14 +226,24 @@ impl ErrorBody {
         }
     }
 
-    /// Serialize to the response body (infallible: falls back to a static
-    /// envelope if serialization itself fails).
+    /// Serialize to the response body.
+    ///
+    /// Emits directly through [`crate::json_emit::Emitter`] — one pass,
+    /// no `Content` tree — and is byte-identical to
+    /// `serde_json::to_string(self)` (enforced by test). Infallible: the
+    /// envelope contains only strings and bools.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).unwrap_or_else(|_| {
-            "{\"error\":{\"code\":\"internal\",\"message\":\"error serialization failed\",\
-             \"retryable\":false,\"shed\":false}}"
-                .to_string()
-        })
+        let mut e = crate::json_emit::Emitter::with_capacity(96 + self.error.message.len());
+        e.raw("{\"error\":{\"code\":");
+        e.string(&self.error.code);
+        e.raw(",\"message\":");
+        e.string(&self.error.message);
+        e.raw(",\"retryable\":");
+        e.bool(self.error.retryable);
+        e.raw(",\"shed\":");
+        e.bool(self.error.shed);
+        e.raw("}}");
+        e.into_string()
     }
 }
 
@@ -259,6 +271,41 @@ pub enum JsonOutput {
         /// The sequence.
         labels: Vec<u32>,
     },
+}
+
+impl JsonOutput {
+    /// Stream this value into `e`, byte-identical to its serde
+    /// serialization (tagged enum, declaration field order).
+    pub fn emit(&self, e: &mut crate::json_emit::Emitter) -> Result<(), NonFiniteFloat> {
+        match self {
+            JsonOutput::Class { label } => {
+                e.raw("{\"kind\":\"class\",\"label\":");
+                e.u64(u64::from(*label));
+                e.raw("}");
+            }
+            JsonOutput::Scores { scores } => {
+                e.raw("{\"kind\":\"scores\",\"scores\":[");
+                for (i, s) in scores.iter().enumerate() {
+                    if i > 0 {
+                        e.raw(",");
+                    }
+                    e.f32(*s)?;
+                }
+                e.raw("]}");
+            }
+            JsonOutput::Labels { labels } => {
+                e.raw("{\"kind\":\"labels\",\"labels\":[");
+                for (i, l) in labels.iter().enumerate() {
+                    if i > 0 {
+                        e.raw(",");
+                    }
+                    e.u64(u64::from(*l));
+                }
+                e.raw("]}");
+            }
+        }
+        Ok(())
+    }
 }
 
 impl From<Output> for JsonOutput {
@@ -458,6 +505,112 @@ pub struct ModelView {
     pub inflight: usize,
 }
 
+/// Wire form of [`BatchStrategy`] (whose `Fixed(usize)` tuple variant
+/// the vendored serde derive cannot express).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum BatchStrategyWire {
+    /// Additive-increase / multiplicative-decrease (§4.3.1).
+    Aimd {
+        /// Additive step per successful full batch.
+        step: f64,
+        /// Multiplicative backoff factor on SLO violation.
+        backoff: f64,
+    },
+    /// Online P99 quantile regression.
+    QuantileRegression,
+    /// Static maximum batch size.
+    Fixed {
+        /// The fixed batch size.
+        size: usize,
+    },
+    /// Every query is its own batch.
+    NoBatching,
+}
+
+impl From<&BatchStrategy> for BatchStrategyWire {
+    fn from(s: &BatchStrategy) -> Self {
+        match *s {
+            BatchStrategy::Aimd { step, backoff } => BatchStrategyWire::Aimd { step, backoff },
+            BatchStrategy::QuantileRegression => BatchStrategyWire::QuantileRegression,
+            BatchStrategy::Fixed(size) => BatchStrategyWire::Fixed { size },
+            BatchStrategy::NoBatching => BatchStrategyWire::NoBatching,
+        }
+    }
+}
+
+impl From<BatchStrategyWire> for BatchStrategy {
+    fn from(s: BatchStrategyWire) -> Self {
+        match s {
+            BatchStrategyWire::Aimd { step, backoff } => BatchStrategy::Aimd { step, backoff },
+            BatchStrategyWire::QuantileRegression => BatchStrategy::QuantileRegression,
+            BatchStrategyWire::Fixed { size } => BatchStrategy::Fixed(size),
+            BatchStrategyWire::NoBatching => BatchStrategy::NoBatching,
+        }
+    }
+}
+
+/// The statestore-persisted form of one model version's batching
+/// configuration ([`QueueConfig`]): max batch size, delayed-batching
+/// timeout, AIMD on/off (the strategy), and the queueing knobs. Durations
+/// are microseconds so sub-millisecond settings survive the round trip.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BatchKnobs {
+    /// Batching strategy (AIMD / quantile / fixed / none).
+    pub strategy: BatchStrategyWire,
+    /// Latency objective, µs.
+    pub slo_us: u64,
+    /// Delayed-batching wait, µs.
+    pub batch_wait_timeout_us: u64,
+    /// Queue depth before submissions are refused.
+    pub queue_capacity: usize,
+    /// Hard cap on batch size.
+    pub max_batch_cap: usize,
+    /// Outstanding batches per replica.
+    pub pipeline_depth: usize,
+    /// Drain hang-detector deadline, µs.
+    pub drain_deadline_us: u64,
+}
+
+impl From<&QueueConfig> for BatchKnobs {
+    fn from(cfg: &QueueConfig) -> Self {
+        BatchKnobs {
+            strategy: (&cfg.strategy).into(),
+            slo_us: cfg.slo.as_micros() as u64,
+            batch_wait_timeout_us: cfg.batch_wait_timeout.as_micros() as u64,
+            queue_capacity: cfg.queue_capacity,
+            max_batch_cap: cfg.max_batch_cap,
+            pipeline_depth: cfg.pipeline_depth,
+            drain_deadline_us: cfg.drain_deadline.as_micros() as u64,
+        }
+    }
+}
+
+impl BatchKnobs {
+    /// Rebuild the domain config (used by registry rehydration).
+    pub fn into_config(self) -> QueueConfig {
+        QueueConfig {
+            strategy: self.strategy.into(),
+            slo: Duration::from_micros(self.slo_us),
+            batch_wait_timeout: Duration::from_micros(self.batch_wait_timeout_us),
+            queue_capacity: self.queue_capacity,
+            max_batch_cap: self.max_batch_cap,
+            pipeline_depth: self.pipeline_depth,
+            drain_deadline: Duration::from_micros(self.drain_deadline_us),
+        }
+    }
+}
+
+/// One version's persisted batching configuration inside a
+/// [`ModelRecord`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct VersionBatchKnobs {
+    /// The version these knobs belong to.
+    pub version: u32,
+    /// The knobs.
+    pub knobs: BatchKnobs,
+}
+
 /// The statestore-persisted form of a model's version directory.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct ModelRecord {
@@ -469,6 +622,22 @@ pub struct ModelRecord {
     pub versions: Vec<u32>,
     /// Rollback stack.
     pub history: Vec<u32>,
+    /// Per-version batching configuration, so `rehydrate()` restores the
+    /// knobs a version was rolled out with instead of silently resetting
+    /// to defaults. Absent in records written before this field existed
+    /// (those versions rehydrate with default batching).
+    #[serde(default)]
+    pub batch: Vec<VersionBatchKnobs>,
+}
+
+impl ModelRecord {
+    /// The persisted knobs for `version`, if recorded.
+    pub fn knobs_for(&self, version: u32) -> Option<&BatchKnobs> {
+        self.batch
+            .iter()
+            .find(|vb| vb.version == version)
+            .map(|vb| &vb.knobs)
+    }
 }
 
 /// Summary of a registry rehydration from the statestore.
@@ -553,6 +722,59 @@ mod tests {
     }
 
     #[test]
+    fn error_body_fast_path_is_byte_identical_to_serde() {
+        for err in [
+            ApiError::AppUnknown("we\"ird\\app".to_string()),
+            ApiError::AppExists("plain".to_string()),
+            ApiError::from(PredictError::Overloaded),
+            ApiError::from(PredictError::Timeout),
+            ApiError::BadRequest("tabs\tand\nnewlines and \u{7} bells".to_string()),
+            ApiError::Internal("unicode mêssage 世界".to_string()),
+            ApiError::NotFound,
+        ] {
+            let body = ErrorBody::of(&err);
+            assert_eq!(
+                body.to_json(),
+                serde_json::to_string(&body).unwrap(),
+                "fast emitter diverged for {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_output_fast_path_is_byte_identical_to_serde() {
+        for out in [
+            JsonOutput::Class { label: 0 },
+            JsonOutput::Class { label: u32::MAX },
+            JsonOutput::Scores { scores: vec![] },
+            JsonOutput::Scores {
+                scores: vec![0.25, 1.0, -3.5, 1.0 / 3.0, 1e10],
+            },
+            JsonOutput::Labels { labels: vec![] },
+            JsonOutput::Labels {
+                labels: vec![1, 2, 3],
+            },
+        ] {
+            let mut e = crate::json_emit::Emitter::default();
+            out.emit(&mut e).unwrap();
+            assert_eq!(
+                e.into_string(),
+                serde_json::to_string(&out).unwrap(),
+                "fast emitter diverged for {out:?}"
+            );
+        }
+        // A non-finite score fails exactly like the serde path.
+        let bad = JsonOutput::Scores {
+            scores: vec![f32::NAN],
+        };
+        let mut e = crate::json_emit::Emitter::default();
+        assert_eq!(
+            bad.emit(&mut e).unwrap_err().to_string(),
+            serde_json::to_string(&bad).unwrap_err().to_string()
+        );
+    }
+
+    #[test]
     fn json_output_round_trips() {
         for out in [
             Output::Class(7),
@@ -633,8 +855,57 @@ mod tests {
             current: 2,
             versions: vec![1, 2],
             history: vec![1],
+            batch: vec![VersionBatchKnobs {
+                version: 2,
+                knobs: BatchKnobs::from(&QueueConfig {
+                    strategy: BatchStrategy::Fixed(7),
+                    slo: Duration::from_micros(750),
+                    batch_wait_timeout: Duration::from_millis(2),
+                    queue_capacity: 123,
+                    max_batch_cap: 64,
+                    pipeline_depth: 2,
+                    drain_deadline: Duration::from_secs(9),
+                }),
+            }],
         };
         let json = serde_json::to_string(&rec).unwrap();
-        assert_eq!(serde_json::from_str::<ModelRecord>(&json).unwrap(), rec);
+        let back = serde_json::from_str::<ModelRecord>(&json).unwrap();
+        assert_eq!(back, rec);
+        let cfg = back.knobs_for(2).unwrap().clone().into_config();
+        assert_eq!(cfg.strategy, BatchStrategy::Fixed(7));
+        assert_eq!(cfg.slo, Duration::from_micros(750));
+        assert_eq!(cfg.batch_wait_timeout, Duration::from_millis(2));
+        assert_eq!(cfg.queue_capacity, 123);
+        assert_eq!(cfg.drain_deadline, Duration::from_secs(9));
+        assert!(back.knobs_for(1).is_none());
+    }
+
+    #[test]
+    fn legacy_model_record_without_batch_field_still_parses() {
+        // Records written before batch knobs were persisted must load
+        // (their versions rehydrate with default batching).
+        let legacy: ModelRecord =
+            serde_json::from_str("{\"name\":\"m\",\"current\":1,\"versions\":[1],\"history\":[]}")
+                .unwrap();
+        assert!(legacy.batch.is_empty());
+        assert!(legacy.knobs_for(1).is_none());
+    }
+
+    #[test]
+    fn batch_strategy_wire_round_trips_every_variant() {
+        for strategy in [
+            BatchStrategy::Aimd {
+                step: 2.0,
+                backoff: 0.9,
+            },
+            BatchStrategy::QuantileRegression,
+            BatchStrategy::Fixed(64),
+            BatchStrategy::NoBatching,
+        ] {
+            let wire = BatchStrategyWire::from(&strategy);
+            let json = serde_json::to_string(&wire).unwrap();
+            let back: BatchStrategyWire = serde_json::from_str(&json).unwrap();
+            assert_eq!(BatchStrategy::from(back), strategy);
+        }
     }
 }

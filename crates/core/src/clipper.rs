@@ -152,6 +152,7 @@ impl ModelDir {
             current: self.current,
             versions: self.versions.clone(),
             history: self.history.clone(),
+            batch: Vec::new(),
         }
     }
 }
@@ -180,10 +181,32 @@ impl Inner {
     }
 
     fn persist_model(&self, name: &str) {
-        if let Some(dir) = self.models_dir.read().get(name) {
-            if let Ok(bytes) = serde_json::to_vec(&dir.record(name)) {
-                self.store.set(&api::model_key(name), bytes);
+        let record = {
+            let dirs = self.models_dir.read();
+            let Some(dir) = dirs.get(name) else {
+                return;
+            };
+            let mut rec = dir.record(name);
+            // Persist each version's batch knobs — live versions from the
+            // abstraction layer, rolled-away versions from the parking
+            // lot — so rehydrate() restores them instead of silently
+            // resetting rolled-out models to default batching.
+            for &v in &dir.versions {
+                let cfg = self
+                    .mal
+                    .model_config(&ModelId::new(name, v))
+                    .or_else(|| dir.parked.get(&v).map(|p| p.cfg.clone()));
+                if let Some(cfg) = cfg {
+                    rec.batch.push(api::VersionBatchKnobs {
+                        version: v,
+                        knobs: (&cfg).into(),
+                    });
+                }
             }
+            rec
+        };
+        if let Ok(bytes) = serde_json::to_vec(&record) {
+            self.store.set(&api::model_key(name), bytes);
         }
     }
 }
@@ -228,10 +251,24 @@ impl Clipper {
                 return Err(ApiError::ModelUnknown(m.to_string()));
             }
         }
-        if self.inner.apps.read().contains_key(&cfg.name) {
-            return Err(ApiError::AppExists(cfg.name.clone()));
+        {
+            // Check-and-insert under one write lock: two concurrent
+            // creates of the same name must yield exactly one 201 — the
+            // loser gets the 409, never a silent replace.
+            let mut apps = self.inner.apps.write();
+            if apps.contains_key(&cfg.name) {
+                return Err(ApiError::AppExists(cfg.name.clone()));
+            }
+            let policy = build_policy(&cfg.policy);
+            apps.insert(
+                cfg.name.clone(),
+                Arc::new(App {
+                    cfg: cfg.clone(),
+                    policy,
+                }),
+            );
         }
-        self.register_app(cfg);
+        self.inner.persist_app(&cfg);
         Ok(())
     }
 
@@ -302,17 +339,30 @@ impl Clipper {
     /// and the default depth-aware scheduler (power-of-two-choices). The
     /// first registered version of a name becomes its *current* version;
     /// later versions are rollout candidates until
-    /// [`rollout_model`](Self::rollout_model) promotes them.
-    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) {
-        self.add_model_with_policy(id, cfg, SchedulerPolicy::default());
+    /// [`rollout_model`](Self::rollout_model) promotes them. Returns
+    /// whether the version was newly registered (`false`: it already
+    /// existed and keeps its original configuration).
+    pub fn add_model(&self, id: ModelId, cfg: BatchConfig) -> bool {
+        self.add_model_with_policy(id, cfg, SchedulerPolicy::default())
     }
 
     /// Register a model version with an explicit replica-scheduling
     /// policy. See [`add_model`](Self::add_model).
-    pub fn add_model_with_policy(&self, id: ModelId, cfg: BatchConfig, policy: SchedulerPolicy) {
-        self.inner
+    pub fn add_model_with_policy(
+        &self,
+        id: ModelId,
+        cfg: BatchConfig,
+        policy: SchedulerPolicy,
+    ) -> bool {
+        if !self
+            .inner
             .mal
-            .add_model_with_policy(id.clone(), cfg, policy);
+            .add_model_with_policy(id.clone(), cfg, policy)
+        {
+            // Duplicate version: the MAL keeps the original config, the
+            // directory already lists the version — nothing to persist.
+            return false;
+        }
         {
             let mut dirs = self.inner.models_dir.write();
             let dir = dirs.entry(id.name.clone()).or_insert_with(|| ModelDir {
@@ -327,6 +377,7 @@ impl Clipper {
             }
         }
         self.inner.persist_model(&id.name);
+        true
     }
 
     /// The version predicts for `name` currently resolve to.
@@ -574,9 +625,11 @@ impl Clipper {
     /// directories and app registrations written by earlier instances.
     /// Already-registered names are left untouched, and a corrupt record
     /// is skipped (reported in [`RehydrateReport::skipped`]) rather than
-    /// aborting the rest of the recovery. Rehydrated models carry default
-    /// batching configuration until re-registered; replicas re-attach
-    /// afterwards via [`add_replica`](Self::add_replica).
+    /// aborting the rest of the recovery. Each version is restored with
+    /// the batch knobs it was persisted with ([`ModelRecord::batch`]);
+    /// only records predating knob persistence fall back to default
+    /// batching. Replicas re-attach afterwards via
+    /// [`add_replica`](Self::add_replica).
     pub fn rehydrate(&self) -> RehydrateReport {
         let store = &self.inner.store;
         let mut report = RehydrateReport::default();
@@ -604,9 +657,12 @@ impl Clipper {
                 );
             }
             for &v in &rec.versions {
-                self.inner
-                    .mal
-                    .add_model(ModelId::new(&rec.name, v), BatchConfig::default());
+                let cfg = rec
+                    .knobs_for(v)
+                    .cloned()
+                    .map(api::BatchKnobs::into_config)
+                    .unwrap_or_default();
+                self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
             }
             report.models += 1;
         }
@@ -1435,6 +1491,54 @@ mod tests {
         // Rehydration is idempotent.
         let again = second.rehydrate();
         assert_eq!((again.models, again.apps), (0, 0));
+    }
+
+    #[tokio::test]
+    async fn rehydrate_restores_persisted_batch_knobs() {
+        // The PR-4 gap: rolled-out models used to rehydrate with default
+        // batching, silently discarding their tuned knobs.
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        let tuned = BatchConfig {
+            strategy: crate::BatchStrategy::Fixed(7),
+            slo: Duration::from_micros(900),
+            batch_wait_timeout: Duration::from_millis(3),
+            queue_capacity: 123,
+            max_batch_cap: 64,
+            pipeline_depth: 2,
+            drain_deadline: Duration::from_secs(9),
+        };
+        {
+            let first = Clipper::builder().statestore(store.clone()).build();
+            let v1 = ModelId::new("m", 1);
+            let v2 = ModelId::new("m", 2);
+            first.add_model(v1.clone(), BatchConfig::default());
+            first.add_replica(&v1, const_transport(1, None)).unwrap();
+            first.add_model(v2.clone(), tuned.clone());
+            first.add_replica(&v2, const_transport(2, None)).unwrap();
+            // Roll v2 current so v1 parks — parked versions must persist
+            // their knobs too (from the parking lot, not the live MAL).
+            first.rollout_model("m", 2).await.unwrap();
+        }
+        let second = Clipper::builder().statestore(store).build();
+        let report = second.rehydrate();
+        assert_eq!(report.models, 1);
+        let restored = second
+            .abstraction()
+            .model_config(&ModelId::new("m", 2))
+            .expect("v2 restored");
+        assert_eq!(restored.strategy, tuned.strategy);
+        assert_eq!(restored.slo, tuned.slo);
+        assert_eq!(restored.batch_wait_timeout, tuned.batch_wait_timeout);
+        assert_eq!(restored.queue_capacity, tuned.queue_capacity);
+        assert_eq!(restored.max_batch_cap, tuned.max_batch_cap);
+        assert_eq!(restored.pipeline_depth, tuned.pipeline_depth);
+        assert_eq!(restored.drain_deadline, tuned.drain_deadline);
+        // The parked old version's knobs survived as well (defaults).
+        let v1_cfg = second
+            .abstraction()
+            .model_config(&ModelId::new("m", 1))
+            .expect("v1 restored");
+        assert_eq!(v1_cfg.queue_capacity, BatchConfig::default().queue_capacity);
     }
 
     #[tokio::test]

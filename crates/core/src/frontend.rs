@@ -102,6 +102,35 @@ struct PredictResponse {
     latency_us: u64,
 }
 
+impl PredictResponse {
+    /// Serialize through the one-pass emitter (`json_emit`), skipping the
+    /// serde `Content` tree on the per-request hot path. Byte-identical
+    /// to `serde_json::to_string(self)` (enforced by test), including the
+    /// failure mode: a non-finite confidence or score is an internal
+    /// error, not invalid JSON.
+    fn to_json(&self) -> Result<String, ApiError> {
+        let mut e = crate::json_emit::Emitter::with_capacity(128);
+        let emit = (|| {
+            e.raw("{\"output\":");
+            self.output.emit(&mut e)?;
+            e.raw(",\"confidence\":");
+            e.f64(self.confidence)?;
+            e.raw(",\"models_used\":");
+            e.u64(self.models_used as u64);
+            e.raw(",\"models_missing\":");
+            e.u64(self.models_missing as u64);
+            e.raw(",\"latency_us\":");
+            e.u64(self.latency_us);
+            e.raw("}");
+            Ok::<(), crate::json_emit::NonFiniteFloat>(())
+        })();
+        match emit {
+            Ok(()) => Ok(e.into_string()),
+            Err(err) => Err(ApiError::Internal(err.to_string())),
+        }
+    }
+}
+
 #[derive(Deserialize)]
 struct UpdateRequest {
     input: Vec<f32>,
@@ -113,16 +142,12 @@ struct UpdateRequest {
     labels: Option<Vec<u32>>,
 }
 
-#[derive(Serialize)]
-struct StatusBody {
-    status: String,
-}
-
 fn status_body(status: &str) -> String {
-    serde_json::to_string(&StatusBody {
-        status: status.to_string(),
-    })
-    .unwrap_or_default()
+    let mut e = crate::json_emit::Emitter::with_capacity(24);
+    e.raw("{\"status\":");
+    e.string(status);
+    e.raw("}");
+    e.into_string()
 }
 
 // ---------------------------------------------------------------------
@@ -196,7 +221,9 @@ impl RequestReader {
             }
         };
 
-        let head = String::from_utf8_lossy(&self.carry[..head_end]).into_owned();
+        // Borrowed parse: the head is only split and inspected, so no
+        // owned copy of it is needed on the per-request path.
+        let head = String::from_utf8_lossy(&self.carry[..head_end]);
         let mut lines = head.split("\r\n");
         let request_line = lines.next().unwrap_or_default();
         let mut parts = request_line.split_whitespace();
@@ -303,7 +330,9 @@ impl<'a> Route<'a> {
 }
 
 fn parse_json<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
-    serde_json::from_slice(body).map_err(|e| ApiError::BadRequest(format!("bad request: {e}")))
+    // No prefix here: `ApiError::BadRequest`'s Display already renders
+    // "bad request: {msg}" (a doubled prefix reached the wire before).
+    serde_json::from_slice(body).map_err(|e| ApiError::BadRequest(e.to_string()))
 }
 
 fn json_ok<T: Serialize>(status: u16, value: &T) -> Result<(u16, String), ApiError> {
@@ -399,13 +428,14 @@ async fn dispatch(
             // Create-only, like POST /api/v1/apps: re-registering an
             // existing version would silently no-op (the MAL keeps the
             // original config), so surface it as a conflict instead.
-            if clipper.abstraction().has_model(&id) {
+            // `add_model` reports insertion atomically — of two
+            // concurrent creates exactly one gets the 201.
+            if !clipper.add_model(id, Default::default()) {
                 return Err(ApiError::VersionExists {
                     model: spec.name.clone(),
                     version: spec.version,
                 });
             }
-            clipper.add_model(id, Default::default());
             let view = clipper
                 .model_view(&spec.name)
                 .ok_or_else(|| ApiError::Internal("model registration lost".into()))?;
@@ -457,7 +487,7 @@ async fn handle_predict(
         models_missing: p.models_missing,
         latency_us: p.latency.as_micros() as u64,
     };
-    json_ok(200, &resp)
+    Ok((200, resp.to_json()?))
 }
 
 async fn handle_update(
@@ -577,6 +607,74 @@ mod tests {
         request("POST", path, body)
     }
 
+    #[test]
+    fn predict_response_fast_path_is_byte_identical_to_serde() {
+        // The hot-path emitter must produce exactly what the serde path
+        // produced, for every output shape and float formatting case.
+        let cases = [
+            PredictResponse {
+                output: JsonOutput::Class { label: 7 },
+                confidence: 1.0,
+                models_used: 3,
+                models_missing: 0,
+                latency_us: 812,
+            },
+            PredictResponse {
+                output: JsonOutput::Scores {
+                    scores: vec![0.125, 1.0 / 3.0, -2.0],
+                },
+                confidence: 0.6666666666666666,
+                models_used: 1,
+                models_missing: 2,
+                latency_us: 0,
+            },
+            PredictResponse {
+                output: JsonOutput::Labels {
+                    labels: vec![9, 8, 7],
+                },
+                confidence: 0.0,
+                models_used: 0,
+                models_missing: 0,
+                latency_us: u64::MAX,
+            },
+        ];
+        for resp in &cases {
+            assert_eq!(
+                resp.to_json().unwrap(),
+                serde_json::to_string(resp).unwrap(),
+                "fast emitter diverged"
+            );
+        }
+        // Non-finite confidence: same failure as the serde path (an
+        // internal error), never invalid JSON on the wire.
+        let bad = PredictResponse {
+            output: JsonOutput::Class { label: 1 },
+            confidence: f64::NAN,
+            models_used: 1,
+            models_missing: 0,
+            latency_us: 1,
+        };
+        assert!(matches!(bad.to_json(), Err(ApiError::Internal(_))));
+        assert!(serde_json::to_string(&bad).is_err());
+    }
+
+    #[test]
+    fn status_body_fast_path_is_byte_identical_to_serde() {
+        #[derive(Serialize)]
+        struct StatusBody {
+            status: String,
+        }
+        for status in ["ok", "deleted", "we\"ird\\status"] {
+            assert_eq!(
+                status_body(status),
+                serde_json::to_string(&StatusBody {
+                    status: status.to_string(),
+                })
+                .unwrap()
+            );
+        }
+    }
+
     #[tokio::test]
     async fn health_endpoint_responds() {
         let (frontend, _clipper) = start_frontend().await;
@@ -636,6 +734,10 @@ mod tests {
         .await;
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
         assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
+        assert!(
+            resp.contains("bad request: ") && !resp.contains("bad request: bad request:"),
+            "exactly one taxonomy prefix on the message: {resp}"
+        );
     }
 
     #[tokio::test]

@@ -1,0 +1,197 @@
+//! Direct streaming JSON emitter for the predict hot path.
+//!
+//! The vendored serde substitute serializes through a self-describing
+//! `Content` tree: every response body allocates a tree of maps, strings,
+//! and boxed values before a second pass renders text. For the data-plane
+//! responses the frontend emits thousands of times per second —
+//! [`crate::api::ErrorBody`], [`crate::api::JsonOutput`], the predict
+//! envelope — that round trip is pure overhead. This module writes the
+//! same bytes in one pass into one `String`.
+//!
+//! **Byte-identical by contract.** Output must match
+//! `serde_json::to_string` of the same value exactly — the unit tests
+//! here and in `api.rs`/`frontend.rs` enforce it on every shape the hot
+//! path emits — so switching a call site between the two serializers can
+//! never change the wire format:
+//!
+//! - strings escape `"` `\` `\n` `\r` `\t` and other control characters
+//!   as `\u00XX` (and nothing else);
+//! - floats go through f64, error on non-finite, and render integral
+//!   values below 1e15 with one forced decimal (`2.0`), everything else
+//!   via `Display` — the vendored emitter's exact rule;
+//! - field order is declaration order, no whitespace.
+
+use std::fmt::Write as _;
+
+/// Error for a float that JSON cannot represent. Matches the vendored
+/// serde_json error message for the same condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteFloat;
+
+impl std::fmt::Display for NonFiniteFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot serialize non-finite float")
+    }
+}
+
+impl std::error::Error for NonFiniteFloat {}
+
+/// A single-pass JSON writer. Structural correctness (matching braces,
+/// comma placement) is the caller's responsibility — call sites emit
+/// fixed shapes.
+#[derive(Default)]
+pub struct Emitter {
+    buf: String,
+}
+
+impl Emitter {
+    /// Start with capacity for a typical small response body.
+    pub fn with_capacity(cap: usize) -> Emitter {
+        Emitter {
+            buf: String::with_capacity(cap),
+        }
+    }
+
+    /// The finished JSON text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    /// Append structural tokens (`{`, `,"key":`, …) verbatim.
+    pub fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Append an escaped JSON string (with quotes).
+    pub fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Append an unsigned integer.
+    pub fn u64(&mut self, v: u64) {
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Append a bool.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Append an f64 under the vendored emitter's formatting rule.
+    pub fn f64(&mut self, v: f64) -> Result<(), NonFiniteFloat> {
+        if !v.is_finite() {
+            return Err(NonFiniteFloat);
+        }
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            let _ = write!(self.buf, "{v:.1}");
+        } else {
+            let _ = write!(self.buf, "{v}");
+        }
+        Ok(())
+    }
+
+    /// Append an f32 (serialized through f64, like the `Content` model).
+    pub fn f32(&mut self, v: f32) -> Result<(), NonFiniteFloat> {
+        self.f64(v as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serde_string(s: &str) -> String {
+        serde_json::to_string(s).unwrap()
+    }
+
+    #[test]
+    fn strings_match_serde_byte_for_byte() {
+        for s in [
+            "",
+            "plain",
+            "we\"ird\\app",
+            "line\nfeed\ttab\rret",
+            "\u{1} control \u{1f} edge",
+            "unicode: héllo → 世界 🦀",
+            "quote at end\"",
+        ] {
+            let mut e = Emitter::default();
+            e.string(s);
+            assert_eq!(e.into_string(), serde_string(s), "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn floats_match_serde_byte_for_byte() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            2.0,
+            -3.0,
+            0.25,
+            1.0 / 3.0,
+            1e14,
+            1e15,
+            1e20,
+            -1e-12,
+            f64::MIN_POSITIVE,
+            12345.6789,
+        ] {
+            let mut e = Emitter::default();
+            e.f64(v).unwrap();
+            assert_eq!(
+                e.into_string(),
+                serde_json::to_string(&v).unwrap(),
+                "input {v:?}"
+            );
+        }
+        for v in [0.5f32, 7.0, 0.1, -2.625e-3] {
+            let mut e = Emitter::default();
+            e.f32(v).unwrap();
+            assert_eq!(
+                e.into_string(),
+                serde_json::to_string(&v).unwrap(),
+                "input {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_error_like_serde() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut e = Emitter::default();
+            let err = e.f64(v).unwrap_err();
+            let serde_err = serde_json::to_string(&v).unwrap_err();
+            assert_eq!(err.to_string(), serde_err.to_string());
+        }
+    }
+
+    #[test]
+    fn integers_and_bools_match_serde() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            let mut e = Emitter::default();
+            e.u64(v);
+            assert_eq!(e.into_string(), serde_json::to_string(&v).unwrap());
+        }
+        for v in [true, false] {
+            let mut e = Emitter::default();
+            e.bool(v);
+            assert_eq!(e.into_string(), serde_json::to_string(&v).unwrap());
+        }
+    }
+}

@@ -57,6 +57,7 @@ pub mod batching;
 pub mod cache;
 pub mod clipper;
 pub mod frontend;
+pub mod json_emit;
 pub mod selection;
 pub mod types;
 

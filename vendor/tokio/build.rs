@@ -1,0 +1,13 @@
+//! Emits the `vendored_reactor` cfg on targets where the raw-syscall
+//! epoll reactor is implemented (see `src/sys.rs`), so the supported-
+//! target predicate lives in exactly one place instead of being
+//! copy-pasted across every gated item.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(vendored_reactor)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if os == "linux" && (arch == "x86_64" || arch == "aarch64") {
+        println!("cargo::rustc-cfg=vendored_reactor");
+    }
+}

@@ -10,11 +10,12 @@
 //!   monotonic [`time::Instant`], driven by the timer thread.
 //! - [`sync`]: `mpsc` (bounded + unbounded), `oneshot`, `Semaphore` with
 //!   owned permits, and an async `Mutex`.
-//! - [`net`]: nonblocking `TcpListener` / `TcpStream` over `std::net`.
-//!   Readiness is emulated by retrying `WouldBlock` operations on a short
-//!   timer backoff (20 µs → 1 ms) instead of epoll — a deliberate
-//!   simplification that keeps every async op cancellable without an OS
-//!   reactor, at the cost of sub-millisecond added latency under idle.
+//! - [`net`]: nonblocking `TcpListener` / `TcpStream` over `std::net`,
+//!   with readiness from the raw-syscall epoll [`reactor`] on Linux
+//!   x86_64/aarch64 (edge-triggered interest, wake exactly on kernel
+//!   readiness, timer-heap deadline as the `epoll_pwait2` park timeout).
+//!   Non-Linux hosts fall back to the original emulation: retry
+//!   `WouldBlock` operations on a short timer backoff (20 µs → 1 ms).
 //! - [`io`]: `AsyncRead` / `AsyncWrite`, the `*Ext` combinators used by
 //!   the RPC codec and frontend, `BufReader`, and in-memory [`io::duplex`]
 //!   pipes.
@@ -25,8 +26,12 @@
 
 pub mod io;
 pub mod net;
+#[cfg(vendored_reactor)]
+pub mod reactor;
 pub mod runtime;
 pub mod sync;
+#[cfg(vendored_reactor)]
+pub(crate) mod sys;
 pub mod task;
 pub mod time;
 

@@ -1,20 +1,91 @@
 //! Nonblocking TCP over `std::net`.
 //!
-//! Readiness is emulated: an operation that returns `WouldBlock` parks its
-//! task on the shared timer with a short backoff (20 µs doubling to 1 ms)
-//! and retries when woken. This forgoes epoll (unavailable without libc)
-//! but keeps every operation cancellable and adds at most ~1 ms of idle
-//! latency — irrelevant for the correctness tests and acceptable for the
-//! simulated-latency experiments this workspace runs.
+//! Readiness comes from the epoll reactor ([`crate::reactor`]) on Linux
+//! x86_64/aarch64: every socket registers edge-triggered interest at
+//! creation, an operation that returns `WouldBlock` parks its waker in
+//! the per-fd slot, and the kernel wakes it exactly when the fd becomes
+//! ready — no timers, no retry quanta, no idle CPU.
+//!
+//! On other hosts (or if reactor setup fails) readiness falls back to
+//! the original emulation: park on the shared timer with a short backoff
+//! (20 µs doubling to 1 ms) and retry when woken. The fallback can also
+//! be forced at runtime — per socket, at creation time — via
+//! [`set_io_mode`] or `TOKIO_IO_BACKOFF=1`, which is how the
+//! `rpc_latency` bench measures the reactor against the emulation in one
+//! process.
 
 use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
+
+#[cfg(vendored_reactor)]
+use crate::reactor::{Direction, Reactor, Registration};
+
+/// How sockets created from now on wait for readiness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// Epoll reactor wakeups (default where supported).
+    Reactor,
+    /// Timer-backoff readiness emulation (the portability fallback).
+    Backoff,
+}
+
+/// 0 = unset, 1 = reactor, 2 = backoff.
+static IO_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Select the readiness mechanism for sockets created after this call
+/// (existing sockets keep the mechanism they were created with). On
+/// targets without the reactor this is a no-op: sockets always use the
+/// backoff. Test/bench support — not part of real tokio's API.
+pub fn set_io_mode(mode: IoMode) {
+    IO_MODE.store(
+        match mode {
+            IoMode::Reactor => 1,
+            IoMode::Backoff => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The readiness mechanism sockets created now would use.
+pub fn io_mode() -> IoMode {
+    match IO_MODE.load(Ordering::Relaxed) {
+        1 => reactor_available_mode(),
+        2 => IoMode::Backoff,
+        _ => {
+            // Latched once: the env knob cannot meaningfully change
+            // mid-process, and this runs on every socket creation
+            // (one per accepted connection on the frontend).
+            static ENV_BACKOFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            let forced = *ENV_BACKOFF
+                .get_or_init(|| std::env::var_os("TOKIO_IO_BACKOFF").is_some_and(|v| v == "1"));
+            if forced {
+                IoMode::Backoff
+            } else {
+                reactor_available_mode()
+            }
+        }
+    }
+}
+
+#[cfg(vendored_reactor)]
+fn reactor_available_mode() -> IoMode {
+    if Reactor::get().is_some() {
+        IoMode::Reactor
+    } else {
+        IoMode::Backoff
+    }
+}
+
+#[cfg(not(vendored_reactor))]
+fn reactor_available_mode() -> IoMode {
+    IoMode::Backoff
+}
 
 /// Retry backoff for emulated readiness, per I/O direction.
 struct Backoff {
@@ -43,31 +114,132 @@ impl Backoff {
     }
 }
 
-fn poll_would_block<T>(
-    result: io::Result<T>,
-    backoff: &Backoff,
-    cx: &mut Context<'_>,
-) -> Poll<io::Result<T>> {
-    match result {
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-            backoff.park(cx);
-            Poll::Pending
+/// A socket's readiness source, fixed at creation.
+///
+/// The reactor registration is shared (`Arc`) between split halves — one
+/// epoll interest per fd — while backoff state is per-direction and
+/// per-half. Declared **before** the owning socket's fd holder in every
+/// struct below so deregistration (its `Drop`) runs before the fd
+/// closes.
+enum Driver {
+    #[cfg(vendored_reactor)]
+    Reactor(Arc<Registration>),
+    Backoff {
+        read: Backoff,
+        write: Backoff,
+    },
+}
+
+impl Driver {
+    /// Build the driver for a freshly created nonblocking socket.
+    #[cfg(vendored_reactor)]
+    fn for_fd(fd: std::os::fd::RawFd) -> Driver {
+        if io_mode() == IoMode::Reactor {
+            if let Some(reactor) = Reactor::get() {
+                if let Ok(reg) = reactor.register(fd) {
+                    return Driver::Reactor(Arc::new(reg));
+                }
+            }
         }
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-            cx.waker().wake_by_ref();
-            Poll::Pending
+        Driver::backoff()
+    }
+
+    #[cfg(not(vendored_reactor))]
+    fn for_fd(_fd: i32) -> Driver {
+        Driver::backoff()
+    }
+
+    fn backoff() -> Driver {
+        Driver::Backoff {
+            read: Backoff::new(),
+            write: Backoff::new(),
         }
-        other => {
-            backoff.reset();
-            Poll::Ready(other)
+    }
+
+    /// A second handle onto the same fd (for split halves): shares the
+    /// reactor registration, or gets fresh backoff state.
+    fn split_clone(&self) -> Driver {
+        match self {
+            #[cfg(vendored_reactor)]
+            Driver::Reactor(reg) => Driver::Reactor(Arc::clone(reg)),
+            Driver::Backoff { .. } => Driver::backoff(),
         }
     }
 }
 
+/// Whether this socket op direction maps to read- or write-readiness.
+#[derive(Clone, Copy)]
+enum Dir {
+    Read,
+    Write,
+}
+
+/// Drive one nonblocking syscall to completion against the readiness
+/// source: retry on a consumed readiness edge, park on `WouldBlock`,
+/// pass everything else through.
+fn poll_io<T>(
+    driver: &Driver,
+    dir: Dir,
+    cx: &mut Context<'_>,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Poll<io::Result<T>> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => match driver {
+                #[cfg(vendored_reactor)]
+                Driver::Reactor(reg) => {
+                    let d = match dir {
+                        Dir::Read => Direction::Read,
+                        Dir::Write => Direction::Write,
+                    };
+                    // A consumed edge means readiness may have arrived
+                    // between the syscall and the poll — retry once more;
+                    // a pending poll parked the waker.
+                    match reg.poll_ready(d, cx) {
+                        Poll::Ready(()) => continue,
+                        Poll::Pending => return Poll::Pending,
+                    }
+                }
+                Driver::Backoff { read, write } => {
+                    match dir {
+                        Dir::Read => read.park(cx),
+                        Dir::Write => write.park(cx),
+                    }
+                    return Poll::Pending;
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                return Poll::Pending;
+            }
+            other => {
+                if let Driver::Backoff { read, write } = driver {
+                    match dir {
+                        Dir::Read => read.reset(),
+                        Dir::Write => write.reset(),
+                    }
+                }
+                return Poll::Ready(other);
+            }
+        }
+    }
+}
+
+#[cfg(vendored_reactor)]
+fn driver_for<S: std::os::fd::AsRawFd>(socket: &S) -> Driver {
+    Driver::for_fd(socket.as_raw_fd())
+}
+
+#[cfg(not(vendored_reactor))]
+fn driver_for<S>(_socket: &S) -> Driver {
+    Driver::backoff()
+}
+
 /// A TCP listener, mirroring `tokio::net::TcpListener`.
 pub struct TcpListener {
+    // Field order: driver (epoll deregistration) before the fd owner.
+    driver: Driver,
     inner: std::net::TcpListener,
-    backoff: Backoff,
 }
 
 impl TcpListener {
@@ -75,15 +247,13 @@ impl TcpListener {
     pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
         let inner = std::net::TcpListener::bind(addr)?;
         inner.set_nonblocking(true)?;
-        Ok(TcpListener {
-            inner,
-            backoff: Backoff::new(),
-        })
+        let driver = driver_for(&inner);
+        Ok(TcpListener { driver, inner })
     }
 
     /// Accept one connection.
     pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
-        std::future::poll_fn(|cx| poll_would_block(self.inner.accept(), &self.backoff, cx))
+        std::future::poll_fn(|cx| poll_io(&self.driver, Dir::Read, cx, || self.inner.accept()))
             .await
             .and_then(|(stream, addr)| Ok((TcpStream::from_std_inner(stream)?, addr)))
     }
@@ -96,18 +266,18 @@ impl TcpListener {
 
 /// A TCP connection, mirroring `tokio::net::TcpStream`.
 pub struct TcpStream {
+    // Field order: driver (epoll deregistration) before the fd owner.
+    driver: Driver,
     inner: Arc<std::net::TcpStream>,
-    read_backoff: Backoff,
-    write_backoff: Backoff,
 }
 
 impl TcpStream {
     fn from_std_inner(stream: std::net::TcpStream) -> io::Result<TcpStream> {
         stream.set_nonblocking(true)?;
+        let driver = driver_for(&stream);
         Ok(TcpStream {
+            driver,
             inner: Arc::new(stream),
-            read_backoff: Backoff::new(),
-            write_backoff: Backoff::new(),
         })
     }
 
@@ -135,16 +305,19 @@ impl TcpStream {
         self.inner.peer_addr()
     }
 
-    /// Split into independently-owned read and write halves.
+    /// Split into independently-owned read and write halves. Both halves
+    /// share the fd's single reactor registration; the epoll interest is
+    /// released when the last half drops.
     pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+        let read_driver = self.driver.split_clone();
         (
             tcp::OwnedReadHalf {
+                driver: read_driver,
                 inner: Arc::clone(&self.inner),
-                backoff: Backoff::new(),
             },
             tcp::OwnedWriteHalf {
+                driver: self.driver,
                 inner: self.inner,
-                backoff: Backoff::new(),
             },
         )
     }
@@ -152,12 +325,13 @@ impl TcpStream {
 
 fn poll_read_inner(
     stream: &std::net::TcpStream,
-    backoff: &Backoff,
+    driver: &Driver,
     cx: &mut Context<'_>,
     buf: &mut ReadBuf<'_>,
 ) -> Poll<io::Result<()>> {
-    let result = (&mut &*stream).read(buf.unfilled_mut());
-    match poll_would_block(result, backoff, cx) {
+    match poll_io(driver, Dir::Read, cx, || {
+        (&mut &*stream).read(buf.unfilled_mut())
+    }) {
         Poll::Ready(Ok(n)) => {
             buf.advance(n);
             Poll::Ready(Ok(()))
@@ -169,12 +343,11 @@ fn poll_read_inner(
 
 fn poll_write_inner(
     stream: &std::net::TcpStream,
-    backoff: &Backoff,
+    driver: &Driver,
     cx: &mut Context<'_>,
     buf: &[u8],
 ) -> Poll<io::Result<usize>> {
-    let result = (&mut &*stream).write(buf);
-    poll_would_block(result, backoff, cx)
+    poll_io(driver, Dir::Write, cx, || (&mut &*stream).write(buf))
 }
 
 impl AsyncRead for TcpStream {
@@ -183,7 +356,7 @@ impl AsyncRead for TcpStream {
         cx: &mut Context<'_>,
         buf: &mut ReadBuf<'_>,
     ) -> Poll<io::Result<()>> {
-        poll_read_inner(&self.inner, &self.read_backoff, cx, buf)
+        poll_read_inner(&self.inner, &self.driver, cx, buf)
     }
 }
 
@@ -193,7 +366,7 @@ impl AsyncWrite for TcpStream {
         cx: &mut Context<'_>,
         buf: &[u8],
     ) -> Poll<io::Result<usize>> {
-        poll_write_inner(&self.inner, &self.write_backoff, cx, buf)
+        poll_write_inner(&self.inner, &self.driver, cx, buf)
     }
 
     fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
@@ -211,14 +384,16 @@ pub mod tcp {
 
     /// Owned read half of a [`TcpStream`].
     pub struct OwnedReadHalf {
+        // Field order: driver (epoll deregistration) before the fd owner.
+        pub(super) driver: Driver,
         pub(super) inner: Arc<std::net::TcpStream>,
-        pub(super) backoff: Backoff,
     }
 
     /// Owned write half of a [`TcpStream`].
     pub struct OwnedWriteHalf {
+        // Field order: driver (epoll deregistration) before the fd owner.
+        pub(super) driver: Driver,
         pub(super) inner: Arc<std::net::TcpStream>,
-        pub(super) backoff: Backoff,
     }
 
     impl OwnedReadHalf {
@@ -241,7 +416,7 @@ pub mod tcp {
             cx: &mut Context<'_>,
             buf: &mut ReadBuf<'_>,
         ) -> Poll<io::Result<()>> {
-            poll_read_inner(&self.inner, &self.backoff, cx, buf)
+            poll_read_inner(&self.inner, &self.driver, cx, buf)
         }
     }
 
@@ -251,7 +426,7 @@ pub mod tcp {
             cx: &mut Context<'_>,
             buf: &[u8],
         ) -> Poll<io::Result<usize>> {
-            poll_write_inner(&self.inner, &self.backoff, cx, buf)
+            poll_write_inner(&self.inner, &self.driver, cx, buf)
         }
 
         fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {

@@ -1,0 +1,406 @@
+//! The readiness reactor: real `epoll` wakeups for the vendored runtime.
+//!
+//! Before this module existed, socket readiness was *emulated*: every
+//! `WouldBlock` parked its task on the shared timer with a 20 µs → 1 ms
+//! doubling backoff and retried blind. That put hidden sleep quanta and
+//! idle timer churn on every predict RPC, statestore RESP call, and
+//! frontend HTTP round-trip. The reactor removes the emulation: an fd is
+//! registered with `epoll` (edge-triggered, both directions) once at
+//! socket creation, an operation that hits `WouldBlock` parks its waker
+//! in a per-fd, per-direction slot, and the task is woken exactly when
+//! the kernel reports readiness.
+//!
+//! **Parking path.** The runtime's old I/O parking path was the timer
+//! thread's `Condvar::wait_timeout` loop, re-armed by every backoff
+//! retry. The reactor replaces that thread entirely: one driver thread
+//! parks in `epoll_pwait2` with the **timer heap's next deadline as the
+//! timeout** (indefinitely when no timer is armed), fires due timers on
+//! wakeup, and dispatches readiness events to the parked wakers. A
+//! cross-thread `eventfd` interrupts the park when a new, earlier timer
+//! deadline is registered or the runtime needs the driver's attention.
+//! An idle runtime therefore blocks in exactly one `epoll_pwait2` and
+//! burns no periodic wakeups.
+//!
+//! Everything here is raw Linux syscalls via `core::arch::asm!`
+//! ([`crate::sys`]) — no libc, consistent with the vendor policy. On
+//! non-Linux hosts (or if reactor setup fails at runtime) the timer
+//! backoff in [`crate::net`] remains as the portability fallback.
+
+use crate::sys;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+
+/// `data` value reserved for the eventfd wakeup channel.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// I/O direction of an interest registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Direction {
+    Read,
+    Write,
+}
+
+/// Per-direction readiness state: an edge flag plus the parked waker.
+#[derive(Default)]
+struct DirState {
+    /// A readiness edge arrived and has not been consumed by a poll yet.
+    ready: bool,
+    /// Waker parked by the last `WouldBlock`.
+    waker: Option<Waker>,
+}
+
+/// Shared state of one registered fd.
+struct IoEntry {
+    read: DirState,
+    write: DirState,
+}
+
+/// One slab slot: the entry plus a generation counter so a late event
+/// for a freed slot can never wake a reused slot's wakers.
+struct Slot {
+    generation: u32,
+    entry: Option<std::sync::Arc<Mutex<IoEntry>>>,
+}
+
+struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn insert(&mut self) -> (usize, u32, std::sync::Arc<Mutex<IoEntry>>) {
+        let entry = std::sync::Arc::new(Mutex::new(IoEntry {
+            read: DirState::default(),
+            write: DirState::default(),
+        }));
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx];
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.entry = Some(entry.clone());
+                (idx, slot.generation, entry)
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    entry: Some(entry.clone()),
+                });
+                (self.slots.len() - 1, 0, entry)
+            }
+        }
+    }
+
+    fn remove(&mut self, idx: usize, generation: u32) {
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.generation == generation && slot.entry.is_some() {
+                slot.entry = None;
+                self.free.push(idx);
+            }
+        }
+    }
+}
+
+fn pack(idx: usize, generation: u32) -> u64 {
+    ((generation as u64) << 32) | idx as u64
+}
+
+fn unpack(data: u64) -> (usize, u32) {
+    ((data & 0xffff_ffff) as usize, (data >> 32) as u32)
+}
+
+/// The process-wide reactor.
+pub(crate) struct Reactor {
+    epfd: i32,
+    wake_fd: i32,
+    slab: Mutex<Slab>,
+    /// Cross-thread eventfd wakeups delivered (test/bench observability).
+    wakeups: AtomicU64,
+    /// Readiness events dispatched to fd wakers (test observability).
+    io_events: AtomicU64,
+}
+
+static REACTOR: OnceLock<Option<&'static Reactor>> = OnceLock::new();
+
+impl Reactor {
+    /// The reactor, starting its driver thread on first call. `None` if
+    /// epoll/eventfd setup failed (the caller falls back to the timer
+    /// backoff).
+    pub(crate) fn get() -> Option<&'static Reactor> {
+        *REACTOR.get_or_init(|| {
+            let reactor = Reactor::new().ok()?;
+            let reactor: &'static Reactor = Box::leak(Box::new(reactor));
+            std::thread::Builder::new()
+                .name("tokio-reactor".to_string())
+                .spawn(move || reactor.driver_loop())
+                .ok()?;
+            Some(reactor)
+        })
+    }
+
+    fn new() -> io::Result<Reactor> {
+        let epfd = sys::epoll_create1()?;
+        let wake_fd = match sys::eventfd() {
+            Ok(fd) => fd,
+            Err(e) => {
+                sys::close(epfd);
+                return Err(e);
+            }
+        };
+        let result = sys::epoll_ctl(
+            epfd,
+            sys::EPOLL_CTL_ADD,
+            wake_fd,
+            Some(sys::EpollEvent {
+                events: sys::EPOLLIN | sys::EPOLLET,
+                data: WAKE_TOKEN,
+            }),
+        );
+        if let Err(e) = result {
+            sys::close(wake_fd);
+            sys::close(epfd);
+            return Err(e);
+        }
+        Ok(Reactor {
+            epfd,
+            wake_fd,
+            slab: Mutex::new(Slab {
+                slots: Vec::new(),
+                free: Vec::new(),
+            }),
+            wakeups: AtomicU64::new(0),
+            io_events: AtomicU64::new(0),
+        })
+    }
+
+    /// Register `fd` for edge-triggered readiness in both directions.
+    pub(crate) fn register(&'static self, fd: i32) -> io::Result<Registration> {
+        let (idx, generation, entry) = self.slab.lock().unwrap().insert();
+        let result = sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(sys::EpollEvent {
+                events: sys::EPOLLIN
+                    | sys::EPOLLOUT
+                    | sys::EPOLLRDHUP
+                    | sys::EPOLLERR
+                    | sys::EPOLLHUP
+                    | sys::EPOLLET,
+                data: pack(idx, generation),
+            }),
+        );
+        if let Err(e) = result {
+            self.slab.lock().unwrap().remove(idx, generation);
+            return Err(e);
+        }
+        Ok(Registration {
+            reactor: self,
+            fd,
+            idx,
+            generation,
+            entry,
+        })
+    }
+
+    /// Interrupt the driver's `epoll_pwait` (e.g. an earlier timer
+    /// deadline was just registered).
+    pub(crate) fn notify(&self) {
+        let _ = sys::eventfd_write(self.wake_fd);
+    }
+
+    /// Live fd registrations (test support).
+    pub(crate) fn registered_count(&self) -> usize {
+        let slab = self.slab.lock().unwrap();
+        slab.slots.len() - slab.free.len()
+    }
+
+    /// Cross-thread eventfd wakeups delivered so far (test support).
+    pub(crate) fn wakeup_count(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Readiness events dispatched so far (test support).
+    pub(crate) fn io_event_count(&self) -> u64 {
+        self.io_events.load(Ordering::Relaxed)
+    }
+
+    /// The driver: fire due timers, then park in `epoll_pwait2` until the
+    /// next timer deadline or a readiness event — the runtime's parking
+    /// path, with the kernel doing the waiting.
+    fn driver_loop(&'static self) {
+        let mut events = [sys::EpollEvent::default(); 64];
+        loop {
+            let timeout = crate::time::advance_timers()
+                .map(|deadline| deadline.saturating_duration_since(std::time::Instant::now()));
+            let n = match sys::epoll_wait(self.epfd, &mut events, timeout) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // epoll on a healthy epfd only fails for EINTR; anything
+                // else is unrecoverable for the driver — back off rather
+                // than spin, and keep timers moving.
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    continue;
+                }
+            };
+            for ev in &events[..n] {
+                let data = ev.data;
+                if data == WAKE_TOKEN {
+                    sys::eventfd_drain(self.wake_fd);
+                    self.wakeups.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                self.dispatch(data, ev.events);
+            }
+        }
+    }
+
+    /// Deliver one readiness event: set the edge flags and wake parked
+    /// wakers. Late events for freed/reused slots are dropped by the
+    /// generation check.
+    fn dispatch(&self, data: u64, evmask: u32) {
+        let (idx, generation) = unpack(data);
+        let read_ready =
+            evmask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLERR | sys::EPOLLHUP) != 0;
+        let write_ready = evmask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0;
+
+        let entry = {
+            let slab = self.slab.lock().unwrap();
+            let Some(slot) = slab.slots.get(idx) else {
+                return;
+            };
+            if slot.generation != generation {
+                return;
+            }
+            let Some(entry) = &slot.entry else {
+                return;
+            };
+            entry.clone()
+        };
+        let mut st = entry.lock().unwrap();
+        let mut to_wake: [Option<Waker>; 2] = [None, None];
+        if read_ready {
+            st.read.ready = true;
+            to_wake[0] = st.read.waker.take();
+        }
+        if write_ready {
+            st.write.ready = true;
+            to_wake[1] = st.write.waker.take();
+        }
+        drop(st);
+        self.io_events.fetch_add(1, Ordering::Relaxed);
+        for w in to_wake.into_iter().flatten() {
+            w.wake();
+        }
+    }
+}
+
+/// A live epoll interest for one fd. Dropping it deregisters the fd and
+/// frees the slot (wakers included) — no stale wakers survive.
+pub(crate) struct Registration {
+    reactor: &'static Reactor,
+    fd: i32,
+    idx: usize,
+    generation: u32,
+    /// Direct handle to the slab entry so the readiness hot path never
+    /// touches the slab lock.
+    entry: std::sync::Arc<Mutex<IoEntry>>,
+}
+
+impl Registration {
+    /// Poll for a readiness edge in `dir`. Consumes a pending edge
+    /// (caller retries the syscall); otherwise parks `cx`'s waker.
+    ///
+    /// Waker parking and the driver's edge delivery are serialized on the
+    /// entry lock, so an edge that lands between the caller's failed
+    /// syscall and this poll is never lost: it is observed here as
+    /// `ready` and consumed.
+    pub(crate) fn poll_ready(&self, dir: Direction, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.entry.lock().unwrap();
+        let dst = match dir {
+            Direction::Read => &mut st.read,
+            Direction::Write => &mut st.write,
+        };
+        if dst.ready {
+            dst.ready = false;
+            Poll::Ready(())
+        } else {
+            dst.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        // Deregister *before* the owning socket closes the fd (struct
+        // field order in `net` guarantees the registration drops first),
+        // so the kernel never sees a DEL for a reused fd number.
+        let _ = sys::epoll_ctl(self.reactor.epfd, sys::EPOLL_CTL_DEL, self.fd, None);
+        self.reactor
+            .slab
+            .lock()
+            .unwrap()
+            .remove(self.idx, self.generation);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test/bench observability (public, stable-by-convention for the
+// workspace's perf harnesses; not part of real tokio's API).
+// ---------------------------------------------------------------------
+
+/// Whether the epoll reactor is available (starting it if needed).
+pub fn active() -> bool {
+    Reactor::get().is_some()
+}
+
+/// Live fd registrations in the reactor slab (0 when inactive).
+pub fn registered_fds() -> usize {
+    Reactor::get().map_or(0, |r| r.registered_count())
+}
+
+/// Cross-thread eventfd wakeups the driver has absorbed (0 when inactive).
+pub fn wakeup_count() -> u64 {
+    Reactor::get().map_or(0, |r| r.wakeup_count())
+}
+
+/// Readiness events the driver has dispatched to fd wakers.
+pub fn io_event_count() -> u64 {
+    Reactor::get().map_or(0, |r| r.io_event_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_generation_guards_reuse() {
+        let mut slab = Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        };
+        let (idx, g0, _e0) = slab.insert();
+        slab.remove(idx, g0);
+        let (idx2, g1, _e1) = slab.insert();
+        assert_eq!(idx, idx2, "slot is reused");
+        assert_ne!(g0, g1, "generation advanced");
+        // A stale remove with the old generation must not free the slot.
+        slab.remove(idx2, g0);
+        assert!(slab.slots[idx2].entry.is_some());
+        slab.remove(idx2, g1);
+        assert!(slab.slots[idx2].entry.is_none());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (idx, generation) in [(0usize, 0u32), (7, 3), (0xffff_fffe, u32::MAX - 1)] {
+            assert_eq!(unpack(pack(idx, generation)), (idx, generation));
+        }
+        // WAKE_TOKEN can never collide with a packed slot id whose index
+        // stays below u32::MAX (the slab grows one slot at a time).
+        assert_ne!(pack(0xffff_fffe, u32::MAX), WAKE_TOKEN);
+    }
+}

@@ -31,6 +31,8 @@ struct TaskState {
     status: Status,
     /// Woken while running: reschedule after the current poll.
     rerun: bool,
+    /// When the task last went `Idle` (for idle-task sweeping).
+    idle_since: Option<std::time::Instant>,
 }
 
 /// Type-erased hook the abort path uses to complete the join handle.
@@ -44,6 +46,9 @@ pub(crate) struct Task {
     state: Mutex<TaskState>,
     future: Mutex<Option<BoxFuture>>,
     pub(crate) aborted: AtomicBool,
+    /// The `JoinHandle` was dropped: nobody can observe this task's
+    /// result anymore. Such tasks are eligible for idle sweeping.
+    pub(crate) detached: AtomicBool,
     pub(crate) completion: Arc<dyn Completion>,
 }
 
@@ -82,6 +87,7 @@ impl Task {
                     scheduler().push(Arc::clone(self));
                 } else {
                     st.status = Status::Idle;
+                    st.idle_since = Some(std::time::Instant::now());
                 }
             }
         }
@@ -196,14 +202,65 @@ pub(crate) fn submit(future: BoxFuture, completion: Arc<dyn Completion>) -> Arc<
         state: Mutex::new(TaskState {
             status: Status::Queued,
             rerun: false,
+            idle_since: None,
         }),
         future: Mutex::new(Some(future)),
         aborted: AtomicBool::new(false),
+        detached: AtomicBool::new(false),
         completion,
     });
     sched.owned.lock().unwrap().insert(id, Arc::clone(&task));
     sched.push(Arc::clone(&task));
     task
+}
+
+/// Live tasks in the shared pool's owned-task list (queued, running, or
+/// parked). Observability for soak harnesses and the sweeping tests.
+pub fn live_tasks() -> usize {
+    scheduler().owned.lock().unwrap().len()
+}
+
+/// Reclaim long-parked tasks whose `JoinHandle` is gone.
+///
+/// The shared pool's owned-task list otherwise accretes the parked tasks
+/// of finished tests and runtimes forever — a task holding a socket in
+/// `pending().await` stays alive with no one left to observe it. This
+/// sweep cancels every task that is **detached** (its `JoinHandle` was
+/// dropped) and has been **idle for at least `min_idle`**, returning how
+/// many were reclaimed.
+///
+/// This is a harness-level API for test drivers and soak runs between
+/// phases, not something to call while the swept tasks might still be
+/// doing useful background work: pick `min_idle` longer than the longest
+/// legitimate quiet period of any live fire-and-forget task (e.g. an
+/// idle replica queue waiting for traffic).
+pub fn sweep_idle_tasks(min_idle: std::time::Duration) -> usize {
+    let now = std::time::Instant::now();
+    let candidates: Vec<Arc<Task>> = scheduler()
+        .owned
+        .lock()
+        .unwrap()
+        .values()
+        .filter(|t| {
+            if !t.detached.load(Ordering::SeqCst) {
+                return false;
+            }
+            let st = t.state.lock().unwrap();
+            st.status == Status::Idle
+                && st
+                    .idle_since
+                    .is_some_and(|since| now.duration_since(since) >= min_idle)
+        })
+        .cloned()
+        .collect();
+    for task in &candidates {
+        // Cancel through the abort protocol (exactly what
+        // `JoinHandle::abort` does): safe against a concurrent wake or a
+        // worker already polling the task.
+        task.aborted.store(true, Ordering::SeqCst);
+        task.schedule_for_abort();
+    }
+    candidates.len()
 }
 
 struct ThreadWaker {

@@ -1,0 +1,333 @@
+//! Raw Linux syscalls for the readiness reactor — no libc, consistent
+//! with the vendor policy (everything in this tree is built on `std` and
+//! `core` only).
+//!
+//! Only the syscalls the reactor needs are wrapped: `epoll_create1`,
+//! `epoll_ctl`, `epoll_pwait`/`epoll_pwait2`, `eventfd2`, plus `read` /
+//! `write` / `close` on the eventfd. Each wrapper converts the kernel's
+//! `-errno` convention into `io::Result`. Supported targets are
+//! `linux-x86_64` and `linux-aarch64`; everything else compiles the
+//! timer-backoff fallback instead (this module is cfg'd out).
+
+#![allow(clippy::upper_case_acronyms)]
+
+use std::io;
+
+// ---------------------------------------------------------------------
+// Syscall numbers and the raw `syscall` instruction, per architecture.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+    pub const EPOLL_PWAIT2: usize = 441;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_PWAIT2: usize = 441;
+}
+
+/// Issue a raw syscall with up to six arguments.
+///
+/// # Safety
+/// The caller must pass argument values valid for the requested syscall
+/// (live pointers with correct lengths, open fds, …) exactly as the
+/// kernel ABI requires.
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") args[0],
+        in("rsi") args[1],
+        in("rdx") args[2],
+        in("r10") args[3],
+        in("r8") args[4],
+        in("r9") args[5],
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Issue a raw syscall with up to six arguments.
+///
+/// # Safety
+/// See the x86_64 variant: arguments must satisfy the kernel ABI of the
+/// requested syscall.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(n: usize, args: [usize; 6]) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") args[0] as isize => ret,
+        in("x1") args[1],
+        in("x2") args[2],
+        in("x3") args[3],
+        in("x4") args[4],
+        in("x5") args[5],
+        options(nostack),
+    );
+    ret
+}
+
+/// Map the kernel's `-errno` return convention into `io::Result`.
+fn check(ret: isize) -> io::Result<isize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// epoll / eventfd constants and types
+// ---------------------------------------------------------------------
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered interest.
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+
+const EPOLL_CLOEXEC: usize = 0o2000000;
+const EFD_CLOEXEC: usize = 0o2000000;
+const EFD_NONBLOCK: usize = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86_64 (as the kernel
+/// UAPI declares it there), naturally aligned everywhere else.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// The kernel's `struct epoll_event` (naturally aligned on this arch).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+/// The kernel's `struct __kernel_timespec` for `epoll_pwait2`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct KernelTimespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+// ---------------------------------------------------------------------
+// Wrappers
+// ---------------------------------------------------------------------
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn epoll_create1() -> io::Result<i32> {
+    // SAFETY: no pointers; flags are a valid constant.
+    let ret = unsafe { syscall6(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0]) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `epoll_ctl(epfd, op, fd, &event)`. `event` is ignored for
+/// `EPOLL_CTL_DEL` (a null pointer is passed, valid since Linux 2.6.9).
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: Option<EpollEvent>) -> io::Result<()> {
+    let ev_ptr = match &event {
+        Some(ev) => ev as *const EpollEvent as usize,
+        None => 0,
+    };
+    // SAFETY: `ev_ptr` is either null (DEL) or points at a live
+    // `EpollEvent` that outlives the call; fds are caller-supplied.
+    let ret = unsafe {
+        syscall6(
+            nr::EPOLL_CTL,
+            [epfd as usize, op as usize, fd as usize, ev_ptr, 0, 0],
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+/// Wait for events. `timeout` of `None` blocks indefinitely. Returns the
+/// number of events written into `events`.
+///
+/// Prefers `epoll_pwait2` (nanosecond timeout — a 500 µs timer deadline
+/// must not round up to a whole millisecond); falls back to millisecond
+/// `epoll_pwait` if the kernel predates it (< 5.11, ENOSYS) or a
+/// deny-unknown-syscall seccomp profile refuses it (EPERM).
+pub fn epoll_wait(
+    epfd: i32,
+    events: &mut [EpollEvent],
+    timeout: Option<std::time::Duration>,
+) -> io::Result<usize> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static PWAIT2_MISSING: AtomicBool = AtomicBool::new(false);
+
+    if !PWAIT2_MISSING.load(Ordering::Relaxed) {
+        let ts = timeout.map(|d| KernelTimespec {
+            tv_sec: d.as_secs() as i64,
+            tv_nsec: d.subsec_nanos() as i64,
+        });
+        let ts_ptr = match &ts {
+            Some(ts) => ts as *const KernelTimespec as usize,
+            None => 0,
+        };
+        // SAFETY: `events` is a live mutable slice whose length bounds
+        // maxevents; `ts_ptr` is null or a live timespec; sigmask is null.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT2,
+                [
+                    epfd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    ts_ptr,
+                    0,
+                    8,
+                ],
+            )
+        };
+        match check(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.raw_os_error() == Some(38) || e.raw_os_error() == Some(1) => {
+                // ENOSYS: old kernel. EPERM: a deny-unknown-syscall
+                // seccomp profile (older Docker defaults) answering a
+                // syscall it doesn't know. Either way the call will
+                // never work — latch the fallback instead of leaving
+                // the driver erroring forever.
+                PWAIT2_MISSING.store(true, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Millisecond fallback; ceiling-round so a sub-ms deadline is never
+    // truncated into an early wakeup (a zero timeout stays zero — the
+    // deadline is already due and the caller fires it on return).
+    let timeout_ms: isize = match timeout {
+        None => -1,
+        Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as isize,
+    };
+    // SAFETY: as above; sigmask null, sigsetsize 8.
+    let ret = unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            [
+                epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0,
+                8,
+            ],
+        )
+    };
+    check(ret).map(|n| n as usize)
+}
+
+/// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+pub fn eventfd() -> io::Result<i32> {
+    // SAFETY: no pointers.
+    let ret = unsafe { syscall6(nr::EVENTFD2, [0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0]) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Write the 8-byte counter increment an eventfd expects.
+pub fn eventfd_write(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: 8 live bytes at a valid address.
+    let ret = unsafe {
+        syscall6(
+            nr::WRITE,
+            [fd as usize, &one as *const u64 as usize, 8, 0, 0, 0],
+        )
+    };
+    check(ret).map(|_| ())
+}
+
+/// Drain an eventfd's counter (nonblocking; EAGAIN means already empty).
+pub fn eventfd_drain(fd: i32) {
+    let mut buf: u64 = 0;
+    // SAFETY: 8 live bytes at a valid address.
+    let _ = unsafe {
+        syscall6(
+            nr::READ,
+            [fd as usize, &mut buf as *mut u64 as usize, 8, 0, 0, 0],
+        )
+    };
+}
+
+/// `close(fd)`.
+pub fn close(fd: i32) {
+    // SAFETY: closing an fd the caller owns.
+    let _ = unsafe { syscall6(nr::CLOSE, [fd as usize, 0, 0, 0, 0, 0]) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_write_then_drain_round_trips() {
+        let fd = eventfd().expect("eventfd");
+        eventfd_write(fd).expect("write");
+        eventfd_drain(fd);
+        close(fd);
+    }
+
+    #[test]
+    fn epoll_reports_eventfd_readability() {
+        let ep = epoll_create1().expect("epoll_create1");
+        let ev = eventfd().expect("eventfd");
+        epoll_ctl(
+            ep,
+            EPOLL_CTL_ADD,
+            ev,
+            Some(EpollEvent {
+                events: EPOLLIN | EPOLLET,
+                data: 7,
+            }),
+        )
+        .expect("ctl add");
+
+        // Nothing pending: a zero timeout returns no events.
+        let mut events = [EpollEvent::default(); 8];
+        let n = epoll_wait(ep, &mut events, Some(std::time::Duration::ZERO)).expect("wait");
+        assert_eq!(n, 0);
+
+        eventfd_write(ev).expect("write");
+        let n = epoll_wait(ep, &mut events, Some(std::time::Duration::from_secs(5))).expect("wait");
+        assert_eq!(n, 1);
+        let (got_events, got_data) = (events[0].events, events[0].data);
+        assert_eq!(got_data, 7);
+        assert_ne!(got_events & EPOLLIN, 0);
+
+        epoll_ctl(ep, EPOLL_CTL_DEL, ev, None).expect("ctl del");
+        close(ev);
+        close(ep);
+    }
+}

@@ -105,6 +105,15 @@ impl<T> JoinHandle<T> {
     }
 }
 
+impl<T> Drop for JoinHandle<T> {
+    fn drop(&mut self) {
+        // Detach: the task keeps running, but with no handle left to
+        // observe it, it becomes eligible for
+        // [`crate::runtime::sweep_idle_tasks`].
+        self.task.detached.store(true, Ordering::SeqCst);
+    }
+}
+
 impl<T> Future for JoinHandle<T> {
     type Output = Result<T, JoinError>;
 

@@ -1,14 +1,25 @@
 //! Timers: `sleep`, `sleep_until`, `timeout`, `timeout_at`, [`Instant`].
 //!
-//! A single dedicated thread owns a min-heap of `(deadline, waker)`
-//! entries and fires wakers as deadlines pass. The same registration API
-//! ([`register_waker`]) backs the emulated I/O readiness in [`crate::net`]
-//! and [`crate::io`].
+//! A min-heap of `(deadline, waker)` entries, driven by whichever parking
+//! path the runtime has:
+//!
+//! - with the epoll reactor ([`crate::reactor`], Linux), the reactor's
+//!   driver thread fires due wakers between `epoll_pwait2` parks, using
+//!   the heap's next deadline as the park timeout — registering an
+//!   earlier deadline interrupts the park through the reactor's eventfd;
+//! - otherwise a dedicated timer thread parks on a `Condvar` with
+//!   `wait_timeout` (the portable fallback, and the pre-reactor
+//!   behavior).
+//!
+//! The same registration API ([`register_waker`]) used to back the
+//! emulated I/O readiness in [`crate::net`]; with the reactor active the
+//! net layer no longer touches the timer at all.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
@@ -132,21 +143,81 @@ impl Ord for TimerEntry {
 struct TimerShared {
     heap: Mutex<(BinaryHeap<Reverse<TimerEntry>>, u64)>,
     changed: Condvar,
+    /// When true the reactor's driver thread advances this heap between
+    /// `epoll_pwait2` parks; no timer thread exists and registrations
+    /// notify the reactor's eventfd instead of the condvar.
+    reactor_driven: bool,
+}
+
+/// Total timer-heap registrations since process start. Test/bench
+/// observability: the no-busy-spin regression asserts a blocked socket
+/// accept adds **zero** of these under the reactor.
+static REGISTRATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total timer-heap registrations since process start (every `sleep`,
+/// `timeout`, and — under the backoff I/O fallback — every `WouldBlock`
+/// retry). Not part of real tokio's API; used by this workspace's
+/// reactor tests and the `rpc_latency` bench.
+pub fn timer_registration_count() -> u64 {
+    REGISTRATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(vendored_reactor)]
+fn reactor_takes_timers() -> bool {
+    crate::reactor::Reactor::get().is_some()
+}
+
+#[cfg(not(vendored_reactor))]
+fn reactor_takes_timers() -> bool {
+    false
 }
 
 fn timer() -> &'static TimerShared {
     static TIMER: OnceLock<&'static TimerShared> = OnceLock::new();
     TIMER.get_or_init(|| {
+        let reactor_driven = reactor_takes_timers();
         let shared: &'static TimerShared = Box::leak(Box::new(TimerShared {
             heap: Mutex::new((BinaryHeap::new(), 0)),
             changed: Condvar::new(),
+            reactor_driven,
         }));
-        std::thread::Builder::new()
-            .name("tokio-timer".to_string())
-            .spawn(move || timer_loop(shared))
-            .expect("spawn timer thread");
+        if !reactor_driven {
+            std::thread::Builder::new()
+                .name("tokio-timer".to_string())
+                .spawn(move || timer_loop(shared))
+                .expect("spawn timer thread");
+        }
         shared
     })
+}
+
+/// Fire every due timer and return the next pending deadline, if any.
+/// Called by the reactor's driver thread between parks; the returned
+/// deadline becomes the `epoll_pwait2` timeout.
+#[cfg(vendored_reactor)]
+pub(crate) fn advance_timers() -> Option<StdInstant> {
+    let shared = timer();
+    let mut due: Vec<Waker> = Vec::new();
+    let next = {
+        let mut guard = shared.heap.lock().unwrap();
+        let now = StdInstant::now();
+        while let Some(Reverse(head)) = guard.0.peek() {
+            if head.deadline <= now {
+                let Reverse(entry) = guard.0.pop().unwrap();
+                let woken = entry.slot.lock().unwrap().take();
+                if let Some(w) = woken {
+                    due.push(w);
+                }
+            } else {
+                break;
+            }
+        }
+        guard.0.peek().map(|Reverse(head)| head.deadline)
+    };
+    for waker in due {
+        waker.wake();
+    }
+    next
 }
 
 fn timer_loop(shared: &'static TimerShared) {
@@ -192,17 +263,35 @@ fn timer_loop(shared: &'static TimerShared) {
 /// `deadline`. The caller keeps the slot: clearing it cancels the wake,
 /// replacing its waker retargets it.
 pub(crate) fn register_slot(deadline: StdInstant, slot: WakerSlot) {
+    REGISTRATIONS.fetch_add(1, Ordering::Relaxed);
     let shared = timer();
     let mut guard = shared.heap.lock().unwrap();
     let seq = guard.1;
     guard.1 += 1;
+    // Only an earlier-than-everything deadline changes what the parked
+    // driver should be waiting for; later deadlines are discovered when
+    // the park next expires anyway.
+    let is_new_front = guard
+        .0
+        .peek()
+        .is_none_or(|Reverse(head)| deadline < head.deadline);
     guard.0.push(Reverse(TimerEntry {
         deadline,
         seq,
         slot,
     }));
     drop(guard);
-    shared.changed.notify_one();
+    if !is_new_front {
+        return;
+    }
+    if shared.reactor_driven {
+        #[cfg(vendored_reactor)]
+        if let Some(reactor) = crate::reactor::Reactor::get() {
+            reactor.notify();
+        }
+    } else {
+        shared.changed.notify_one();
+    }
 }
 
 /// One-shot form of [`register_slot`] for fire-and-forget retry wakeups

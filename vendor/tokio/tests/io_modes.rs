@@ -1,0 +1,68 @@
+//! The timer-backoff readiness emulation must keep working as the
+//! portability fallback, selectable at runtime per socket creation.
+//!
+//! A single serial test in its own binary: `set_io_mode` is process
+//! global, so toggling it here must not race other socket tests.
+
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{IoMode, TcpListener, TcpStream};
+
+#[tokio::test]
+async fn backoff_fallback_still_serves_and_mode_is_per_socket() {
+    tokio::net::set_io_mode(IoMode::Backoff);
+    assert_eq!(tokio::net::io_mode(), IoMode::Backoff);
+
+    // Sockets created now use timer-backoff readiness: a blocked read
+    // registers timer retries.
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = tokio::spawn(async move {
+        let (mut conn, _) = listener.accept().await.unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).await.unwrap();
+        conn.write_all(&buf).await.unwrap();
+    });
+
+    let timer_regs_before = tokio::time::timer_registration_count();
+    let mut client = TcpStream::connect(addr).await.unwrap();
+    client.write_all(b"ping").await.unwrap();
+    let mut buf = [0u8; 4];
+    client.read_exact(&mut buf).await.unwrap();
+    assert_eq!(&buf, b"ping");
+    server.await.unwrap();
+    assert!(
+        tokio::time::timer_registration_count() > timer_regs_before,
+        "backoff mode must route readiness through the timer"
+    );
+
+    // Back to the default; on supported targets this is the reactor and
+    // a fresh echo round-trip works without timer registrations on the
+    // socket path.
+    tokio::net::set_io_mode(IoMode::Reactor);
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = tokio::spawn(async move {
+        let (mut conn, _) = listener.accept().await.unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).await.unwrap();
+        // Write from a thread after a delay so the client read parks.
+        std::thread::sleep(Duration::from_millis(20));
+        conn.write_all(&buf).await.unwrap();
+    });
+    let mut client = TcpStream::connect(addr).await.unwrap();
+    client.write_all(b"pong").await.unwrap();
+    let mut buf = [0u8; 4];
+    client.read_exact(&mut buf).await.unwrap();
+    assert_eq!(&buf, b"pong");
+    server.await.unwrap();
+
+    #[cfg(vendored_reactor)]
+    assert_eq!(tokio::net::io_mode(), IoMode::Reactor);
+    #[cfg(not(vendored_reactor))]
+    assert_eq!(
+        tokio::net::io_mode(),
+        IoMode::Backoff,
+        "requesting the reactor on an unsupported target falls back"
+    );
+}

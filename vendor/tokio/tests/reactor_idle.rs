@@ -1,0 +1,119 @@
+//! Reactor resource accounting and no-busy-spin regressions.
+//!
+//! A single serial test in its own binary (own process, own global
+//! runtime): the asserts below are exact counts on process-global state
+//! (timer registrations, fd registrations) that parallel tests would
+//! pollute.
+
+#![cfg(vendored_reactor)]
+
+use std::time::{Duration, Instant};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+#[tokio::test]
+async fn reactor_accounting_and_no_busy_spin() {
+    assert!(tokio::reactor::active(), "reactor must be active");
+
+    // --- fd deregistration on drop: no stale slab entries -------------
+    let baseline_fds = tokio::reactor::registered_fds();
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut pairs = Vec::new();
+    for _ in 0..16 {
+        let client = TcpStream::connect(addr).await.unwrap();
+        let (server, _) = listener.accept().await.unwrap();
+        pairs.push((client, server));
+    }
+    // 1 listener + 32 stream endpoints.
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds + 33);
+
+    // Split halves share one registration per fd.
+    let (client, server) = pairs.pop().unwrap();
+    let (crd, cwr) = client.into_split();
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds + 33);
+    drop(crd);
+    // One half still alive: the registration must survive.
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds + 33);
+    drop(cwr);
+    drop(server);
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds + 31);
+
+    drop(pairs);
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds + 1);
+
+    drop(listener);
+    assert_eq!(tokio::reactor::registered_fds(), baseline_fds);
+
+    // --- no-busy-spin: a blocked accept must burn no timer slots -------
+    let idle_listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let blocked_accept = tokio::spawn(async move {
+        let _ = idle_listener.accept().await;
+    });
+    // Let the accept reach its park.
+    tokio::time::sleep(Duration::from_millis(20)).await;
+
+    let timer_regs_before = tokio::time::timer_registration_count();
+    let io_events_before = tokio::reactor::io_event_count();
+    // Quiet window measured with *std* sleep so we register no timers
+    // ourselves.
+    std::thread::sleep(Duration::from_millis(300));
+    let timer_regs = tokio::time::timer_registration_count() - timer_regs_before;
+    let io_events = tokio::reactor::io_event_count() - io_events_before;
+    assert_eq!(
+        timer_regs, 0,
+        "a blocked accept must not register timer retries (backoff emulation leaked in)"
+    );
+    assert_eq!(io_events, 0, "an idle runtime must see no readiness events");
+    blocked_accept.abort();
+
+    // --- wake-on-readiness without timer help --------------------------
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = tokio::spawn(async move {
+        let (mut conn, _) = listener.accept().await.unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        conn.write_all(b"wake").await.unwrap();
+        let mut byte = [0u8; 1];
+        let _ = conn.read(&mut byte).await;
+    });
+    let mut client = TcpStream::connect(addr).await.unwrap();
+    let timer_regs_before = tokio::time::timer_registration_count();
+    let mut buf = [0u8; 4];
+    client.read_exact(&mut buf).await.unwrap();
+    assert_eq!(&buf, b"wake");
+    assert_eq!(
+        tokio::time::timer_registration_count() - timer_regs_before,
+        0,
+        "the blocked read must be woken by the kernel, not a timer"
+    );
+    client.write_all(b"x").await.unwrap();
+    server.await.unwrap();
+
+    // --- cross-thread eventfd wakeup -----------------------------------
+    // With no timers armed the driver parks in epoll_pwait2
+    // indefinitely; registering a timer from another thread must
+    // interrupt the park through the eventfd and fire on time.
+    let wakeups_before = tokio::reactor::wakeup_count();
+    let (done_tx, done_rx) = tokio::sync::oneshot::channel::<Duration>();
+    std::thread::spawn(move || {
+        tokio::runtime::block_on(async move {
+            let t0 = Instant::now();
+            tokio::time::sleep(Duration::from_millis(30)).await;
+            let _ = done_tx.send(t0.elapsed());
+        });
+    });
+    let slept = tokio::time::timeout(Duration::from_secs(10), done_rx)
+        .await
+        .expect("cross-thread timer never fired: eventfd wakeup lost")
+        .unwrap();
+    assert!(slept >= Duration::from_millis(29), "timer fired early");
+    assert!(
+        slept < Duration::from_secs(5),
+        "timer fired far too late: {slept:?}"
+    );
+    assert!(
+        tokio::reactor::wakeup_count() > wakeups_before,
+        "the new deadline must have interrupted the parked driver via eventfd"
+    );
+}

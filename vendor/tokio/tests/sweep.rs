@@ -1,0 +1,76 @@
+//! Idle-task sweeping: the shared pool must be able to reclaim
+//! long-parked tasks whose `JoinHandle` is gone (ROADMAP "executor task
+//! accounting"), so soak runs don't accrete the dead tasks of finished
+//! phases.
+//!
+//! A single serial test in its own binary: sweeping and `live_tasks()`
+//! are process-global, and a concurrent test's parked tasks must not be
+//! reaped by our sweep.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::test]
+async fn sweep_reclaims_detached_parked_tasks_only() {
+    // A detached, forever-parked task: the classic leak.
+    let leaked_dropped = Arc::new(AtomicBool::new(false));
+    let observer = DropObserver(leaked_dropped.clone());
+    let leaked = tokio::spawn(async move {
+        let _hold = observer;
+        std::future::pending::<()>().await;
+    });
+
+    // A parked task whose handle is still held: must survive any sweep.
+    let (keep_tx, keep_rx) = tokio::sync::oneshot::channel::<u32>();
+    let kept = tokio::spawn(async move { keep_rx.await.unwrap() });
+
+    // Let both reach their park.
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    let live_before = tokio::runtime::live_tasks();
+    assert!(live_before >= 2);
+
+    // Nothing is detached yet (both handles alive): sweep is a no-op.
+    assert_eq!(tokio::runtime::sweep_idle_tasks(Duration::ZERO), 0);
+    assert!(!leaked_dropped.load(Ordering::SeqCst));
+
+    // Detach the leaked task. A sweep with a threshold longer than its
+    // park must still spare it...
+    drop(leaked);
+    assert_eq!(
+        tokio::runtime::sweep_idle_tasks(Duration::from_secs(3600)),
+        0
+    );
+    assert!(!leaked_dropped.load(Ordering::SeqCst));
+
+    // ...and a sweep past the threshold reclaims exactly it.
+    tokio::time::sleep(Duration::from_millis(30)).await;
+    let swept = tokio::runtime::sweep_idle_tasks(Duration::from_millis(10));
+    assert_eq!(swept, 1, "exactly the detached parked task is swept");
+
+    // The cancellation lands at the next scheduling point: wait for the
+    // future (and its captured state) to actually be dropped.
+    for _ in 0..100 {
+        if leaked_dropped.load(Ordering::SeqCst) {
+            break;
+        }
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+    assert!(
+        leaked_dropped.load(Ordering::SeqCst),
+        "the swept task's future must be dropped"
+    );
+    assert!(tokio::runtime::live_tasks() < live_before);
+
+    // The kept task still works end-to-end after the sweep.
+    keep_tx.send(99).unwrap();
+    assert_eq!(kept.await.unwrap(), 99);
+}
+
+struct DropObserver(Arc<AtomicBool>);
+
+impl Drop for DropObserver {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
