@@ -544,6 +544,21 @@ impl ModelAbstractionLayer {
         })
     }
 
+    /// The queue ids of a model's replicas that the scheduler currently
+    /// considers suspect (≥3 consecutive failed batches) — the candidates
+    /// a chaos/ops loop hot-removes via
+    /// [`remove_replica`](Self::remove_replica).
+    pub fn suspect_queue_ids(&self, id: &ModelId) -> Vec<String> {
+        self.models.read().get(id).map_or_else(Vec::new, |h| {
+            h.replicas
+                .read()
+                .iter()
+                .filter(|r| r.queue.is_suspect())
+                .map(|r| r.queue.id().to_string())
+                .collect()
+        })
+    }
+
     /// Total queued queries across a model's replicas (live gauge).
     pub fn queue_depth(&self, id: &ModelId) -> usize {
         self.models.read().get(id).map_or(0, |h| h.queue_depth())

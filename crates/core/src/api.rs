@@ -652,6 +652,39 @@ pub struct RehydrateReport {
     pub skipped: Vec<String>,
 }
 
+/// Summary of a [`sync_config`](crate::Clipper::sync_config) pass — one
+/// frontend reconciling its in-memory registry against the statestore's
+/// records, which another frontend may have moved underneath it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Model names adopted wholesale (unknown locally before the pass).
+    pub adopted_models: usize,
+    /// Versions of already-known models newly registered locally.
+    pub adopted_versions: usize,
+    /// Current-pointer moves applied locally (each ran the full local
+    /// rollout path: repoint apps, quiesce, drain the old version).
+    pub repointed: usize,
+    /// Current-pointer moves that could not be applied yet —
+    /// `"name:vN"` — typically because the target version has no local
+    /// replicas; a later pass retries them.
+    pub pending: Vec<String>,
+    /// Apps adopted (unknown locally before the pass).
+    pub adopted_apps: usize,
+    /// Apps whose persisted record differed and were replaced locally.
+    pub updated_apps: usize,
+    /// Apps removed locally because their record was deleted.
+    pub removed_apps: usize,
+    /// Statestore keys whose records failed to parse and were skipped.
+    pub skipped: Vec<String>,
+}
+
+impl SyncReport {
+    /// Whether the pass changed nothing (registry already converged).
+    pub fn is_noop(&self) -> bool {
+        *self == SyncReport::default()
+    }
+}
+
 /// `POST /api/v1/models/{name}/rollout` request body.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
 pub struct RolloutRequest {

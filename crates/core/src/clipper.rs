@@ -36,7 +36,7 @@
 
 use crate::abstraction::{BatchConfig, ModelAbstractionLayer, SchedulerPolicy};
 use crate::api::{
-    self, ApiError, AppRecord, ModelRecord, ModelView, RehydrateReport, RolloutOutcome,
+    self, ApiError, AppRecord, ModelRecord, ModelView, RehydrateReport, RolloutOutcome, SyncReport,
 };
 use crate::batching::queue::PredictError;
 use crate::batching::ReplicaQueue;
@@ -686,6 +686,167 @@ impl Clipper {
             report.apps += 1;
         }
         report
+    }
+
+    /// Reconcile this frontend's in-memory registry against the
+    /// statestore — the fan-in counterpart of [`rehydrate`]: where
+    /// rehydrate fills an *empty* registry after a restart, `sync_config`
+    /// runs on a *live* frontend whose persisted records another frontend
+    /// (sharing the store) may have moved underneath it.
+    ///
+    /// Per model record: unknown names are adopted wholesale
+    /// (directory + versions with their persisted batch knobs); known
+    /// names adopt any versions they lack; and when the persisted
+    /// *current* pointer differs from the local one, the full local
+    /// rollout path runs — repoint referencing apps, quiesce in-flight
+    /// predicts, gracefully drain the outgoing version's local replicas —
+    /// so convergence loses nothing, exactly like a locally-initiated
+    /// rollout. A pointer move whose target version has no local replicas
+    /// is deferred (reported in [`SyncReport::pending`]) and retried by a
+    /// later pass, after replicas attach.
+    ///
+    /// Per app record: unknown apps are adopted, changed records replace
+    /// the local registration (next predict sees it; in-flight predicts
+    /// finish under the config they captured), and local apps whose
+    /// record was deleted are unregistered locally.
+    ///
+    /// Note the prediction caches need no cross-frontend invalidation on
+    /// rollout: cache keys embed the full `ModelId` (name *and* version),
+    /// so entries for an outgoing version simply stop being looked up and
+    /// age out under CLOCK reclamation.
+    ///
+    /// [`rehydrate`]: Self::rehydrate
+    pub async fn sync_config(&self) -> SyncReport {
+        let store = self.inner.store.clone();
+        let mut report = SyncReport::default();
+
+        // Models first: adopting directories/pointer moves also repoints
+        // local apps through the rollout path, which the app pass below
+        // then observes as already-converged.
+        for key in store.keys_with_prefix(api::MODEL_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<ModelRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            let known = self.inner.models_dir.read().contains_key(&rec.name);
+            if !known {
+                self.inner
+                    .models_dir
+                    .write()
+                    .entry(rec.name.clone())
+                    .or_insert_with(|| ModelDir {
+                        current: rec.current,
+                        versions: rec.versions.clone(),
+                        history: rec.history.clone(),
+                        parked: HashMap::new(),
+                    });
+                for &v in &rec.versions {
+                    let cfg = rec
+                        .knobs_for(v)
+                        .cloned()
+                        .map(api::BatchKnobs::into_config)
+                        .unwrap_or_default();
+                    self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
+                }
+                report.adopted_models += 1;
+                continue;
+            }
+            // Adopt versions the local directory lacks — directly, not via
+            // `add_model`, which would persist the *local* (still-stale)
+            // current pointer over the record we are adopting.
+            {
+                let mut dirs = self.inner.models_dir.write();
+                let dir = dirs.get_mut(&rec.name).expect("checked above");
+                for &v in &rec.versions {
+                    if !dir.versions.contains(&v) {
+                        dir.versions.push(v);
+                        dir.versions.sort_unstable();
+                        let cfg = rec
+                            .knobs_for(v)
+                            .cloned()
+                            .map(api::BatchKnobs::into_config)
+                            .unwrap_or_default();
+                        self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
+                        report.adopted_versions += 1;
+                    }
+                }
+            }
+            let local_current = self.current_version(&rec.name);
+            if local_current != Some(rec.current) {
+                match self.rollout_inner(&rec.name, rec.current).await {
+                    Ok(_) => report.repointed += 1,
+                    Err(_) => report
+                        .pending
+                        .push(format!("{}:v{}", rec.name, rec.current)),
+                }
+            }
+        }
+
+        // Apps: adopt new, replace changed, drop deleted.
+        let mut persisted_names = Vec::new();
+        for key in store.keys_with_prefix(api::APP_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<AppRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            persisted_names.push(rec.name.clone());
+            let local = self
+                .inner
+                .apps
+                .read()
+                .get(&rec.name)
+                .map(|a| AppRecord::from(&a.cfg));
+            match local {
+                Some(ref cur) if *cur == rec => {}
+                found => {
+                    let cfg = rec.into_config();
+                    let policy = build_policy(&cfg.policy);
+                    self.inner
+                        .apps
+                        .write()
+                        .insert(cfg.name.clone(), Arc::new(App { cfg, policy }));
+                    if found.is_some() {
+                        report.updated_apps += 1;
+                    } else {
+                        report.adopted_apps += 1;
+                    }
+                }
+            }
+        }
+        let local_apps = self.apps();
+        for name in local_apps {
+            // Only a truly absent key means "deleted elsewhere" — a
+            // present-but-corrupt record was skipped above, not removed.
+            if !persisted_names.contains(&name)
+                && store.get(&api::app_key(&name)).is_none()
+                && self.inner.apps.write().remove(&name).is_some()
+            {
+                report.removed_apps += 1;
+            }
+        }
+        report
+    }
+
+    /// Hot-remove and gracefully drain every replica of `id` the
+    /// scheduler currently marks suspect (≥3 consecutive failed batches)
+    /// — the ops response to a replica that started failing mid-run.
+    /// Returns the drained queue ids. Callers decide policy (this will
+    /// happily remove the last replica if everything is suspect).
+    pub async fn drain_suspect_replicas(&self, id: &ModelId) -> Vec<String> {
+        let mut removed = Vec::new();
+        for qid in self.inner.mal.suspect_queue_ids(id) {
+            if let Ok(queue) = self.inner.mal.remove_replica(id, &qid) {
+                queue.drained().await;
+                removed.push(qid);
+            }
+        }
+        removed
     }
 
     /// Attach a container replica to a model — safe mid-traffic. Returns
@@ -1539,6 +1700,149 @@ mod tests {
             .model_config(&ModelId::new("m", 1))
             .expect("v1 restored");
         assert_eq!(v1_cfg.queue_capacity, BatchConfig::default().queue_capacity);
+    }
+
+    /// Two frontends over one store: A owns the initial registration, B
+    /// rehydrates from it and attaches its own replicas (the soak's
+    /// fan-in construction).
+    async fn two_frontends() -> (Clipper, Clipper, Arc<clipper_statestore::StateStore>) {
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        let a = Clipper::builder().statestore(store.clone()).build();
+        let v1 = ModelId::new("m", 1);
+        let v2 = ModelId::new("m", 2);
+        a.add_model(v1.clone(), BatchConfig::default());
+        a.add_replica(&v1, const_transport(1, None)).unwrap();
+        a.add_model(v2.clone(), BatchConfig::default());
+        a.add_replica(&v2, const_transport(2, None)).unwrap();
+        a.register_app(
+            AppConfig::new("app", vec![v1.clone()])
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(50)),
+        );
+        let b = Clipper::builder().statestore(store.clone()).build();
+        b.rehydrate();
+        b.add_replica(&v1, const_transport(1, None)).unwrap();
+        b.add_replica(&v2, const_transport(2, None)).unwrap();
+        (a, b, store)
+    }
+
+    #[tokio::test]
+    async fn sync_config_adopts_a_remote_rollout_and_drains_locally() {
+        let (a, b, _store) = two_frontends().await;
+        a.rollout_model("m", 2).await.unwrap();
+        // B is stale: still serving v1.
+        assert_eq!(b.current_version("m"), Some(1));
+        let p = b.predict("app", None, Arc::new(vec![1.0])).await.unwrap();
+        assert_eq!(p.output, Output::Class(1));
+
+        let report = b.sync_config().await;
+        assert_eq!(report.repointed, 1);
+        assert!(report.pending.is_empty(), "{:?}", report.pending);
+        assert_eq!(b.current_version("m"), Some(2));
+        assert_eq!(
+            b.app_config("app").unwrap().candidate_models,
+            vec![ModelId::new("m", 2)]
+        );
+        // B's local v1 replicas drained and parked, exactly as if B had
+        // initiated the rollout itself.
+        assert!(!b.abstraction().has_model(&ModelId::new("m", 1)));
+        let p = b.predict("app", None, Arc::new(vec![2.0])).await.unwrap();
+        assert_eq!(p.output, Output::Class(2));
+        assert_eq!(b.abstraction().cache().pending_len(), 0);
+
+        // Converged: the next pass is a no-op.
+        assert!(b.sync_config().await.is_noop());
+
+        // A remote rollback converges the same way (B revives its parked
+        // v1 replicas).
+        a.rollback_model("m").await.unwrap();
+        let report = b.sync_config().await;
+        assert_eq!(report.repointed, 1);
+        assert_eq!(b.current_version("m"), Some(1));
+        let p = b.predict("app", None, Arc::new(vec![3.0])).await.unwrap();
+        assert_eq!(p.output, Output::Class(1));
+    }
+
+    #[tokio::test]
+    async fn sync_config_defers_pointer_moves_without_local_replicas() {
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        let a = Clipper::builder().statestore(store.clone()).build();
+        let v1 = ModelId::new("m", 1);
+        let v2 = ModelId::new("m", 2);
+        a.add_model(v1.clone(), BatchConfig::default());
+        a.add_replica(&v1, const_transport(1, None)).unwrap();
+        let b = Clipper::builder().statestore(store.clone()).build();
+        b.rehydrate();
+        b.add_replica(&v1, const_transport(1, None)).unwrap();
+        // A registers v2 and rolls it out; B never attached v2 replicas.
+        a.add_model(v2.clone(), BatchConfig::default());
+        a.add_replica(&v2, const_transport(2, None)).unwrap();
+        a.rollout_model("m", 2).await.unwrap();
+
+        let report = b.sync_config().await;
+        assert_eq!(report.adopted_versions, 1, "v2 adopted into the directory");
+        assert_eq!(report.repointed, 0);
+        assert_eq!(report.pending, vec!["m:v2".to_string()]);
+        assert_eq!(b.current_version("m"), Some(1), "move deferred");
+
+        // Replicas attach; the next pass applies the deferred move.
+        b.add_replica(&v2, const_transport(2, None)).unwrap();
+        let report = b.sync_config().await;
+        assert_eq!(report.repointed, 1);
+        assert!(report.pending.is_empty());
+        assert_eq!(b.current_version("m"), Some(2));
+    }
+
+    #[tokio::test]
+    async fn sync_config_adopts_updates_and_removes_apps() {
+        let (a, b, store) = two_frontends().await;
+        // A registers a new app, updates the shared one, then B syncs.
+        a.register_app(
+            AppConfig::new("fresh", vec![ModelId::new("m", 1)])
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(30)),
+        );
+        a.update_app(
+            "app",
+            crate::types::AppUpdate::new().with_slo(Duration::from_millis(99)),
+        )
+        .unwrap();
+        let report = b.sync_config().await;
+        assert_eq!(report.adopted_apps, 1);
+        assert_eq!(report.updated_apps, 1);
+        assert_eq!(
+            b.app_config("fresh").unwrap().slo,
+            Duration::from_millis(30)
+        );
+        assert_eq!(b.app_config("app").unwrap().slo, Duration::from_millis(99));
+
+        // A deletes it; B's next pass drops it locally. A corrupt record
+        // is skipped, never treated as a deletion.
+        a.unregister_app("fresh").unwrap();
+        store.set(&crate::api::app_key("app"), b"not json".to_vec());
+        let report = b.sync_config().await;
+        assert_eq!(report.removed_apps, 1);
+        assert_eq!(report.skipped, vec![crate::api::app_key("app")]);
+        assert!(b.app_config("fresh").is_none());
+        assert!(b.app_config("app").is_some(), "corrupt ≠ deleted");
+    }
+
+    #[tokio::test]
+    async fn suspect_queue_ids_is_empty_for_healthy_replicas() {
+        let (clipper, models) = setup(
+            &[1],
+            PolicyKind::Static { model_index: 0 },
+            Duration::from_millis(50),
+        );
+        clipper
+            .predict("app", None, Arc::new(vec![1.0]))
+            .await
+            .unwrap();
+        assert!(clipper
+            .abstraction()
+            .suspect_queue_ids(&models[0])
+            .is_empty());
+        assert!(clipper.drain_suspect_replicas(&models[0]).await.is_empty());
     }
 
     #[tokio::test]

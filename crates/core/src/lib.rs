@@ -64,6 +64,7 @@ pub mod types;
 pub use abstraction::{BatchConfig, ModelAbstractionLayer, PredictError, SchedulerPolicy};
 pub use api::{
     ApiError, AppPatch, AppSpec, AppView, ErrorBody, ModelView, RehydrateReport, RolloutOutcome,
+    SyncReport,
 };
 pub use batching::{AimdController, BatchStrategy, QuantileController, QueueState};
 pub use cache::{CacheKey, CacheStats, PredictionCache};

@@ -62,9 +62,14 @@ impl FaultConfig {
 }
 
 /// A transport wrapper that injects latency and loss.
+///
+/// The fault model is hot-swappable: chaos harnesses flip a healthy
+/// replica into a failing one *mid-run* with
+/// [`set_config`](Self::set_config) / [`fail_hard`](Self::fail_hard) and
+/// back, without re-attaching the replica.
 pub struct FaultyTransport {
     inner: Arc<dyn BatchTransport>,
-    cfg: FaultConfig,
+    cfg: Mutex<FaultConfig>,
     rng: Mutex<StdRng>,
 }
 
@@ -73,25 +78,48 @@ impl FaultyTransport {
     pub fn new(inner: Arc<dyn BatchTransport>, cfg: FaultConfig, seed: u64) -> Self {
         FaultyTransport {
             inner,
-            cfg,
+            cfg: Mutex::new(cfg),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
+    }
+
+    /// Replace the fault model. Applies to every request decided after
+    /// the call; requests already in flight keep the outcome they drew.
+    pub fn set_config(&self, cfg: FaultConfig) {
+        *self.cfg.lock() = cfg;
+    }
+
+    /// The current fault model.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg.lock().clone()
+    }
+
+    /// Convenience chaos switch: `true` makes every request fail
+    /// (`drop_prob = 1.0`), `false` restores a clean pass-through.
+    pub fn fail_hard(&self, failing: bool) {
+        self.set_config(FaultConfig {
+            drop_prob: if failing { 1.0 } else { 0.0 },
+            ..Default::default()
+        });
     }
 }
 
 impl BatchTransport for FaultyTransport {
     fn predict_batch(&self, inputs: &[Input]) -> BoxFuture<Result<PredictReply, RpcError>> {
-        // Decide the fault outcome up front (short lock; no awaits inside).
+        // Decide the fault outcome up front (short locks; no awaits
+        // inside). The config is read once per request so a concurrent
+        // `set_config` never half-applies.
+        let cfg = self.cfg.lock().clone();
         let (delay, dropped) = {
             let mut rng = self.rng.lock();
-            let mut delay = self.cfg.base_delay;
-            if self.cfg.jitter > Duration::ZERO {
-                delay += self.cfg.jitter.mul_f64(rng.random::<f64>());
+            let mut delay = cfg.base_delay;
+            if cfg.jitter > Duration::ZERO {
+                delay += cfg.jitter.mul_f64(rng.random::<f64>());
             }
-            if self.cfg.straggler_prob > 0.0 && rng.random_bool(self.cfg.straggler_prob) {
-                delay += self.cfg.straggler_delay;
+            if cfg.straggler_prob > 0.0 && rng.random_bool(cfg.straggler_prob) {
+                delay += cfg.straggler_delay;
             }
-            let dropped = self.cfg.drop_prob > 0.0 && rng.random_bool(self.cfg.drop_prob);
+            let dropped = cfg.drop_prob > 0.0 && rng.random_bool(cfg.drop_prob);
             (delay, dropped)
         };
         let inner = self.inner.clone();
@@ -164,6 +192,30 @@ mod tests {
         let start = Instant::now();
         t.predict_batch(&one_input()).await.unwrap();
         assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[tokio::test]
+    async fn fault_config_is_hot_swappable_mid_run() {
+        // A chaos harness flips a healthy replica into a black hole and
+        // back without re-attaching it.
+        let t = FaultyTransport::new(ok_transport(), FaultConfig::default(), 3);
+        assert!(t.predict_batch(&one_input()).await.is_ok());
+        t.fail_hard(true);
+        assert_eq!(t.config().drop_prob, 1.0);
+        for _ in 0..10 {
+            let err = t.predict_batch(&one_input()).await.unwrap_err();
+            assert!(matches!(err, RpcError::Injected));
+        }
+        t.fail_hard(false);
+        assert!(t.predict_batch(&one_input()).await.is_ok());
+        // Arbitrary models swap in too.
+        t.set_config(FaultConfig::latency(
+            Duration::from_millis(5),
+            Duration::ZERO,
+        ));
+        let start = Instant::now();
+        t.predict_batch(&one_input()).await.unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
     }
 
     #[tokio::test]

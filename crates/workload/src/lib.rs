@@ -14,18 +14,24 @@
 //! - [`simlink`]: bandwidth/latency-simulated network links for the
 //!   Figure-6 cluster-scaling study (1 Gbps vs 10 Gbps);
 //! - [`report`]: aligned text tables matching the rows/series the paper's
-//!   figures report.
+//!   figures report;
+//! - [`soak`]: the multi-frontend fan-in soak harness — N in-process
+//!   frontends over one statestore and one replica fleet, sustained mixed
+//!   workload, and a scripted crash/restart/rollout/fault timeline with a
+//!   zero-lost-queries verdict.
 
 pub mod arrivals;
 pub mod churn;
 pub mod driver;
 pub mod report;
 pub mod simlink;
+pub mod soak;
 
 pub use arrivals::ArrivalProcess;
 pub use churn::{http_request, run_open_loop_with_churn, ActionOutcome, ChurnAction, ChurnReport};
 pub use driver::{
     run_closed_loop, run_open_loop, run_open_loop_outcomes, LoadReport, RequestOutcome,
 };
-pub use report::Table;
+pub use report::{PhaseOutcome, PhaseRecorder, PhaseStats, Table};
 pub use simlink::SimLink;
+pub use soak::{run_soak, FrontendStats, SoakAction, SoakEvent, SoakReport, SoakSpec};
