@@ -97,13 +97,20 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| black_box(batch_msg.encode(7)))
     });
 
+    // Steady-state encode into a retained connection buffer (the path
+    // FrameWriter takes): no allocation per frame.
+    let mut out = Vec::with_capacity(batch_msg.wire_size());
+    g.bench_function("encode_into_64x784", |b| {
+        b.iter(|| {
+            out.clear();
+            batch_msg.encode_into(7, &mut out);
+            black_box(out.len())
+        })
+    });
+
     let frame = batch_msg.encode(7);
     g.bench_function("decode_64x784", |b| {
-        b.iter_batched(
-            || bytes::Bytes::copy_from_slice(&frame[18..]),
-            |payload| black_box(Message::decode(3, payload).unwrap()),
-            BatchSize::SmallInput,
-        )
+        b.iter(|| black_box(Message::decode(3, black_box(&frame[18..])).unwrap()))
     });
 
     let reply = Message::PredictResponse(PredictReply {

@@ -16,7 +16,15 @@
 //! - `predict1` / `predict8` — clipper-rpc `predict_batch` of batch 1
 //!   and 8 against a No-Op container over the real RPC server/client
 //!   (frame codec, oneshot completion, writer task — the paper's
-//!   Figure 3d overhead path).
+//!   Figure 3d overhead path);
+//! - `http_predict` — a full HTTP frontend round trip (keep-alive POST
+//!   predict against an in-process echo transport: head parse, routing,
+//!   JSON body in and out — the wire-speed-frontier path).
+//!
+//! The report also carries `baseline_reactor_p50_us`: the reactor-mode
+//! p50s recorded on this host class immediately **before** the
+//! wire-speed data-plane rework (buffer reuse, writev coalescing,
+//! zero-alloc routing), so before/after is visible in one file.
 //!
 //! The reactor phase also measures `idle_timer_registrations`: with a
 //! blocked accept parked and no traffic for a quiet window, the timer
@@ -59,6 +67,7 @@ struct ModeResult {
     echo: RttStats,
     predict1: RttStats,
     predict8: RttStats,
+    http_predict: RttStats,
     /// Timer-heap registrations observed during the idle window (reactor
     /// phase only; the acceptance gate requires 0).
     #[serde(default)]
@@ -78,7 +87,24 @@ struct Report {
     /// Headline: backoff echo p50 / reactor echo p50.
     echo_p50_speedup: f64,
     predict1_p50_speedup: f64,
+    /// Pre-rework reactor p50s (before-rows for the wire-speed PR).
+    baseline_reactor_p50_us: Vec<BaselineRow>,
 }
+
+#[derive(Serialize, Deserialize)]
+struct BaselineRow {
+    path: String,
+    p50_us: u64,
+}
+
+/// Reactor-mode p50s measured on this 1-core container immediately
+/// before the wire-speed data-plane rework, with the same phases.
+const BASELINE_REACTOR_P50_US: [(&str, u64); 4] = [
+    ("echo", 11),
+    ("predict b=1", 26),
+    ("predict b=8", 29),
+    ("http_predict", 45),
+];
 
 fn stats(hist: &Histogram, iters: u64) -> RttStats {
     let snap = hist.snapshot();
@@ -172,6 +198,28 @@ async fn run_predict(batch: usize, phase: Duration) -> RttStats {
     stats(&hist, iters)
 }
 
+/// Closed-loop keep-alive predict over the real HTTP frontend: head
+/// parse, routing, JSON decode/encode — the full data-plane path.
+async fn run_http_predict(phase: Duration) -> RttStats {
+    let (frontend, _clipper) = clipper_bench::http_bench::start_echo_frontend().await;
+    let mut client = clipper_bench::http_bench::HttpClient::connect(frontend.local_addr()).await;
+    let req = clipper_bench::http_bench::predict_request(7);
+    for _ in 0..100 {
+        assert_eq!(client.call(&req).await, 200);
+    }
+    let hist = Histogram::new();
+    let mut iters = 0u64;
+    let t_end = Instant::now() + phase;
+    while Instant::now() < t_end {
+        let t0 = Instant::now();
+        let status = client.call(&req).await;
+        hist.record(t0.elapsed().as_micros() as u64);
+        assert_eq!(status, 200);
+        iters += 1;
+    }
+    stats(&hist, iters)
+}
+
 /// Park a blocked accept, then count timer registrations over a quiet
 /// window. Under the reactor this must be zero: readiness never touches
 /// the timer heap.
@@ -205,11 +253,13 @@ async fn run_mode(mode: IoMode, phase: Duration, idle_window: Option<Duration>) 
     let echo = run_echo(phase).await;
     let predict1 = run_predict(1, phase).await;
     let predict8 = run_predict(8, phase).await;
+    let http_predict = run_http_predict(phase).await;
     ModeResult {
         mode: label.to_string(),
         echo,
         predict1,
         predict8,
+        http_predict,
         idle_timer_registrations,
         idle_window_ms,
     }
@@ -272,6 +322,7 @@ async fn main() {
             ("echo", &m.echo),
             ("predict b=1", &m.predict1),
             ("predict b=8", &m.predict8),
+            ("http_predict", &m.http_predict),
         ] {
             table.row(&[
                 m.mode.clone(),
@@ -312,6 +363,13 @@ async fn main() {
         modes: vec![reactor.clone(), backoff.clone()],
         echo_p50_speedup,
         predict1_p50_speedup,
+        baseline_reactor_p50_us: BASELINE_REACTOR_P50_US
+            .iter()
+            .map(|(path, p50_us)| BaselineRow {
+                path: path.to_string(),
+                p50_us: *p50_us,
+            })
+            .collect(),
     };
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out_path, &json).expect("write report");
@@ -322,10 +380,12 @@ async fn main() {
     let parsed: Report = serde_json::from_str(&std::fs::read_to_string(&out_path).expect("reread"))
         .expect("emitted JSON must parse back into the report schema");
     assert!(
-        parsed
-            .modes
-            .iter()
-            .all(|m| m.echo.iters > 0 && m.predict1.iters > 0 && m.predict8.iters > 0),
+        parsed.modes.iter().all(|m| {
+            m.echo.iters > 0
+                && m.predict1.iters > 0
+                && m.predict8.iters > 0
+                && m.http_predict.iters > 0
+        }),
         "malformed report: a measurement recorded zero iterations"
     );
 

@@ -24,6 +24,8 @@
 //! Set `CLIPPER_BENCH_SECONDS` to stretch/shrink measured phases (default
 //! 3 s; the EXPERIMENTS.md numbers were recorded at the default).
 
+pub mod http_bench;
+
 use clipper_containers::{
     ContainerConfig, ContainerLogic, LocalContainerTransport, ModelContainer, TimingModel,
 };

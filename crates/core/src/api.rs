@@ -505,6 +505,245 @@ pub struct ModelView {
     pub inflight: usize,
 }
 
+// ---------------------------------------------------------------------
+// One-pass emitters for control-plane read bodies
+// ---------------------------------------------------------------------
+//
+// The list/view GET bodies sit on operator pollers' hot paths; emitting
+// straight into one buffer skips the serde `Content` tree (and its
+// per-field allocations) entirely. Every emitter is byte-identical to
+// `serde_json::to_string` of the same value — enforced by tests that
+// sweep each enum variant and escape-worthy string.
+
+/// `{"name":...,"version":N}` — serde's derive shape for [`ModelId`].
+fn emit_model_id(e: &mut crate::json_emit::Emitter, m: &ModelId) {
+    e.raw("{\"name\":");
+    e.string(&m.name);
+    e.raw(",\"version\":");
+    e.u64(u64::from(m.version));
+    e.raw("}");
+}
+
+/// Externally tagged [`PolicyKind`]: unit variants are bare strings
+/// (`"Ucb1"`), struct variants single-key objects (`{"Exp3":{"eta":E}}`).
+fn emit_policy(e: &mut crate::json_emit::Emitter, p: &PolicyKind) -> Result<(), NonFiniteFloat> {
+    match p {
+        PolicyKind::Exp3 { eta } => {
+            e.raw("{\"Exp3\":{\"eta\":");
+            e.f64(*eta)?;
+            e.raw("}}");
+        }
+        PolicyKind::Exp4 { eta } => {
+            e.raw("{\"Exp4\":{\"eta\":");
+            e.f64(*eta)?;
+            e.raw("}}");
+        }
+        PolicyKind::EpsilonGreedy { epsilon } => {
+            e.raw("{\"EpsilonGreedy\":{\"epsilon\":");
+            e.f64(*epsilon)?;
+            e.raw("}}");
+        }
+        PolicyKind::Ucb1 => e.raw("\"Ucb1\""),
+        PolicyKind::Thompson => e.raw("\"Thompson\""),
+        PolicyKind::MajorityVote => e.raw("\"MajorityVote\""),
+        PolicyKind::Static { model_index } => {
+            e.raw("{\"Static\":{\"model_index\":");
+            e.u64(*model_index as u64);
+            e.raw("}}");
+        }
+    }
+    Ok(())
+}
+
+impl AppView {
+    /// Stream this view into `e` in declaration field order.
+    pub fn emit(&self, e: &mut crate::json_emit::Emitter) -> Result<(), NonFiniteFloat> {
+        e.raw("{\"name\":");
+        e.string(&self.name);
+        e.raw(",\"candidate_models\":[");
+        for (i, m) in self.candidate_models.iter().enumerate() {
+            if i > 0 {
+                e.raw(",");
+            }
+            emit_model_id(e, m);
+        }
+        e.raw("],\"policy\":");
+        emit_policy(e, &self.policy)?;
+        e.raw(",\"slo_ms\":");
+        e.u64(self.slo_ms);
+        e.raw(",\"slo_us\":");
+        match self.slo_us {
+            Some(us) => e.u64(us),
+            None => e.raw("null"),
+        }
+        e.raw(",\"default_output\":");
+        self.default_output.emit(e)?;
+        e.raw(",\"seed\":");
+        e.u64(self.seed);
+        e.raw("}");
+        Ok(())
+    }
+
+    /// Serialize to a response body. A non-finite policy parameter is an
+    /// internal error, matching serde's failure mode.
+    pub fn to_json(&self) -> Result<String, ApiError> {
+        let mut e = crate::json_emit::Emitter::with_capacity(256);
+        match self.emit(&mut e) {
+            Ok(()) => Ok(e.into_string()),
+            Err(err) => Err(ApiError::Internal(err.to_string())),
+        }
+    }
+}
+
+/// Serialize the `GET /api/v1/apps` list body.
+pub fn app_views_to_json(views: &[AppView]) -> Result<String, ApiError> {
+    let mut e = crate::json_emit::Emitter::with_capacity(64 + 256 * views.len());
+    e.raw("[");
+    for (i, v) in views.iter().enumerate() {
+        if i > 0 {
+            e.raw(",");
+        }
+        if let Err(err) = v.emit(&mut e) {
+            return Err(ApiError::Internal(err.to_string()));
+        }
+    }
+    e.raw("]");
+    Ok(e.into_string())
+}
+
+impl ModelView {
+    /// Stream this view into `e` in declaration field order. Infallible:
+    /// the shape contains only strings and integers.
+    pub fn emit(&self, e: &mut crate::json_emit::Emitter) {
+        e.raw("{\"name\":");
+        e.string(&self.name);
+        e.raw(",\"current_version\":");
+        e.u64(u64::from(self.current_version));
+        e.raw(",\"versions\":[");
+        for (i, v) in self.versions.iter().enumerate() {
+            if i > 0 {
+                e.raw(",");
+            }
+            e.u64(u64::from(*v));
+        }
+        e.raw("],\"history\":[");
+        for (i, v) in self.history.iter().enumerate() {
+            if i > 0 {
+                e.raw(",");
+            }
+            e.u64(u64::from(*v));
+        }
+        e.raw("],\"replicas\":[");
+        for (i, r) in self.replicas.iter().enumerate() {
+            if i > 0 {
+                e.raw(",");
+            }
+            e.string(r);
+        }
+        e.raw("],\"queue_depth\":");
+        e.u64(self.queue_depth as u64);
+        e.raw(",\"inflight\":");
+        e.u64(self.inflight as u64);
+        e.raw("}");
+    }
+
+    /// Serialize to a response body.
+    pub fn to_json(&self) -> String {
+        let mut e = crate::json_emit::Emitter::with_capacity(192);
+        self.emit(&mut e);
+        e.into_string()
+    }
+}
+
+/// Serialize the `GET /api/v1/models` list body.
+pub fn model_views_to_json(views: &[ModelView]) -> String {
+    let mut e = crate::json_emit::Emitter::with_capacity(64 + 192 * views.len());
+    e.raw("[");
+    for (i, v) in views.iter().enumerate() {
+        if i > 0 {
+            e.raw(",");
+        }
+        v.emit(&mut e);
+    }
+    e.raw("]");
+    e.into_string()
+}
+
+/// Serialize a `/metrics` snapshot: `{"values":{name:metric,...}}` with
+/// each metric internally tagged (`{"kind":"counter",...}`), matching the
+/// serde derive on [`clipper_metrics::MetricValue`]. BTreeMap keys come
+/// out sorted from both paths.
+pub fn snapshot_to_json(snap: &clipper_metrics::RegistrySnapshot) -> Result<String, ApiError> {
+    use clipper_metrics::MetricValue;
+    let mut e = crate::json_emit::Emitter::with_capacity(64 + 96 * snap.values.len());
+    let emit = (|| {
+        e.raw("{\"values\":{");
+        for (i, (name, v)) in snap.values.iter().enumerate() {
+            if i > 0 {
+                e.raw(",");
+            }
+            e.string(name);
+            e.raw(":");
+            match v {
+                MetricValue::Counter { value } => {
+                    e.raw("{\"kind\":\"counter\",\"value\":");
+                    e.u64(*value);
+                    e.raw("}");
+                }
+                MetricValue::Gauge { value } => {
+                    e.raw("{\"kind\":\"gauge\",\"value\":");
+                    e.i64(*value);
+                    e.raw("}");
+                }
+                MetricValue::Meter {
+                    count,
+                    rate,
+                    mean_rate,
+                } => {
+                    e.raw("{\"kind\":\"meter\",\"count\":");
+                    e.u64(*count);
+                    e.raw(",\"rate\":");
+                    e.f64(*rate)?;
+                    e.raw(",\"mean_rate\":");
+                    e.f64(*mean_rate)?;
+                    e.raw("}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    p50,
+                    p95,
+                    p99,
+                    max,
+                    min,
+                } => {
+                    e.raw("{\"kind\":\"histogram\",\"count\":");
+                    e.u64(*count);
+                    e.raw(",\"mean\":");
+                    e.f64(*mean)?;
+                    e.raw(",\"p50\":");
+                    e.u64(*p50);
+                    e.raw(",\"p95\":");
+                    e.u64(*p95);
+                    e.raw(",\"p99\":");
+                    e.u64(*p99);
+                    e.raw(",\"max\":");
+                    e.u64(*max);
+                    e.raw(",\"min\":");
+                    e.u64(*min);
+                    e.raw("}");
+                }
+            }
+        }
+        e.raw("}}");
+        Ok::<(), NonFiniteFloat>(())
+    })();
+    match emit {
+        Ok(()) => Ok(e.into_string()),
+        Err(err) => Err(ApiError::Internal(err.to_string())),
+    }
+}
+
 /// Wire form of [`BatchStrategy`] (whose `Fixed(usize)` tuple variant
 /// the vendored serde derive cannot express).
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -772,6 +1011,155 @@ mod tests {
                 "fast emitter diverged for {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn app_view_fast_path_is_byte_identical_to_serde() {
+        let policies = [
+            PolicyKind::Exp3 { eta: 0.2 },
+            PolicyKind::Exp4 { eta: 1.0 },
+            PolicyKind::EpsilonGreedy { epsilon: 0.05 },
+            PolicyKind::Ucb1,
+            PolicyKind::Thompson,
+            PolicyKind::MajorityVote,
+            PolicyKind::Static { model_index: 3 },
+        ];
+        let outputs = [
+            JsonOutput::Class { label: 0 },
+            JsonOutput::Scores {
+                scores: vec![0.25, 1.0, -3.5],
+            },
+            JsonOutput::Labels {
+                labels: vec![7, 8, 9],
+            },
+        ];
+        for (i, policy) in policies.into_iter().enumerate() {
+            let view = AppView {
+                name: format!("we\"ird\\app-{i}"),
+                candidate_models: vec![ModelId::new("m", 1), ModelId::new("tab\tname", 42)],
+                policy,
+                slo_ms: 20,
+                slo_us: if i % 2 == 0 { Some(20_000) } else { None },
+                default_output: outputs[i % outputs.len()].clone(),
+                seed: u64::MAX,
+            };
+            assert_eq!(
+                view.to_json().unwrap(),
+                serde_json::to_string(&view).unwrap(),
+                "fast emitter diverged for {view:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn app_view_list_is_byte_identical_to_serde() {
+        let views: Vec<AppView> = (0..3)
+            .map(|i| AppView {
+                name: format!("app-{i}"),
+                candidate_models: vec![ModelId::new("m", i)],
+                policy: PolicyKind::default(),
+                slo_ms: 20,
+                slo_us: Some(20_000),
+                default_output: JsonOutput::Class { label: 0 },
+                seed: i as u64,
+            })
+            .collect();
+        assert_eq!(
+            app_views_to_json(&views).unwrap(),
+            serde_json::to_string(&views).unwrap()
+        );
+        assert_eq!(app_views_to_json(&[]).unwrap(), "[]");
+    }
+
+    #[test]
+    fn model_view_fast_path_is_byte_identical_to_serde() {
+        let views = [
+            ModelView {
+                name: "mnist-svm".to_string(),
+                current_version: 2,
+                versions: vec![1, 2, 3],
+                history: vec![1],
+                replicas: vec!["r\"0".to_string(), "r1".to_string()],
+                queue_depth: 17,
+                inflight: 3,
+            },
+            ModelView {
+                name: String::new(),
+                current_version: 0,
+                versions: vec![],
+                history: vec![],
+                replicas: vec![],
+                queue_depth: 0,
+                inflight: 0,
+            },
+        ];
+        for view in &views {
+            assert_eq!(
+                view.to_json(),
+                serde_json::to_string(view).unwrap(),
+                "fast emitter diverged for {view:?}"
+            );
+        }
+        assert_eq!(
+            model_views_to_json(&views),
+            serde_json::to_string(&views.to_vec()).unwrap()
+        );
+        assert_eq!(model_views_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn metrics_snapshot_fast_path_is_byte_identical_to_serde() {
+        use clipper_metrics::{MetricValue, RegistrySnapshot};
+        let mut values = std::collections::BTreeMap::new();
+        values.insert(
+            "frontend.qps".to_string(),
+            MetricValue::Counter { value: u64::MAX },
+        );
+        values.insert("queue.depth".to_string(), MetricValue::Gauge { value: -12 });
+        values.insert(
+            "predict.rate".to_string(),
+            MetricValue::Meter {
+                count: 1_000,
+                rate: 250.5,
+                mean_rate: 3.0,
+            },
+        );
+        values.insert(
+            "latency\"us".to_string(),
+            MetricValue::Histogram {
+                count: 9,
+                mean: 41.75,
+                p50: 40,
+                p95: 90,
+                p99: 99,
+                max: 120,
+                min: 2,
+            },
+        );
+        let snap = RegistrySnapshot { values };
+        assert_eq!(
+            snapshot_to_json(&snap).unwrap(),
+            serde_json::to_string(&snap).unwrap()
+        );
+        let empty = RegistrySnapshot {
+            values: Default::default(),
+        };
+        assert_eq!(snapshot_to_json(&empty).unwrap(), "{\"values\":{}}");
+    }
+
+    #[test]
+    fn non_finite_policy_parameters_are_internal_errors() {
+        let view = AppView {
+            name: "a".to_string(),
+            candidate_models: vec![],
+            policy: PolicyKind::Exp3 { eta: f64::NAN },
+            slo_ms: 20,
+            slo_us: None,
+            default_output: JsonOutput::Class { label: 0 },
+            seed: 0,
+        };
+        assert!(matches!(view.to_json(), Err(ApiError::Internal(_))));
+        assert!(serde_json::to_string(&view).is_err());
     }
 
     #[test]

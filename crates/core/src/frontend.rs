@@ -29,7 +29,8 @@
 //! pipelined request), never byte-at-a-time.
 
 use crate::api::{
-    ApiError, AppPatch, AppSpec, AppView, ErrorBody, JsonOutput, ModelSpec, RolloutRequest,
+    app_views_to_json, model_views_to_json, snapshot_to_json, ApiError, AppPatch, AppSpec, AppView,
+    ErrorBody, JsonOutput, ModelSpec, RolloutRequest,
 };
 use crate::clipper::Clipper;
 use crate::types::{Feedback, ModelId};
@@ -93,6 +94,154 @@ struct PredictRequest {
     context: Option<String>,
 }
 
+/// Hand-rolled parse of the predict body's fixed shape —
+/// `{"input":[...]}` with an optional `"context"` key in either order —
+/// straight off the request bytes. The serde path builds a full value
+/// tree per request; this allocates only the feature vector itself (and
+/// the context string when present). Returns `None` on anything it
+/// doesn't recognize — including escaped strings and duplicate keys — so
+/// the caller can fall back to serde for exact error messages and full
+/// JSON generality.
+fn fast_parse_predict(body: &[u8]) -> Option<PredictRequest> {
+    let mut c = body;
+    skip_ws(&mut c);
+    c = c.strip_prefix(b"{")?;
+    let mut input: Option<Vec<f32>> = None;
+    let mut context: Option<String> = None;
+    loop {
+        skip_ws(&mut c);
+        let key_end = 1 + c.get(1..)?.iter().position(|&b| b == b'"' || b == b'\\')?;
+        let key = match c.first()? {
+            b'"' => &c[1..key_end],
+            _ => return None,
+        };
+        if c.get(key_end)? != &b'"' {
+            return None; // escape in key: bail to serde
+        }
+        c = &c[key_end + 1..];
+        skip_ws(&mut c);
+        c = c.strip_prefix(b":")?;
+        skip_ws(&mut c);
+        match key {
+            b"input" if input.is_none() => {
+                c = c.strip_prefix(b"[")?;
+                let mut v = Vec::new();
+                skip_ws(&mut c);
+                if let Some(rest) = c.strip_prefix(b"]") {
+                    c = rest;
+                } else {
+                    loop {
+                        let end = c
+                            .iter()
+                            .position(|&b| {
+                                !matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                            })
+                            .unwrap_or(c.len());
+                        if !json_number_ok(&c[..end]) {
+                            return None;
+                        }
+                        let num: f32 = std::str::from_utf8(&c[..end]).ok()?.parse().ok()?;
+                        v.push(num);
+                        c = &c[end..];
+                        skip_ws(&mut c);
+                        if let Some(rest) = c.strip_prefix(b",") {
+                            c = rest;
+                            skip_ws(&mut c);
+                        } else {
+                            c = c.strip_prefix(b"]")?;
+                            break;
+                        }
+                    }
+                }
+                input = Some(v);
+            }
+            b"context" if context.is_none() => {
+                if let Some(rest) = c.strip_prefix(b"null") {
+                    c = rest;
+                } else {
+                    c = c.strip_prefix(b"\"")?;
+                    let end = c.iter().position(|&b| b == b'"' || b == b'\\')?;
+                    if c[end] == b'\\' {
+                        return None; // escaped context: bail to serde
+                    }
+                    context = Some(std::str::from_utf8(&c[..end]).ok()?.to_owned());
+                    c = &c[end + 1..];
+                }
+            }
+            _ => return None, // unknown or duplicate key: bail to serde
+        }
+        skip_ws(&mut c);
+        if let Some(rest) = c.strip_prefix(b",") {
+            c = rest;
+        } else {
+            c = c.strip_prefix(b"}")?;
+            break;
+        }
+    }
+    skip_ws(&mut c);
+    if !c.is_empty() {
+        return None;
+    }
+    Some(PredictRequest {
+        input: input?,
+        context,
+    })
+}
+
+/// Whether `t` spells a number the JSON grammar allows —
+/// `-?digits(.digits)?([eE][+-]?digits)?`. Rust's float parser is laxer
+/// (`+1`, `1.`, `.5`, `inf`), and accepting those here would make the
+/// fast path disagree with the serde fallback about what is a 400.
+fn json_number_ok(t: &[u8]) -> bool {
+    let mut s = t;
+    if let Some(r) = s.strip_prefix(b"-") {
+        s = r;
+    }
+    let d = s
+        .iter()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(s.len());
+    if d == 0 {
+        return false;
+    }
+    s = &s[d..];
+    if let Some(r) = s.strip_prefix(b".") {
+        let d = r
+            .iter()
+            .position(|b| !b.is_ascii_digit())
+            .unwrap_or(r.len());
+        if d == 0 {
+            return false;
+        }
+        s = &r[d..];
+    }
+    if let Some(r) = s.strip_prefix(b"e").or_else(|| s.strip_prefix(b"E")) {
+        let r = r
+            .strip_prefix(b"+")
+            .or_else(|| r.strip_prefix(b"-"))
+            .unwrap_or(r);
+        let d = r
+            .iter()
+            .position(|b| !b.is_ascii_digit())
+            .unwrap_or(r.len());
+        if d == 0 {
+            return false;
+        }
+        s = &r[d..];
+    }
+    s.is_empty()
+}
+
+fn skip_ws(c: &mut &[u8]) {
+    while let Some(rest) = c
+        .first()
+        .filter(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        .map(|_| &c[1..])
+    {
+        *c = rest;
+    }
+}
+
 #[derive(Serialize)]
 struct PredictResponse {
     output: JsonOutput,
@@ -154,19 +303,35 @@ fn status_body(status: &str) -> String {
 // Request reading
 // ---------------------------------------------------------------------
 
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
+/// Retained-buffer size cap: buffers grown by an oversized request or
+/// response shrink back once drained, so one large body doesn't pin
+/// megabytes per idle connection.
+const RETAINED_BUF: usize = 64 * 1024;
+
+/// One parsed request head: index ranges into the reader's retained
+/// buffer. Nothing is copied out on the per-request path — handlers
+/// borrow method/path/body straight from the buffer, and
+/// [`RequestReader::consume`] releases the bytes afterwards.
+struct ReqHead {
+    method: std::ops::Range<usize>,
+    path: std::ops::Range<usize>,
+    body: std::ops::Range<usize>,
     keep_alive: bool,
 }
 
-/// Buffered request reader: reads the socket in chunks, scans for the
-/// head terminator, and carries overread bytes into the body and into the
-/// next pipelined request on the connection.
+/// Buffered request reader: the socket is read directly into one
+/// retained buffer, the head is scanned for `\r\n\r\n`, and overread
+/// bytes stay in place for the body and the next pipelined request.
 struct RequestReader {
     rd: tokio::net::tcp::OwnedReadHalf,
-    carry: Vec<u8>,
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    start: usize,
+    /// End of valid bytes in `buf`.
+    end: usize,
+    /// Absolute resume point for the head-terminator scan, so each byte
+    /// is examined once even when the head arrives in fragments.
+    scanned: usize,
 }
 
 /// First index of `\r\n\r\n` at or after `from`.
@@ -178,68 +343,122 @@ fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
         .map(|p| start + p)
 }
 
+/// Case-insensitively strip a header-name prefix, returning the value.
+fn strip_header<'a>(line: &'a [u8], name: &[u8]) -> Option<&'a [u8]> {
+    if line.len() >= name.len() && line[..name.len()].eq_ignore_ascii_case(name) {
+        Some(&line[name.len()..])
+    } else {
+        None
+    }
+}
+
+/// Whether a `connection:` header value contains the token `close`.
+fn contains_close(value: &[u8]) -> bool {
+    value.windows(5).any(|w| w.eq_ignore_ascii_case(b"close"))
+}
+
+/// Parse a decimal header value (leading spaces skipped, trailing junk
+/// ignored — same tolerance as the old `trim().parse().unwrap_or(0)`).
+fn parse_decimal(mut v: &[u8]) -> usize {
+    while let Some((b' ', rest)) = v.split_first().map(|(b, r)| (*b, r)) {
+        v = rest;
+    }
+    let mut n = 0usize;
+    for &b in v {
+        match b {
+            b'0'..=b'9' => n = n.saturating_mul(10) + (b - b'0') as usize,
+            _ => break,
+        }
+    }
+    n
+}
+
 impl RequestReader {
     fn new(rd: tokio::net::tcp::OwnedReadHalf) -> Self {
         RequestReader {
             rd,
-            carry: Vec::with_capacity(READ_CHUNK),
+            buf: vec![0u8; READ_CHUNK],
+            start: 0,
+            end: 0,
+            scanned: 0,
         }
     }
 
+    fn slice(&self, r: &std::ops::Range<usize>) -> &[u8] {
+        &self.buf[r.clone()]
+    }
+
+    /// Read more bytes into the retained buffer, compacting consumed
+    /// space (or growing) when full. Returns bytes read; 0 means EOF.
     async fn fill(&mut self) -> std::io::Result<usize> {
-        let mut chunk = [0u8; READ_CHUNK];
-        let n = self.rd.read(&mut chunk).await?;
-        self.carry.extend_from_slice(&chunk[..n]);
+        if self.end == self.buf.len() {
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.scanned -= self.start;
+                self.start = 0;
+            } else {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+        }
+        let n = self.rd.read(&mut self.buf[self.end..]).await?;
+        self.end += n;
         Ok(n)
     }
 
-    /// Read one request, or `None` on clean EOF between requests.
-    async fn next(&mut self) -> std::io::Result<Option<Request>> {
-        // Locate the end of the head, reading chunks as needed. `scanned`
-        // remembers how far previous scans got (minus terminator overlap)
-        // so each byte is examined once.
-        let mut scanned = 0usize;
-        let head_end = loop {
-            if let Some(pos) = find_head_end(&self.carry, scanned) {
-                break pos + 4;
-            }
-            scanned = self.carry.len().saturating_sub(3);
-            if self.carry.len() > MAX_HEAD {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "headers too large",
-                ));
-            }
-            if self.fill().await? == 0 {
-                if self.carry.is_empty() {
-                    return Ok(None); // clean EOF between requests
+    /// Parse one request if it is fully buffered; `Ok(None)` means more
+    /// bytes are needed (call [`Self::fill`] or [`Self::next`]).
+    fn try_next(&mut self) -> std::io::Result<Option<ReqHead>> {
+        let head_end = match find_head_end(&self.buf[..self.end], self.scanned.max(self.start)) {
+            Some(pos) => pos + 4,
+            None => {
+                self.scanned = self.end.saturating_sub(3).max(self.start);
+                if self.end - self.start > MAX_HEAD {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "headers too large",
+                    ));
                 }
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-head",
-                ));
+                return Ok(None);
             }
         };
 
-        // Borrowed parse: the head is only split and inspected, so no
-        // owned copy of it is needed on the per-request path.
-        let head = String::from_utf8_lossy(&self.carry[..head_end]);
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or_default();
-        let mut parts = request_line.split_whitespace();
-        let method = parts.next().unwrap_or_default().to_string();
-        let path = parts.next().unwrap_or_default().to_string();
+        // Request line: method, then path, space-separated.
+        let head = &self.buf[self.start..head_end];
+        let line_end = head
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .unwrap_or(head.len());
+        let line = &head[..line_end];
+        let method_len = line.iter().position(|&b| b == b' ').unwrap_or(line.len());
+        let after_method = &line[method_len..];
+        let path_off = after_method
+            .iter()
+            .position(|&b| b != b' ')
+            .unwrap_or(after_method.len());
+        let path_start = method_len + path_off;
+        let path_end = line[path_start..]
+            .iter()
+            .position(|&b| b == b' ')
+            .map(|p| path_start + p)
+            .unwrap_or(line.len());
 
         let mut content_length = 0usize;
         let mut keep_alive = true;
-        for line in lines {
-            let lower = line.to_ascii_lowercase();
-            if let Some(v) = lower.strip_prefix("content-length:") {
-                content_length = v.trim().parse().unwrap_or(0);
-            }
-            if lower.starts_with("connection:") && lower.contains("close") {
+        let mut rest = &head[line_end..];
+        while rest.len() > 2 {
+            rest = &rest[2..]; // strip the leading \r\n
+            let le = rest
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .unwrap_or(rest.len());
+            let hline = &rest[..le];
+            if let Some(v) = strip_header(hline, b"content-length:") {
+                content_length = parse_decimal(v);
+            } else if strip_header(hline, b"connection:").is_some_and(contains_close) {
                 keep_alive = false;
             }
+            rest = &rest[le..];
         }
         if content_length > MAX_BODY {
             return Err(std::io::Error::new(
@@ -248,46 +467,201 @@ impl RequestReader {
             ));
         }
 
-        // The body may be partly (or fully) in the carry already.
+        // The body may still be in flight.
         let total = head_end + content_length;
-        while self.carry.len() < total {
+        if self.end < total {
+            return Ok(None);
+        }
+        Ok(Some(ReqHead {
+            method: self.start..self.start + method_len,
+            path: self.start + path_start..self.start + path_end,
+            body: head_end..total,
+            keep_alive,
+        }))
+    }
+
+    /// Read one request, or `None` on clean EOF between requests.
+    async fn next(&mut self) -> std::io::Result<Option<ReqHead>> {
+        loop {
+            if let Some(head) = self.try_next()? {
+                return Ok(Some(head));
+            }
             if self.fill().await? == 0 {
+                if self.start == self.end {
+                    return Ok(None); // clean EOF between requests
+                }
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
+                    "connection closed mid-request",
                 ));
             }
         }
-        let body = self.carry[head_end..total].to_vec();
-        // Whatever follows belongs to the next pipelined request.
-        self.carry.drain(..total);
-        Ok(Some(Request {
-            method,
-            path,
-            body,
-            keep_alive,
-        }))
+    }
+
+    /// Release a served request's bytes; whatever follows belongs to the
+    /// next pipelined request.
+    fn consume(&mut self, head: &ReqHead) {
+        self.start = head.body.end;
+        self.scanned = self.start;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            self.scanned = 0;
+            if self.buf.len() > RETAINED_BUF {
+                self.buf = vec![0u8; READ_CHUNK];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response writing
+// ---------------------------------------------------------------------
+
+/// Body size at or above which the response head and body go to the
+/// kernel as one gather write instead of being copied together.
+const VECTORED_BODY: usize = 4 * 1024;
+
+/// Buffered response writer with one retained output buffer. Responses
+/// are queued and flushed together, so pipelined requests answered in
+/// one readiness window coalesce into a single write; large bodies skip
+/// the copy entirely via a vectored head+body write.
+struct ResponseWriter {
+    wr: tokio::net::tcp::OwnedWriteHalf,
+    out: Vec<u8>,
+}
+
+/// Append the decimal digits of `n`.
+fn push_decimal(out: &mut Vec<u8>, mut n: usize) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
+}
+
+impl ResponseWriter {
+    fn new(wr: tokio::net::tcp::OwnedWriteHalf) -> Self {
+        ResponseWriter {
+            wr,
+            out: Vec::with_capacity(READ_CHUNK),
+        }
+    }
+
+    fn queue_head(&mut self, status: u16, body_len: usize, keep_alive: bool) {
+        let reason = match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Internal Server Error",
+        };
+        self.out.extend_from_slice(b"HTTP/1.1 ");
+        push_decimal(&mut self.out, status as usize);
+        self.out.push(b' ');
+        self.out.extend_from_slice(reason.as_bytes());
+        self.out
+            .extend_from_slice(b"\r\ncontent-type: application/json\r\ncontent-length: ");
+        push_decimal(&mut self.out, body_len);
+        self.out.extend_from_slice(b"\r\nconnection: ");
+        self.out.extend_from_slice(if keep_alive {
+            b"keep-alive".as_slice()
+        } else {
+            b"close".as_slice()
+        });
+        self.out.extend_from_slice(b"\r\n\r\n");
+    }
+
+    /// Queue one complete response. Small bodies append to the retained
+    /// buffer (flushed before the connection next blocks); large bodies
+    /// flush immediately as a single vectored write of everything queued
+    /// plus the body.
+    async fn respond(&mut self, status: u16, body: &str, keep_alive: bool) -> std::io::Result<()> {
+        self.queue_head(status, body.len(), keep_alive);
+        if body.len() >= VECTORED_BODY {
+            let mut slices = [
+                std::io::IoSlice::new(&self.out),
+                std::io::IoSlice::new(body.as_bytes()),
+            ];
+            self.wr.write_all_vectored(&mut slices).await?;
+            self.wr.flush().await?;
+            self.reset();
+        } else {
+            self.out.extend_from_slice(body.as_bytes());
+        }
+        Ok(())
+    }
+
+    /// Write everything queued as one write.
+    async fn flush(&mut self) -> std::io::Result<()> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.wr.write_all(&self.out).await?;
+        self.wr.flush().await?;
+        self.reset();
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.out.clear();
+        if self.out.capacity() > RETAINED_BUF {
+            self.out = Vec::with_capacity(READ_CHUNK);
+        }
     }
 }
 
 async fn serve_connection(conn: TcpStream, clipper: Clipper) -> std::io::Result<()> {
     conn.set_nodelay(true)?;
-    let (rd, mut wr) = conn.into_split();
+    let (rd, wr) = conn.into_split();
     let mut reader = RequestReader::new(rd);
+    let mut writer = ResponseWriter::new(wr);
     loop {
-        let req = match reader.next().await {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()),
+        // Serve everything already buffered before flushing: responses to
+        // pipelined requests coalesce into one write, and the flush
+        // happens exactly when the connection would otherwise block.
+        let parsed = match reader.try_next() {
+            Ok(Some(head)) => Ok(Some(head)),
+            Ok(None) => {
+                writer.flush().await?;
+                reader.next().await
+            }
+            Err(e) => Err(e),
+        };
+        let head = match parsed {
+            Ok(Some(head)) => head,
+            Ok(None) => return Ok(()), // clean EOF; nothing left queued
             Err(e) => {
                 let err = ApiError::BadRequest(e.to_string());
-                let _ = write_response(&mut wr, 400, &ErrorBody::of(&err).to_json(), false).await;
+                let _ = writer
+                    .respond(400, &ErrorBody::of(&err).to_json(), false)
+                    .await;
+                let _ = writer.flush().await;
                 return Ok(());
             }
         };
-        let keep_alive = req.keep_alive;
-        let (status, body) = route(&clipper, req).await;
-        write_response(&mut wr, status, &body, keep_alive).await?;
+        let keep_alive = head.keep_alive;
+        let (status, body) = route(
+            &clipper,
+            reader.slice(&head.method),
+            reader.slice(&head.path),
+            reader.slice(&head.body),
+        )
+        .await;
+        writer.respond(status, &body, keep_alive).await?;
+        reader.consume(&head);
         if !keep_alive {
+            writer.flush().await?;
             return Ok(());
         }
     }
@@ -306,26 +680,53 @@ enum Method {
     Delete,
 }
 
-/// A typed route: method plus non-empty path segments (query stripped).
-/// Replaces the old string-prefix matching — handlers match on exact
-/// segment shapes.
+impl Method {
+    fn parse(raw: &[u8]) -> Option<Method> {
+        match raw {
+            b"GET" => Some(Method::Get),
+            b"POST" => Some(Method::Post),
+            b"PATCH" => Some(Method::Patch),
+            b"DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Deepest route shape is 5 segments; anything deeper matches nothing.
+const MAX_SEGMENTS: usize = 8;
+
+/// A typed route: method plus non-empty path segments (query stripped),
+/// split into a fixed array — no per-request allocation. Handlers match
+/// on exact segment shapes.
 struct Route<'a> {
     method: Method,
-    segments: Vec<&'a str>,
+    segments: [&'a str; MAX_SEGMENTS],
+    len: usize,
 }
 
 impl<'a> Route<'a> {
-    fn parse(method: &str, path: &'a str) -> Option<Route<'a>> {
-        let method = match method {
-            "GET" => Method::Get,
-            "POST" => Method::Post,
-            "PATCH" => Method::Patch,
-            "DELETE" => Method::Delete,
-            _ => return None,
-        };
+    /// `None` when the path is deeper than any route — a 404, since every
+    /// registered route is at most 5 segments.
+    fn parse(method: Method, path: &'a str) -> Option<Route<'a>> {
         let path = path.split('?').next().unwrap_or("");
-        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-        Some(Route { method, segments })
+        let mut segments = [""; MAX_SEGMENTS];
+        let mut len = 0usize;
+        for s in path.split('/').filter(|s| !s.is_empty()) {
+            if len == MAX_SEGMENTS {
+                return None;
+            }
+            segments[len] = s;
+            len += 1;
+        }
+        Some(Route {
+            method,
+            segments,
+            len,
+        })
+    }
+
+    fn segs(&self) -> &[&'a str] {
+        &self.segments[..self.len]
     }
 }
 
@@ -340,14 +741,19 @@ fn json_ok<T: Serialize>(status: u16, value: &T) -> Result<(u16, String), ApiErr
     Ok((status, body))
 }
 
-async fn route(clipper: &Clipper, req: Request) -> (u16, String) {
-    let parsed = Route::parse(&req.method, &req.path);
-    let result = match parsed {
+async fn route(clipper: &Clipper, method: &[u8], path: &[u8], body: &[u8]) -> (u16, String) {
+    let result = match Method::parse(method) {
         None => Err(ApiError::BadRequest(format!(
             "unsupported method {}",
-            req.method
+            String::from_utf8_lossy(method)
         ))),
-        Some(r) => dispatch(clipper, r, &req.body).await,
+        Some(m) => match std::str::from_utf8(path) {
+            Err(_) => Err(ApiError::BadRequest("path is not valid utf-8".into())),
+            Ok(p) => match Route::parse(m, p) {
+                None => Err(ApiError::NotFound),
+                Some(r) => dispatch(clipper, r, body).await,
+            },
+        },
     };
     match result {
         Ok(ok) => ok,
@@ -361,11 +767,11 @@ async fn dispatch(
     body: &[u8],
 ) -> Result<(u16, String), ApiError> {
     use Method::*;
-    match (route.method, route.segments.as_slice()) {
+    match (route.method, route.segs()) {
         (Get, ["health"]) => Ok((200, status_body("ok"))),
         (Get, ["metrics"]) => {
             let snap = clipper.registry().snapshot();
-            json_ok(200, &snap)
+            Ok((200, snapshot_to_json(&snap)?))
         }
 
         // --- data plane (v1 + legacy aliases) ---
@@ -385,7 +791,7 @@ async fn dispatch(
                 .map(|cfg| AppView::from(&cfg))
                 .collect();
             views.sort_by(|a, b| a.name.cmp(&b.name));
-            json_ok(200, &views)
+            Ok((200, app_views_to_json(&views)?))
         }
         (Post, ["api", "v1", "apps"]) => {
             let spec: AppSpec = parse_json(body)?;
@@ -399,18 +805,18 @@ async fn dispatch(
             }
             let cfg = spec.into_config();
             clipper.try_register_app(cfg.clone())?;
-            json_ok(201, &AppView::from(&cfg))
+            Ok((201, AppView::from(&cfg).to_json()?))
         }
         (Get, ["api", "v1", "apps", app]) => {
             let cfg = clipper
                 .app_config(app)
                 .ok_or_else(|| ApiError::AppUnknown(app.to_string()))?;
-            json_ok(200, &AppView::from(&cfg))
+            Ok((200, AppView::from(&cfg).to_json()?))
         }
         (Patch, ["api", "v1", "apps", app]) => {
             let patch: AppPatch = parse_json(body)?;
             let cfg = clipper.update_app(app, patch.into_update())?;
-            json_ok(200, &AppView::from(&cfg))
+            Ok((200, AppView::from(&cfg).to_json()?))
         }
         (Delete, ["api", "v1", "apps", app]) => {
             clipper.unregister_app(app)?;
@@ -418,7 +824,9 @@ async fn dispatch(
         }
 
         // --- model lifecycle ---
-        (Get, ["api", "v1", "models"]) | (Get, ["models"]) => json_ok(200, &clipper.model_views()),
+        (Get, ["api", "v1", "models"]) | (Get, ["models"]) => {
+            Ok((200, model_views_to_json(&clipper.model_views())))
+        }
         (Post, ["api", "v1", "models"]) => {
             let spec: ModelSpec = parse_json(body)?;
             if spec.name.is_empty() {
@@ -439,13 +847,13 @@ async fn dispatch(
             let view = clipper
                 .model_view(&spec.name)
                 .ok_or_else(|| ApiError::Internal("model registration lost".into()))?;
-            json_ok(201, &view)
+            Ok((201, view.to_json()))
         }
         (Get, ["api", "v1", "models", name]) => {
             let view = clipper
                 .model_view(name)
                 .ok_or_else(|| ApiError::ModelUnknown(name.to_string()))?;
-            json_ok(200, &view)
+            Ok((200, view.to_json()))
         }
         (Post, ["api", "v1", "models", name, "rollout"]) => {
             let req: RolloutRequest = parse_json(body)?;
@@ -475,7 +883,10 @@ async fn handle_predict(
     app: &str,
     body: &[u8],
 ) -> Result<(u16, String), ApiError> {
-    let parsed: PredictRequest = parse_json(body)?;
+    let parsed: PredictRequest = match fast_parse_predict(body) {
+        Some(req) => req,
+        None => parse_json(body)?,
+    };
     let p = clipper
         .predict(app, parsed.context.as_deref(), Arc::new(parsed.input))
         .await
@@ -515,32 +926,6 @@ async fn handle_update(
         .await
         .map_err(|e| data_plane_err(e, app))?;
     Ok((200, status_body("ok")))
-}
-
-async fn write_response(
-    wr: &mut tokio::net::tcp::OwnedWriteHalf,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        201 => "Created",
-        400 => "Bad Request",
-        404 => "Not Found",
-        409 => "Conflict",
-        429 => "Too Many Requests",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Internal Server Error",
-    };
-    let conn = if keep_alive { "keep-alive" } else { "close" };
-    let resp = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n{body}",
-        body.len()
-    );
-    wr.write_all(resp.as_bytes()).await?;
-    wr.flush().await
 }
 
 #[cfg(test)]
@@ -656,6 +1041,80 @@ mod tests {
         };
         assert!(matches!(bad.to_json(), Err(ApiError::Internal(_))));
         assert!(serde_json::to_string(&bad).is_err());
+    }
+
+    #[test]
+    fn fast_predict_parse_agrees_with_serde() {
+        // Everything the fast path accepts, serde must parse to the same
+        // value; everything it rejects must be valid-for-serde (fallback
+        // handles it) or invalid-for-both (400 either way).
+        let accepted: &[(&str, &[f32], Option<&str>)] = &[
+            (r#"{"input":[7.0]}"#, &[7.0], None),
+            (
+                "  {\t\"input\" : [ 1 , -2.5 ,\n3e2, 4E-1, 0.125 ] }  ",
+                &[1.0, -2.5, 300.0, 0.4, 0.125],
+                None,
+            ),
+            (r#"{"input":[]}"#, &[], None),
+            (r#"{"context":"ctx-1","input":[1]}"#, &[1.0], Some("ctx-1")),
+            (r#"{"input":[1],"context":null}"#, &[1.0], None),
+            (
+                r#"{"input":[2],"context":"späß 世界"}"#,
+                &[2.0],
+                Some("späß 世界"),
+            ),
+        ];
+        for (body, input, context) in accepted {
+            let fast = fast_parse_predict(body.as_bytes())
+                .unwrap_or_else(|| panic!("fast path must accept {body}"));
+            assert_eq!(fast.input, *input, "input for {body}");
+            assert_eq!(fast.context.as_deref(), *context, "context for {body}");
+            let via_serde: PredictRequest = serde_json::from_slice(body.as_bytes())
+                .unwrap_or_else(|_| panic!("serde must also accept {body}"));
+            assert_eq!(via_serde.input, fast.input, "serde diverged for {body}");
+            assert_eq!(via_serde.context, fast.context);
+        }
+
+        // Bailed to serde: exotic-but-valid JSON the fast path skips.
+        for body in [
+            r#"{"input":[1],"context":"quo\"te"}"#,
+            r#"{"input":[1],"extra":2}"#,
+            r#"{"input":[1],"input":[2]}"#,
+        ] {
+            assert!(
+                fast_parse_predict(body.as_bytes()).is_none(),
+                "fast path must bail on {body}"
+            );
+        }
+
+        // Number spellings Rust's float parser takes but the JSON grammar
+        // forbids: the fast path must bail (never accept behind serde's
+        // back), leaving serde the sole authority on what is a 400.
+        for body in [
+            r#"{"input":[+1]}"#,
+            r#"{"input":[1.]}"#,
+            r#"{"input":[.5]}"#,
+            r#"{"input":[1e]}"#,
+            r#"{"input":[inf]}"#,
+            r#"{"input":[1] trailing}"#,
+            r#"[1]"#,
+            r#"{"input":[1}"#,
+            r#"{}"#,
+        ] {
+            assert!(
+                fast_parse_predict(body.as_bytes()).is_none(),
+                "fast path must reject {body}"
+            );
+        }
+
+        // And a few of those are invalid for serde too — same 400 either
+        // path.
+        for body in [r#"{"input":[1] trailing}"#, r#"{"input":[1}"#, r#"[1]"#] {
+            assert!(
+                serde_json::from_slice::<PredictRequest>(body.as_bytes()).is_err(),
+                "serde must reject {body}"
+            );
+        }
     }
 
     #[test]
@@ -1003,6 +1462,71 @@ mod tests {
         conn.read_to_string(&mut all).await.unwrap();
         assert!(all.contains("\"label\":1"), "{all}");
         assert!(all.contains("\"label\":2"), "{all}");
+    }
+
+    #[tokio::test]
+    async fn mixed_case_headers_are_honored() {
+        // The byte-level head parser must stay case-insensitive for
+        // header names and the `close` token.
+        let (frontend, _clipper) = start_frontend().await;
+        let body = "{\"input\": [6.0]}";
+        let raw = format!(
+            "POST /apps/digits/predict HTTP/1.1\r\nHost: x\r\nCONTENT-LENGTH: {}\r\nConnection: CLOSE\r\n\r\n{body}",
+            body.len()
+        );
+        let mut conn = TcpStream::connect(frontend.local_addr()).await.unwrap();
+        conn.write_all(raw.as_bytes()).await.unwrap();
+        // No shutdown: `connection: CLOSE` alone must end the exchange.
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).await.unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("\"label\":6"), "{resp}");
+        assert!(resp.contains("connection: close"), "{resp}");
+    }
+
+    #[tokio::test]
+    async fn large_response_bodies_arrive_intact() {
+        // Bodies ≥ 4 KiB take the vectored head+body write path; the
+        // response must still be a single well-formed HTTP message.
+        let (frontend, clipper) = start_frontend().await;
+        for i in 0..60 {
+            clipper.register_app(
+                AppConfig::new(
+                    &format!("padded-app-name-{i:04}"),
+                    vec![ModelId::new("m", 1)],
+                )
+                .with_policy(PolicyKind::Static { model_index: 0 })
+                .with_slo(Duration::from_millis(100)),
+            );
+        }
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /api/v1/apps HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        assert!(body.len() >= 4 * 1024, "body is {} bytes", body.len());
+        let advertised: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(advertised, body.len());
+        assert!(body.contains("padded-app-name-0059"), "last app present");
+    }
+
+    #[tokio::test]
+    async fn overly_deep_paths_are_404() {
+        let (frontend, _clipper) = start_frontend().await;
+        let resp = http_call(
+            frontend.local_addr(),
+            "GET /a/b/c/d/e/f/g/h/i/j HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+        )
+        .await;
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("\"code\":\"not_found\""), "{resp}");
     }
 
     #[tokio::test]

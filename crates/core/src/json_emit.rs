@@ -86,6 +86,11 @@ impl Emitter {
         let _ = write!(self.buf, "{v}");
     }
 
+    /// Append a signed integer.
+    pub fn i64(&mut self, v: i64) {
+        let _ = write!(self.buf, "{v}");
+    }
+
     /// Append a bool.
     pub fn bool(&mut self, v: bool) {
         self.buf.push_str(if v { "true" } else { "false" });
@@ -116,6 +121,15 @@ mod tests {
 
     fn serde_string(s: &str) -> String {
         serde_json::to_string(s).unwrap()
+    }
+
+    #[test]
+    fn signed_integers_match_serde() {
+        for v in [0i64, 1, -1, -42, i64::MIN, i64::MAX] {
+            let mut e = Emitter::default();
+            e.i64(v);
+            assert_eq!(e.into_string(), serde_json::to_string(&v).unwrap());
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the worker is reported as `queue_us` so the Figure-11 decomposition can
 //! separate queueing from compute.
 
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{FrameReader, FrameWriter};
 use crate::error::RpcError;
 use crate::message::{Message, PredictReply};
 use crate::transport::Input;
@@ -59,10 +59,11 @@ pub async fn serve_container(
 ) -> Result<(), RpcError> {
     let stream = TcpStream::connect(addr).await?;
     stream.set_nodelay(true)?;
-    let (mut rd, mut wr) = stream.into_split();
+    let (rd, wr) = stream.into_split();
+    let mut rd = FrameReader::new(rd);
+    let mut wr = FrameWriter::new(wr);
 
-    write_frame(
-        &mut wr,
+    wr.send(
         &Message::Register {
             container_name: cfg.container_name.clone(),
             model_name: cfg.model_name.clone(),
@@ -71,7 +72,7 @@ pub async fn serve_container(
         0,
     )
     .await?;
-    match read_frame(&mut rd).await? {
+    match rd.next().await? {
         (_, Message::RegisterAck) => {}
         (_, other) => {
             return Err(RpcError::Protocol(format!(
@@ -80,11 +81,19 @@ pub async fn serve_container(
         }
     }
 
-    // Outbound responses funnel through a writer task.
+    // Outbound responses funnel through a writer task. Everything queued
+    // while a flush was in progress coalesces into the next write.
     let (out_tx, mut out_rx) = mpsc::unbounded_channel::<(u64, Message)>();
     let writer = tokio::spawn(async move {
         while let Some((id, msg)) = out_rx.recv().await {
-            if write_frame(&mut wr, &msg, id).await.is_err() {
+            wr.queue(&msg, id);
+            while wr.pending() < 256 * 1024 {
+                match out_rx.try_recv() {
+                    Ok((id, msg)) => wr.queue(&msg, id),
+                    Err(_) => break,
+                }
+            }
+            if wr.flush().await.is_err() {
                 break;
             }
         }
@@ -116,7 +125,7 @@ pub async fn serve_container(
 
     // Reader loop.
     let result = loop {
-        match read_frame(&mut rd).await {
+        match rd.next().await {
             Ok((id, Message::PredictRequest { inputs })) => {
                 if work_tx.send((id, inputs, Instant::now())).is_err() {
                     break Ok(());

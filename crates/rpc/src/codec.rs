@@ -1,18 +1,188 @@
-//! Async frame reader/writer.
+//! Async frame reader/writer with per-connection buffer reuse.
 //!
-//! Frames are written as a single buffered write and read with exact-length
-//! reads; the framing layer validates magic, version, and payload bounds
-//! before handing payload bytes to [`Message::decode`].
+//! The hot path is [`FrameWriter`] / [`FrameReader`]: each retains one
+//! buffer for the life of the connection, so steady-state framing does
+//! zero allocation and one syscall per direction. A writer can
+//! [`queue`](FrameWriter::queue) several frames and flush them as a
+//! single `write` — the RPC writer tasks drain their outbound channel
+//! this way, so responses that land in one readiness window coalesce.
+//!
+//! The free functions [`write_frame`] / [`read_frame`] are the simple
+//! one-shot equivalents, kept for handshakes and tests that speak the
+//! raw protocol; the framing layer validates magic, version, and payload
+//! bounds before handing payload bytes to [`Message::decode`].
 
 use crate::error::RpcError;
 use crate::message::{Message, MAGIC, MAX_PAYLOAD, VERSION};
-use bytes::{Buf, Bytes};
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
 /// Header length: magic(4) + version(1) + type(1) + request_id(8) + len(4).
 pub const HEADER_LEN: usize = 18;
 
-/// Write one message frame.
+/// Initial capacity for retained connection buffers.
+const INITIAL_BUF: usize = 16 * 1024;
+/// Retained buffers above this shrink back after the frame that grew
+/// them is gone, so one 64 MiB frame doesn't pin 64 MiB per connection.
+const MAX_RETAINED: usize = 1 << 20;
+
+/// Parse and validate an 18-byte frame header.
+/// Returns `(msg_type, request_id, payload_len)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u64, usize), RpcError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(RpcError::Protocol(format!("bad magic {magic:#x}")));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(RpcError::Protocol(format!("unsupported version {version}")));
+    }
+    let msg_type = header[5];
+    let request_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(RpcError::Protocol(format!(
+            "payload {payload_len} exceeds max {MAX_PAYLOAD}"
+        )));
+    }
+    Ok((msg_type, request_id, payload_len))
+}
+
+fn map_eof(e: std::io::Error) -> RpcError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        RpcError::ConnectionClosed
+    } else {
+        RpcError::Io(e)
+    }
+}
+
+/// Buffered frame encoder over an async writer.
+///
+/// Frames are encoded into one retained buffer; [`flush`](Self::flush)
+/// writes everything queued so far as a single `write_all`. Encoding
+/// allocates only when a frame outgrows the retained capacity, and the
+/// buffer shrinks back once an oversized flush completes.
+pub struct FrameWriter<W> {
+    writer: W,
+    buf: Vec<u8>,
+}
+
+impl<W: AsyncWrite + Unpin> FrameWriter<W> {
+    /// Wrap `writer` with an empty retained buffer.
+    pub fn new(writer: W) -> Self {
+        FrameWriter {
+            writer,
+            buf: Vec::with_capacity(INITIAL_BUF),
+        }
+    }
+
+    /// Encode one frame into the retained buffer without writing it.
+    pub fn queue(&mut self, msg: &Message, request_id: u64) {
+        msg.encode_into(request_id, &mut self.buf);
+    }
+
+    /// Bytes queued and not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Write everything queued as one `write_all` and flush the writer.
+    pub async fn flush(&mut self) -> Result<(), RpcError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.writer.write_all(&self.buf).await?;
+        self.writer.flush().await?;
+        self.buf.clear();
+        if self.buf.capacity() > MAX_RETAINED {
+            self.buf = Vec::with_capacity(INITIAL_BUF);
+        }
+        Ok(())
+    }
+
+    /// Queue one frame and flush immediately.
+    pub async fn send(&mut self, msg: &Message, request_id: u64) -> Result<(), RpcError> {
+        self.queue(msg, request_id);
+        self.flush().await
+    }
+}
+
+/// Buffered frame decoder over an async reader.
+///
+/// Reads land in one retained buffer; each decoded frame borrows its
+/// payload straight out of that buffer (zero copy — [`Message::decode`]
+/// copies only the values that escape). Steady state allocates nothing
+/// in the framing layer.
+pub struct FrameReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    start: usize,
+    /// End of valid bytes in `buf`.
+    end: usize,
+}
+
+impl<R: AsyncRead + Unpin> FrameReader<R> {
+    /// Wrap `reader` with an empty retained buffer.
+    pub fn new(reader: R) -> Self {
+        FrameReader {
+            reader,
+            buf: vec![0u8; INITIAL_BUF],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Read the next frame; returns `(request_id, message)`.
+    ///
+    /// Yields [`RpcError::ConnectionClosed`] on clean EOF at a frame
+    /// boundary and on EOF mid-frame (a torn frame is indistinguishable
+    /// from a peer dying mid-write; both mean the connection is done).
+    pub async fn next(&mut self) -> Result<(u64, Message), RpcError> {
+        self.ensure(HEADER_LEN).await?;
+        let header: &[u8; HEADER_LEN] = self.buf[self.start..self.start + HEADER_LEN]
+            .try_into()
+            .expect("HEADER_LEN bytes");
+        let (msg_type, request_id, payload_len) = parse_header(header)?;
+        self.ensure(HEADER_LEN + payload_len).await?;
+        let payload = &self.buf[self.start + HEADER_LEN..self.start + HEADER_LEN + payload_len];
+        let msg = Message::decode(msg_type, payload)?;
+        self.start += HEADER_LEN + payload_len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > MAX_RETAINED {
+                self.buf = vec![0u8; INITIAL_BUF];
+            }
+        }
+        Ok((request_id, msg))
+    }
+
+    /// Make at least `n` unconsumed bytes available at `self.start`.
+    async fn ensure(&mut self, n: usize) -> Result<(), RpcError> {
+        if self.end - self.start >= n {
+            return Ok(());
+        }
+        // Compact so the frame can be contiguous from index 0.
+        if self.start > 0 && self.start + n > self.buf.len() {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if n > self.buf.len() {
+            self.buf.resize(n.max(self.buf.len() * 2), 0);
+        }
+        while self.end - self.start < n {
+            let got = self.reader.read(&mut self.buf[self.end..]).await?;
+            if got == 0 {
+                return Err(RpcError::ConnectionClosed);
+            }
+            self.end += got;
+        }
+        Ok(())
+    }
+}
+
+/// Write one message frame (one-shot; hot paths use [`FrameWriter`]).
 pub async fn write_frame<W: AsyncWrite + Unpin>(
     writer: &mut W,
     msg: &Message,
@@ -24,42 +194,15 @@ pub async fn write_frame<W: AsyncWrite + Unpin>(
     Ok(())
 }
 
-/// Read one message frame; returns `(request_id, message)`.
+/// Read one message frame (one-shot; hot paths use [`FrameReader`]).
+/// Returns `(request_id, message)`.
 pub async fn read_frame<R: AsyncRead + Unpin>(reader: &mut R) -> Result<(u64, Message), RpcError> {
     let mut header = [0u8; HEADER_LEN];
-    reader.read_exact(&mut header).await.map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            RpcError::ConnectionClosed
-        } else {
-            RpcError::Io(e)
-        }
-    })?;
-    let mut h = &header[..];
-    let magic = h.get_u32_le();
-    if magic != MAGIC {
-        return Err(RpcError::Protocol(format!("bad magic {magic:#x}")));
-    }
-    let version = h.get_u8();
-    if version != VERSION {
-        return Err(RpcError::Protocol(format!("unsupported version {version}")));
-    }
-    let msg_type = h.get_u8();
-    let request_id = h.get_u64_le();
-    let payload_len = h.get_u32_le() as usize;
-    if payload_len > MAX_PAYLOAD {
-        return Err(RpcError::Protocol(format!(
-            "payload {payload_len} exceeds max {MAX_PAYLOAD}"
-        )));
-    }
+    reader.read_exact(&mut header).await.map_err(map_eof)?;
+    let (msg_type, request_id, payload_len) = parse_header(&header)?;
     let mut payload = vec![0u8; payload_len];
-    reader.read_exact(&mut payload).await.map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            RpcError::ConnectionClosed
-        } else {
-            RpcError::Io(e)
-        }
-    })?;
-    let msg = Message::decode(msg_type, Bytes::from(payload))?;
+    reader.read_exact(&mut payload).await.map_err(map_eof)?;
+    let msg = Message::decode(msg_type, &payload)?;
     Ok((request_id, msg))
 }
 
@@ -68,6 +211,7 @@ mod tests {
     use super::*;
     use crate::message::PredictReply;
     use crate::message::WireOutput;
+    use tokio::io::AsyncWriteExt;
 
     #[tokio::test]
     async fn frame_roundtrip_over_duplex() {
@@ -104,10 +248,115 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn writer_coalesces_queued_frames_reader_splits_them() {
+        let (a, mut b) = tokio::io::duplex(64 * 1024);
+        let msgs = vec![
+            Message::Heartbeat,
+            Message::PredictRequest {
+                inputs: crate::transport::as_inputs(vec![vec![1.5; 9]]),
+            },
+            Message::Error {
+                message: "e".into(),
+            },
+        ];
+        let mut w = FrameWriter::new(a);
+        for (i, m) in msgs.iter().enumerate() {
+            w.queue(m, i as u64);
+        }
+        assert!(w.pending() > 0);
+        w.flush().await.unwrap();
+        assert_eq!(w.pending(), 0);
+
+        let mut r = FrameReader::new(b);
+        for (i, m) in msgs.iter().enumerate() {
+            let (id, got) = r.next().await.unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&got, m);
+        }
+        // Reuse after idle: another send on the same pair still works.
+        w.send(&Message::Shutdown, 99).await.unwrap();
+        let (id, got) = r.next().await.unwrap();
+        assert_eq!((id, got), (99, Message::Shutdown));
+        b = r.reader;
+        drop(w);
+        let mut tail = Vec::new();
+        use tokio::io::AsyncReadExt;
+        b.read_to_end(&mut tail).await.unwrap();
+        assert!(tail.is_empty(), "no stray bytes left on the wire");
+    }
+
+    #[tokio::test]
+    async fn reader_handles_frames_larger_than_initial_buffer() {
+        let (mut a, b) = tokio::io::duplex(1 << 20);
+        // ~100 KiB payload: forces the retained read buffer to grow.
+        let big = Message::PredictRequest {
+            inputs: crate::transport::as_inputs(vec![vec![0.5; 25_000]]),
+        };
+        let small = Message::Heartbeat;
+        let writer = tokio::spawn(async move {
+            write_frame(&mut a, &big, 1).await.unwrap();
+            write_frame(&mut a, &small, 2).await.unwrap();
+            big
+        });
+        let mut r = FrameReader::new(b);
+        let (id, got) = r.next().await.unwrap();
+        let big = writer.await.unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(got, big);
+        let (id, got) = r.next().await.unwrap();
+        assert_eq!((id, got), (2, Message::Heartbeat));
+    }
+
+    #[tokio::test]
+    async fn reader_buffer_shrinks_after_oversized_frame() {
+        let (mut a, b) = tokio::io::duplex(8 << 20);
+        let big = Message::PredictRequest {
+            inputs: crate::transport::as_inputs(vec![vec![0.0; 600_000]]), // ~2.4 MB
+        };
+        let writer = tokio::spawn(async move {
+            write_frame(&mut a, &big, 1).await.unwrap();
+            write_frame(&mut a, &Message::Heartbeat, 2).await.unwrap();
+        });
+        let mut r = FrameReader::new(b);
+        r.next().await.unwrap();
+        assert!(
+            r.buf.len() <= MAX_RETAINED,
+            "buffer should shrink back, still {} bytes",
+            r.buf.len()
+        );
+        let (id, _) = r.next().await.unwrap();
+        assert_eq!(id, 2);
+        writer.await.unwrap();
+    }
+
+    #[tokio::test]
     async fn closed_peer_yields_connection_closed() {
         let (a, mut b) = tokio::io::duplex(1024);
         drop(a);
         let err = read_frame(&mut b).await.unwrap_err();
+        assert!(matches!(err, RpcError::ConnectionClosed));
+    }
+
+    #[tokio::test]
+    async fn closed_peer_yields_connection_closed_for_frame_reader() {
+        let (a, b) = tokio::io::duplex(1024);
+        drop(a);
+        let mut r = FrameReader::new(b);
+        let err = r.next().await.unwrap_err();
+        assert!(matches!(err, RpcError::ConnectionClosed));
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_yields_connection_closed() {
+        let (mut a, b) = tokio::io::duplex(1024);
+        let frame = Message::Error {
+            message: "partial".into(),
+        }
+        .encode(5);
+        a.write_all(&frame[..frame.len() - 2]).await.unwrap();
+        drop(a);
+        let mut r = FrameReader::new(b);
+        let err = r.next().await.unwrap_err();
         assert!(matches!(err, RpcError::ConnectionClosed));
     }
 
@@ -122,7 +371,7 @@ mod tests {
     #[tokio::test]
     async fn oversized_payload_rejected_without_allocation() {
         use bytes::BufMut;
-        let (mut a, mut b) = tokio::io::duplex(1024);
+        let (mut a, b) = tokio::io::duplex(1024);
         let mut header = bytes::BytesMut::new();
         header.put_u32_le(MAGIC);
         header.put_u8(VERSION);
@@ -130,7 +379,8 @@ mod tests {
         header.put_u64_le(0);
         header.put_u32_le(u32::MAX); // absurd payload length
         a.write_all(&header).await.unwrap();
-        let err = read_frame(&mut b).await.unwrap_err();
+        let mut r = FrameReader::new(b);
+        let err = r.next().await.unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)));
     }
 }

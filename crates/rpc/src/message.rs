@@ -1,6 +1,6 @@
 //! Wire messages and their binary encoding.
 //!
-//! The codec is hand-rolled on [`bytes`]: every frame is
+//! The codec is hand-rolled: every frame is
 //!
 //! ```text
 //! +-------+---------+----------+------------+-------------+---------+
@@ -12,10 +12,16 @@
 //! little-endian throughout. Feature vectors are shipped as raw `f32` runs,
 //! so a batch of `b` MNIST images costs `b × 784 × 4` payload bytes — the
 //! quantity the Figure-6 network-bottleneck experiment meters.
+//!
+//! Encoding appends to a caller-owned `Vec<u8>` ([`Message::encode_into`])
+//! so a connection's frames amortize into one retained write buffer;
+//! decoding borrows the payload slice ([`Message::decode`] takes `&[u8]`)
+//! and copies only the values whose ownership escapes the frame (strings,
+//! score vectors) — the payload itself is never re-allocated.
 
 use crate::error::RpcError;
 use crate::transport::Input;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use std::sync::Arc;
 
 /// Frame magic ("CLIP" little-endianized).
@@ -131,75 +137,95 @@ impl Message {
         }
     }
 
-    /// Encode into a full frame (header + payload).
-    pub fn encode(&self, request_id: u64) -> Bytes {
-        let mut payload = BytesMut::new();
+    /// Append one full frame (header + payload) to `out`.
+    ///
+    /// This is the hot-path entry: a connection encodes every outbound
+    /// frame into one retained buffer, so steady state allocates nothing.
+    /// The payload length is patched in after the payload is written —
+    /// one pass, no intermediate payload buffer.
+    pub fn encode_into(&self, request_id: u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(self.msg_type());
+        out.extend_from_slice(&request_id.to_le_bytes());
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        let payload_start = out.len();
         match self {
             Message::Register {
                 container_name,
                 model_name,
                 model_version,
             } => {
-                put_string(&mut payload, container_name);
-                put_string(&mut payload, model_name);
-                payload.put_u32_le(*model_version);
+                put_string(out, container_name);
+                put_string(out, model_name);
+                put_u32(out, *model_version);
             }
             Message::RegisterAck
             | Message::Heartbeat
             | Message::HeartbeatAck
             | Message::Shutdown => {}
             Message::PredictRequest { inputs } => {
-                payload.put_u32_le(inputs.len() as u32);
+                put_u32(out, inputs.len() as u32);
                 for input in inputs {
-                    put_f32s(&mut payload, input);
+                    put_f32s(out, input);
                 }
             }
             Message::PredictResponse(reply) => {
-                payload.put_u64_le(reply.queue_us);
-                payload.put_u64_le(reply.compute_us);
-                payload.put_u32_le(reply.outputs.len() as u32);
-                for out in &reply.outputs {
-                    match out {
+                put_u64(out, reply.queue_us);
+                put_u64(out, reply.compute_us);
+                put_u32(out, reply.outputs.len() as u32);
+                for o in &reply.outputs {
+                    match o {
                         WireOutput::Class(c) => {
-                            payload.put_u8(0);
-                            payload.put_u32_le(*c);
+                            out.push(0);
+                            put_u32(out, *c);
                         }
                         WireOutput::Scores(s) => {
-                            payload.put_u8(1);
-                            put_f32s(&mut payload, s);
+                            out.push(1);
+                            put_f32s(out, s);
                         }
                         WireOutput::Labels(l) => {
-                            payload.put_u8(2);
-                            payload.put_u32_le(l.len() as u32);
+                            out.push(2);
+                            put_u32(out, l.len() as u32);
                             for &v in l {
-                                payload.put_u32_le(v);
+                                put_u32(out, v);
                             }
                         }
                     }
                 }
             }
             Message::Error { message } => {
-                put_string(&mut payload, message);
+                put_string(out, message);
             }
         }
+        let payload_len = (out.len() - payload_start) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
 
-        let mut frame = BytesMut::with_capacity(18 + payload.len());
-        frame.put_u32_le(MAGIC);
-        frame.put_u8(VERSION);
-        frame.put_u8(self.msg_type());
-        frame.put_u64_le(request_id);
-        frame.put_u32_le(payload.len() as u32);
-        frame.extend_from_slice(&payload);
-        frame.freeze()
+    /// Encode into a freshly allocated full frame (header + payload).
+    /// Compatibility/test path — hot paths use [`Self::encode_into`].
+    pub fn encode(&self, request_id: u64) -> Bytes {
+        let mut out = Vec::with_capacity(self.wire_size());
+        self.encode_into(request_id, &mut out);
+        Bytes::from(out)
     }
 
     /// Decode a payload given its already-parsed header fields.
-    pub fn decode(msg_type: u8, mut payload: Bytes) -> Result<Message, RpcError> {
+    ///
+    /// Borrows the payload: nothing is copied except values whose
+    /// ownership escapes the frame (strings, feature/score vectors). The
+    /// returned [`Message`] is `'static` — it cannot retain a reference
+    /// into `payload`, which is what makes the caller's buffer reuse
+    /// sound (checked by test).
+    pub fn decode(msg_type: u8, payload: &[u8]) -> Result<Message, RpcError> {
+        let mut payload = payload;
+        let buf = &mut payload;
         let msg = match msg_type {
             1 => {
-                let container_name = get_string(&mut payload)?;
-                let model_name = get_string(&mut payload)?;
-                let model_version = get_u32(&mut payload)?;
+                let container_name = get_string(buf)?;
+                let model_name = get_string(buf)?;
+                let model_version = get_u32(buf)?;
                 Message::Register {
                     container_name,
                     model_name,
@@ -208,28 +234,28 @@ impl Message {
             }
             2 => Message::RegisterAck,
             3 => {
-                let n = get_u32(&mut payload)? as usize;
+                let n = get_u32(buf)? as usize;
                 let mut inputs = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
-                    inputs.push(Arc::new(get_f32s(&mut payload)?));
+                    inputs.push(Arc::new(get_f32s(buf)?));
                 }
                 Message::PredictRequest { inputs }
             }
             4 => {
-                let queue_us = get_u64(&mut payload)?;
-                let compute_us = get_u64(&mut payload)?;
-                let n = get_u32(&mut payload)? as usize;
+                let queue_us = get_u64(buf)?;
+                let compute_us = get_u64(buf)?;
+                let n = get_u32(buf)? as usize;
                 let mut outputs = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
-                    let tag = get_u8(&mut payload)?;
+                    let tag = get_u8(buf)?;
                     outputs.push(match tag {
-                        0 => WireOutput::Class(get_u32(&mut payload)?),
-                        1 => WireOutput::Scores(get_f32s(&mut payload)?),
+                        0 => WireOutput::Class(get_u32(buf)?),
+                        1 => WireOutput::Scores(get_f32s(buf)?),
                         2 => {
-                            let len = get_u32(&mut payload)? as usize;
+                            let len = get_u32(buf)? as usize;
                             let mut l = Vec::with_capacity(len.min(1 << 20));
                             for _ in 0..len {
-                                l.push(get_u32(&mut payload)?);
+                                l.push(get_u32(buf)?);
                             }
                             WireOutput::Labels(l)
                         }
@@ -245,24 +271,24 @@ impl Message {
                 })
             }
             5 => Message::Error {
-                message: get_string(&mut payload)?,
+                message: get_string(buf)?,
             },
             6 => Message::Heartbeat,
             7 => Message::HeartbeatAck,
             8 => Message::Shutdown,
             t => return Err(RpcError::Protocol(format!("unknown message type {t}"))),
         };
-        if payload.has_remaining() {
+        if !payload.is_empty() {
             return Err(RpcError::Protocol(format!(
                 "{} trailing bytes after message type {msg_type}",
-                payload.remaining()
+                payload.len()
             )));
         }
         Ok(msg)
     }
 
-    /// Approximate frame size in bytes (header + payload), used by the
-    /// simulated network links.
+    /// Exact frame size in bytes (header + payload), used by the
+    /// simulated network links and to pre-size encode buffers.
     pub fn wire_size(&self) -> usize {
         let payload = match self {
             Message::Register {
@@ -286,58 +312,77 @@ impl Message {
     }
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
-    buf.put_u32_le(vals.len() as u32);
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vals: &[f32]) {
+    put_u32(buf, vals.len() as u32);
     for &v in vals {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8, RpcError> {
-    if buf.remaining() < 1 {
-        return Err(RpcError::Protocol("truncated u8".into()));
-    }
-    Ok(buf.get_u8())
+fn get_u8(buf: &mut &[u8]) -> Result<u8, RpcError> {
+    let (&first, rest) = buf
+        .split_first()
+        .ok_or_else(|| RpcError::Protocol("truncated u8".into()))?;
+    *buf = rest;
+    Ok(first)
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32, RpcError> {
-    if buf.remaining() < 4 {
+fn get_u32(buf: &mut &[u8]) -> Result<u32, RpcError> {
+    if buf.len() < 4 {
         return Err(RpcError::Protocol("truncated u32".into()));
     }
-    Ok(buf.get_u32_le())
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, RpcError> {
-    if buf.remaining() < 8 {
+fn get_u64(buf: &mut &[u8]) -> Result<u64, RpcError> {
+    if buf.len() < 8 {
         return Err(RpcError::Protocol("truncated u64".into()));
     }
-    Ok(buf.get_u64_le())
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String, RpcError> {
+fn get_string(buf: &mut &[u8]) -> Result<String, RpcError> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(RpcError::Protocol("truncated string".into()));
     }
-    let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| RpcError::Protocol("invalid utf8".into()))
+    let (raw, rest) = buf.split_at(len);
+    let s = std::str::from_utf8(raw).map_err(|_| RpcError::Protocol("invalid utf8".into()))?;
+    *buf = rest;
+    Ok(s.to_owned())
 }
 
-fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, RpcError> {
+fn get_f32s(buf: &mut &[u8]) -> Result<Vec<f32>, RpcError> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len * 4 {
+    let bytes = len
+        .checked_mul(4)
+        .ok_or_else(|| RpcError::Protocol("f32 array length overflow".into()))?;
+    if buf.len() < bytes {
         return Err(RpcError::Protocol("truncated f32 array".into()));
     }
-    let mut out = Vec::with_capacity(len);
-    for _ in 0..len {
-        out.push(buf.get_f32_le());
-    }
-    Ok(out)
+    let (raw, rest) = buf.split_at(bytes);
+    *buf = rest;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
 }
 
 #[cfg(test)]
@@ -347,16 +392,14 @@ mod tests {
 
     fn roundtrip(msg: Message) -> Message {
         let frame = msg.encode(42);
-        // Skip the 18-byte header; decode the payload.
-        let mut b = Bytes::copy_from_slice(&frame);
-        let magic = b.get_u32_le();
-        assert_eq!(magic, MAGIC);
-        assert_eq!(b.get_u8(), VERSION);
-        let mt = b.get_u8();
-        assert_eq!(b.get_u64_le(), 42);
-        let plen = b.get_u32_le() as usize;
-        assert_eq!(b.remaining(), plen);
-        Message::decode(mt, b).expect("decode")
+        // Parse the 18-byte header; decode the borrowed payload.
+        assert_eq!(u32::from_le_bytes(frame[0..4].try_into().unwrap()), MAGIC);
+        assert_eq!(frame[4], VERSION);
+        let mt = frame[5];
+        assert_eq!(u64::from_le_bytes(frame[6..14].try_into().unwrap()), 42);
+        let plen = u32::from_le_bytes(frame[14..18].try_into().unwrap()) as usize;
+        assert_eq!(frame.len() - 18, plen);
+        Message::decode(mt, &frame[18..]).expect("decode")
     }
 
     #[test]
@@ -407,8 +450,45 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_appends_frames_back_to_back() {
+        // Two frames in one buffer decode independently — the coalesced
+        // writer path depends on frame boundaries being self-describing.
+        let a = Message::Heartbeat;
+        let b = Message::Error {
+            message: "x".into(),
+        };
+        let mut buf = Vec::new();
+        a.encode_into(1, &mut buf);
+        let split = buf.len();
+        b.encode_into(2, &mut buf);
+        assert_eq!(&buf[..split], &a.encode(1)[..]);
+        assert_eq!(&buf[split..], &b.encode(2)[..]);
+    }
+
+    #[test]
+    fn decoded_message_owns_its_data() {
+        // `decode` borrows the payload but the Message must not: mutate
+        // the source buffer after decoding and the message is unchanged.
+        // (`Message: 'static` is the compile-time half of the claim.)
+        fn assert_static<T: 'static>() {}
+        assert_static::<Message>();
+
+        let m = Message::Register {
+            container_name: "c0".into(),
+            model_name: "svm".into(),
+            model_version: 1,
+        };
+        let frame = m.encode(9);
+        let mut payload = frame[18..].to_vec();
+        let decoded = Message::decode(1, &payload).unwrap();
+        payload.fill(0xAA);
+        drop(payload);
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
     fn unknown_type_is_protocol_error() {
-        let err = Message::decode(99, Bytes::new()).unwrap_err();
+        let err = Message::decode(99, &[]).unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)));
     }
 
@@ -419,17 +499,16 @@ mod tests {
         };
         let frame = m.encode(1);
         // Chop the last 3 bytes off the payload.
-        let truncated = Bytes::copy_from_slice(&frame[18..frame.len() - 3]);
-        let err = Message::decode(3, truncated).unwrap_err();
+        let err = Message::decode(3, &frame[18..frame.len() - 3]).unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)));
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut payload = BytesMut::new();
-        payload.put_u32_le(0); // zero inputs
-        payload.put_u8(0xFF); // junk
-        let err = Message::decode(3, payload.freeze()).unwrap_err();
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 0); // zero inputs
+        payload.push(0xFF); // junk
+        let err = Message::decode(3, &payload).unwrap_err();
         assert!(matches!(err, RpcError::Protocol(_)));
     }
 

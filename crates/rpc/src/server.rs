@@ -5,7 +5,7 @@
 //! batch-prediction channel. The model abstraction layer treats the handle
 //! as just another [`BatchTransport`].
 
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{FrameReader, FrameWriter};
 use crate::error::RpcError;
 use crate::message::{Message, PredictReply};
 use crate::transport::{BatchTransport, BoxFuture, Input};
@@ -185,10 +185,12 @@ async fn handle_connection(
     reg_tx: mpsc::UnboundedSender<(ContainerInfo, TcpContainerHandle)>,
 ) -> Result<(), RpcError> {
     stream.set_nodelay(true)?;
-    let (mut rd, mut wr) = stream.into_split();
+    let (rd, wr) = stream.into_split();
+    let mut rd = FrameReader::new(rd);
+    let mut wr = FrameWriter::new(wr);
 
     // First frame must be a registration.
-    let (reg_id, msg) = read_frame(&mut rd).await?;
+    let (reg_id, msg) = rd.next().await?;
     let info = match msg {
         Message::Register {
             container_name,
@@ -206,7 +208,7 @@ async fn handle_connection(
             )));
         }
     };
-    write_frame(&mut wr, &Message::RegisterAck, reg_id).await?;
+    wr.send(&Message::RegisterAck, reg_id).await?;
 
     let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
     let healthy = Arc::new(AtomicBool::new(true));
@@ -226,12 +228,20 @@ async fn handle_connection(
         return Ok(());
     }
 
-    // Writer task: serialize outbound requests.
+    // Writer task: serialize outbound requests. Batches dispatched while
+    // a flush was in progress coalesce into the next write.
     let healthy_w = healthy.clone();
     let writer = tokio::spawn(async move {
-        while let Some((id, msg)) = rx.recv().await {
-            if write_frame(&mut wr, &msg, id).await.is_err() {
-                break;
+        'outer: while let Some((id, msg)) = rx.recv().await {
+            wr.queue(&msg, id);
+            while wr.pending() < 256 * 1024 {
+                match rx.try_recv() {
+                    Ok((id, msg)) => wr.queue(&msg, id),
+                    Err(_) => break,
+                }
+            }
+            if wr.flush().await.is_err() {
+                break 'outer;
             }
         }
         healthy_w.store(false, Ordering::Release);
@@ -240,7 +250,7 @@ async fn handle_connection(
     // Reader loop: complete pending requests, answer heartbeats.
     loop {
         *last_seen.lock() = Instant::now();
-        match read_frame(&mut rd).await {
+        match rd.next().await {
             Ok((id, Message::PredictResponse(reply))) => {
                 if let Some(otx) = pending.lock().remove(&id) {
                     let _ = otx.send(Ok(reply));

@@ -1,6 +1,6 @@
 //! Async client for the statestore protocol.
 
-use crate::resp::RespValue;
+use crate::resp::{encode_command, RespValue};
 use crate::store::CasOutcome;
 use bytes::BytesMut;
 use std::net::SocketAddr;
@@ -8,10 +8,16 @@ use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::TcpStream;
 use tokio::sync::Mutex;
 
+/// Largest encode buffer kept alive between calls; one oversized SET
+/// shouldn't pin its value's worth of memory on the connection forever.
+const RETAINED_BUF: usize = 64 * 1024;
+
 /// A connection to a [`crate::StateStoreServer`]. Requests are serialized
 /// per connection (clone-free; wrap in `Arc` and share, or open several).
+/// Both wire buffers are retained across calls, so a steady-state request
+/// allocates nothing on the encode side.
 pub struct StateStoreClient {
-    conn: Mutex<(TcpStream, BytesMut)>,
+    conn: Mutex<(TcpStream, BytesMut, BytesMut)>,
 }
 
 /// Client-side errors.
@@ -49,18 +55,24 @@ impl StateStoreClient {
         let stream = TcpStream::connect(addr).await?;
         stream.set_nodelay(true)?;
         Ok(StateStoreClient {
-            conn: Mutex::new((stream, BytesMut::with_capacity(4096))),
+            conn: Mutex::new((
+                stream,
+                BytesMut::with_capacity(4096),
+                BytesMut::with_capacity(4096),
+            )),
         })
     }
 
-    async fn call(&self, parts: Vec<Vec<u8>>) -> Result<RespValue, ClientError> {
-        let req = RespValue::Array(parts.into_iter().map(RespValue::Bulk).collect());
-        let mut out = BytesMut::new();
-        req.encode(&mut out);
-
+    async fn call(&self, parts: &[&[u8]]) -> Result<RespValue, ClientError> {
         let mut guard = self.conn.lock().await;
-        let (stream, inbuf) = &mut *guard;
-        stream.write_all(&out).await?;
+        let (stream, inbuf, outbuf) = &mut *guard;
+        encode_command(outbuf, parts);
+        stream.write_all(outbuf).await?;
+        if outbuf.len() > RETAINED_BUF {
+            *outbuf = BytesMut::with_capacity(4096);
+        } else {
+            outbuf.clear();
+        }
         loop {
             match RespValue::parse(inbuf).map_err(ClientError::Protocol)? {
                 Some(v) => return Ok(v),
@@ -76,7 +88,7 @@ impl StateStoreClient {
 
     /// `PING` → server liveness.
     pub async fn ping(&self) -> Result<(), ClientError> {
-        match self.call(vec![b"PING".to_vec()]).await? {
+        match self.call(&[b"PING"]).await? {
             RespValue::Simple(s) if s == "PONG" => Ok(()),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }
@@ -84,7 +96,7 @@ impl StateStoreClient {
 
     /// `GET key`.
     pub async fn get(&self, key: &str) -> Result<Option<Vec<u8>>, ClientError> {
-        match self.call(vec![b"GET".to_vec(), key.into()]).await? {
+        match self.call(&[b"GET", key.as_bytes()]).await? {
             RespValue::Bulk(v) => Ok(Some(v)),
             RespValue::Null => Ok(None),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
@@ -93,7 +105,7 @@ impl StateStoreClient {
 
     /// `GETV key` → value and version.
     pub async fn get_versioned(&self, key: &str) -> Result<Option<(Vec<u8>, u64)>, ClientError> {
-        match self.call(vec![b"GETV".to_vec(), key.into()]).await? {
+        match self.call(&[b"GETV", key.as_bytes()]).await? {
             RespValue::Array(items) => match items.as_slice() {
                 [RespValue::Bulk(v), RespValue::Integer(ver)] => Ok(Some((v.clone(), *ver as u64))),
                 other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
@@ -105,7 +117,7 @@ impl StateStoreClient {
 
     /// `SET key value` → new version.
     pub async fn set(&self, key: &str, value: Vec<u8>) -> Result<u64, ClientError> {
-        match self.call(vec![b"SET".to_vec(), key.into(), value]).await? {
+        match self.call(&[b"SET", key.as_bytes(), &value]).await? {
             RespValue::Integer(v) => Ok(v as u64),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }
@@ -118,14 +130,9 @@ impl StateStoreClient {
         expected_version: u64,
         value: Vec<u8>,
     ) -> Result<CasOutcome, ClientError> {
-        let reply = self
-            .call(vec![
-                b"CAS".to_vec(),
-                key.into(),
-                expected_version.to_string().into_bytes(),
-                value,
-            ])
-            .await?;
+        let mut tmp = [0u8; 20];
+        let ver = crate::resp::u64_digits(&mut tmp, expected_version);
+        let reply = self.call(&[b"CAS", key.as_bytes(), ver, &value]).await?;
         match reply {
             RespValue::Integer(v) => Ok(CasOutcome::Stored(v as u64)),
             RespValue::Error(e) if e.starts_with("CONFLICT") => {
@@ -144,7 +151,7 @@ impl StateStoreClient {
 
     /// `DEL key` → whether it existed.
     pub async fn del(&self, key: &str) -> Result<bool, ClientError> {
-        match self.call(vec![b"DEL".to_vec(), key.into()]).await? {
+        match self.call(&[b"DEL", key.as_bytes()]).await? {
             RespValue::Integer(n) => Ok(n == 1),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }
@@ -152,7 +159,7 @@ impl StateStoreClient {
 
     /// `DBSIZE` → live key count.
     pub async fn dbsize(&self) -> Result<usize, ClientError> {
-        match self.call(vec![b"DBSIZE".to_vec()]).await? {
+        match self.call(&[b"DBSIZE"]).await? {
             RespValue::Integer(n) => Ok(n as usize),
             other => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
         }
@@ -161,7 +168,7 @@ impl StateStoreClient {
     /// `KEYS prefix` → sorted live keys under the prefix (config-plane
     /// scan used for registry rehydration).
     pub async fn keys(&self, prefix: &str) -> Result<Vec<String>, ClientError> {
-        match self.call(vec![b"KEYS".to_vec(), prefix.into()]).await? {
+        match self.call(&[b"KEYS", prefix.as_bytes()]).await? {
             RespValue::Array(items) => items
                 .into_iter()
                 .map(|v| match v {

@@ -13,6 +13,47 @@ use bytes::{Buf, BytesMut};
 /// malicious or corrupt peer.
 pub const MAX_BULK_LEN: usize = 16 << 20;
 
+/// Write `n`'s decimal digits into the tail of `tmp`, returning the
+/// written slice. Integer emit without `format!`'s formatting machinery
+/// (or its temporary `String`) — RESP frames integers and lengths on
+/// every reply.
+pub(crate) fn u64_digits(tmp: &mut [u8; 20], mut n: u64) -> &[u8] {
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    &tmp[i..]
+}
+
+fn push_int(out: &mut BytesMut, v: i64) {
+    if v < 0 {
+        out.extend_from_slice(b"-");
+    }
+    let mut tmp = [0u8; 20];
+    out.extend_from_slice(u64_digits(&mut tmp, v.unsigned_abs()));
+}
+
+/// Encode a request — an array of bulk strings — straight from borrowed
+/// slices, skipping the owned [`RespValue`] tree a client would otherwise
+/// build (and its per-argument `Vec` clones) on every call.
+pub fn encode_command(out: &mut BytesMut, parts: &[&[u8]]) {
+    out.extend_from_slice(b"*");
+    push_int(out, parts.len() as i64);
+    out.extend_from_slice(b"\r\n");
+    for p in parts {
+        out.extend_from_slice(b"$");
+        push_int(out, p.len() as i64);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(p);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
 /// A RESP value.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RespValue {
@@ -45,16 +86,22 @@ impl RespValue {
                 out.extend_from_slice(b"\r\n");
             }
             RespValue::Integer(n) => {
-                out.extend_from_slice(format!(":{n}\r\n").as_bytes());
+                out.extend_from_slice(b":");
+                push_int(out, *n);
+                out.extend_from_slice(b"\r\n");
             }
             RespValue::Bulk(b) => {
-                out.extend_from_slice(format!("${}\r\n", b.len()).as_bytes());
+                out.extend_from_slice(b"$");
+                push_int(out, b.len() as i64);
+                out.extend_from_slice(b"\r\n");
                 out.extend_from_slice(b);
                 out.extend_from_slice(b"\r\n");
             }
             RespValue::Null => out.extend_from_slice(b"$-1\r\n"),
             RespValue::Array(items) => {
-                out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+                out.extend_from_slice(b"*");
+                push_int(out, items.len() as i64);
+                out.extend_from_slice(b"\r\n");
                 for item in items {
                     item.encode(out);
                 }
@@ -182,6 +229,31 @@ mod tests {
         let parsed = RespValue::parse(&mut buf).unwrap().unwrap();
         assert_eq!(parsed, v);
         assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn integer_emit_covers_extremes() {
+        for v in [0i64, 1, -1, 9, 10, -10, i64::MAX, i64::MIN] {
+            let mut buf = BytesMut::new();
+            RespValue::Integer(v).encode(&mut buf);
+            assert_eq!(&buf[..], format!(":{v}\r\n").as_bytes(), "value {v}");
+            roundtrip(RespValue::Integer(v));
+        }
+    }
+
+    #[test]
+    fn encode_command_matches_the_value_tree() {
+        let parts: [&[u8]; 3] = [b"SET", b"key", b"val\r\nue"];
+        let mut direct = BytesMut::new();
+        encode_command(&mut direct, &parts);
+        let mut tree = BytesMut::new();
+        RespValue::Array(parts.iter().map(|p| RespValue::Bulk(p.to_vec())).collect())
+            .encode(&mut tree);
+        assert_eq!(&direct[..], &tree[..]);
+
+        let mut empty = BytesMut::new();
+        encode_command(&mut empty, &[]);
+        assert_eq!(&empty[..], b"*0\r\n");
     }
 
     #[test]

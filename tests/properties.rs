@@ -5,12 +5,76 @@ use clipper::core::cache::{CacheKey, PredictionCache};
 use clipper::core::selection::{weighted_combine, PolicyState, SelectionPolicy};
 use clipper::core::{Exp3Policy, Exp4Policy, Feedback, ModelId, Output};
 use clipper::metrics::Histogram;
-use clipper::rpc::message::{Message, PredictReply, WireOutput};
-use clipper::statestore::{CasOutcome, StateStore};
+use clipper::rpc::codec::{FrameReader, HEADER_LEN};
+use clipper::rpc::message::{Message, PredictReply, WireOutput, MAGIC, MAX_PAYLOAD, VERSION};
+use clipper::rpc::RpcError;
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
+
+use clipper::statestore::{CasOutcome, StateStore};
+
+/// An always-ready `AsyncRead` over in-memory bytes that returns data in
+/// scripted chunk sizes (cycled), exercising every resume point in the
+/// framing layer without a runtime or real sockets.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        }
+    }
+}
+
+impl tokio::io::AsyncRead for ChunkedReader {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut tokio::io::ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let me = &mut *self;
+        if me.pos >= me.data.len() {
+            return Poll::Ready(Ok(())); // EOF
+        }
+        let scripted = if me.chunks.is_empty() {
+            usize::MAX
+        } else {
+            let c = me.chunks[me.next_chunk % me.chunks.len()].max(1);
+            me.next_chunk += 1;
+            c
+        };
+        let n = scripted.min(buf.remaining()).min(me.data.len() - me.pos);
+        buf.put_slice(&me.data[me.pos..me.pos + n]);
+        me.pos += n;
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Drive a future whose I/O is always ready to completion with a noop
+/// waker — no runtime needed.
+fn block_on_ready<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    for _ in 0..1_000_000 {
+        if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+            return v;
+        }
+    }
+    panic!("future did not complete over an always-ready reader");
+}
 
 fn arb_output() -> impl Strategy<Value = WireOutput> {
     prop_oneof![
@@ -61,15 +125,54 @@ proptest! {
     fn rpc_codec_roundtrips(msg in arb_message(), id in any::<u64>()) {
         let frame = msg.encode(id);
         prop_assert_eq!(msg.wire_size(), frame.len());
-        let mut b = bytes::Bytes::copy_from_slice(&frame);
-        use bytes::Buf;
-        prop_assert_eq!(b.get_u32_le(), clipper::rpc::message::MAGIC);
-        let _version = b.get_u8();
-        let msg_type = b.get_u8();
-        prop_assert_eq!(b.get_u64_le(), id);
-        let len = b.get_u32_le() as usize;
-        prop_assert_eq!(b.remaining(), len);
-        let decoded = Message::decode(msg_type, b).unwrap();
+        prop_assert_eq!(u32::from_le_bytes(frame[0..4].try_into().unwrap()), MAGIC);
+        prop_assert_eq!(frame[4], VERSION);
+        let msg_type = frame[5];
+        prop_assert_eq!(u64::from_le_bytes(frame[6..14].try_into().unwrap()), id);
+        let len = u32::from_le_bytes(frame[14..18].try_into().unwrap()) as usize;
+        prop_assert_eq!(frame.len() - HEADER_LEN, len);
+        let decoded = Message::decode(msg_type, &frame[HEADER_LEN..]).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Frames written back to back survive a [`FrameReader`] no matter
+    /// how the byte stream is split across reads — every resume point in
+    /// the buffered framing layer (mid-header, mid-payload, frame
+    /// boundaries) preserves every message, and clean EOF afterwards is
+    /// `ConnectionClosed`.
+    #[test]
+    fn rpc_frames_survive_arbitrary_split_boundaries(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+        chunks in proptest::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut data = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            m.encode_into(i as u64, &mut data);
+        }
+        let mut r = FrameReader::new(ChunkedReader::new(data, chunks));
+        for (i, m) in msgs.iter().enumerate() {
+            let (id, got) = block_on_ready(r.next()).unwrap();
+            prop_assert_eq!(id, i as u64);
+            prop_assert_eq!(&got, m);
+        }
+        prop_assert!(matches!(
+            block_on_ready(r.next()),
+            Err(RpcError::ConnectionClosed)
+        ));
+    }
+
+    /// Decode borrows the payload but the result owns its data: mutating
+    /// and dropping the source buffer leaves the message intact (the
+    /// compile-time half is `Message: 'static`, asserted below).
+    #[test]
+    fn rpc_decode_is_zero_copy_sound(msg in arb_message()) {
+        fn assert_static<T: 'static>(_: &T) {}
+        let frame = msg.encode(3);
+        let mut payload = frame[HEADER_LEN..].to_vec();
+        let decoded = Message::decode(frame[5], &payload).unwrap();
+        assert_static(&decoded);
+        payload.fill(0xAA);
+        drop(payload);
         prop_assert_eq!(decoded, msg);
     }
 
@@ -77,7 +180,7 @@ proptest! {
     /// parses or reports a protocol error.
     #[test]
     fn rpc_decode_never_panics(msg_type in 0u8..12, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = Message::decode(msg_type, bytes::Bytes::from(payload));
+        let _ = Message::decode(msg_type, &payload);
     }
 
     /// The cache never stores more than its capacity, and a fill is always
@@ -271,4 +374,42 @@ proptest! {
             prop_assert_eq!(a.x.len(), features);
         }
     }
+}
+
+/// Payload-size extremes, deterministically: a zero-byte payload and a
+/// payload of exactly `MAX_PAYLOAD` round-trip through the buffered
+/// reader; one byte over is rejected from the header alone.
+#[test]
+fn rpc_payload_size_boundaries() {
+    // Zero-byte payload.
+    let mut data = Vec::new();
+    Message::Heartbeat.encode_into(7, &mut data);
+    assert_eq!(data.len(), HEADER_LEN);
+    let mut r = FrameReader::new(ChunkedReader::new(data, vec![1]));
+    assert_eq!(block_on_ready(r.next()).unwrap(), (7, Message::Heartbeat));
+
+    // Exactly MAX_PAYLOAD (64 MiB): accepted. Error payload = len(4) + text.
+    let msg = Message::Error {
+        message: "x".repeat(MAX_PAYLOAD - 4),
+    };
+    let mut data = Vec::with_capacity(HEADER_LEN + MAX_PAYLOAD);
+    msg.encode_into(1, &mut data);
+    assert_eq!(data.len(), HEADER_LEN + MAX_PAYLOAD);
+    let mut r = FrameReader::new(ChunkedReader::new(data, vec![8 << 20]));
+    let (id, got) = block_on_ready(r.next()).unwrap();
+    assert_eq!(id, 1);
+    assert_eq!(got, msg);
+
+    // MAX_PAYLOAD + 1: rejected before any payload is read.
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC.to_le_bytes());
+    header.push(VERSION);
+    header.push(5); // Error
+    header.extend_from_slice(&1u64.to_le_bytes());
+    header.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+    let mut r = FrameReader::new(ChunkedReader::new(header, vec![]));
+    assert!(matches!(
+        block_on_ready(r.next()),
+        Err(RpcError::Protocol(_))
+    ));
 }

@@ -81,6 +81,24 @@ pub trait AsyncWrite {
 
     /// Shut down the write side.
     fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Attempt a gather-write from multiple buffers, returning how many
+    /// bytes were accepted across them.
+    ///
+    /// The default degrades to a plain [`poll_write`](Self::poll_write)
+    /// of the first non-empty buffer — correct for any sink, just not
+    /// coalesced. Sinks that can reach the kernel in one syscall
+    /// (`TcpStream`) override this with a real `writev`.
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        match bufs.iter().find(|b| !b.is_empty()) {
+            Some(b) => self.poll_write(cx, b),
+            None => Poll::Ready(Ok(0)),
+        }
+    }
 }
 
 impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
@@ -106,6 +124,13 @@ impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
     }
     fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Pin::new(&mut **self).poll_shutdown(cx)
+    }
+    fn poll_write_vectored(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        Pin::new(&mut **self).poll_write_vectored(cx, bufs)
     }
 }
 
@@ -261,6 +286,40 @@ pub trait AsyncWriteExt: AsyncWrite {
         Self: Unpin,
     {
         async move { poll_fn(|cx| Pin::new(&mut *self).poll_shutdown(cx)).await }
+    }
+
+    /// Gather-write as much as the sink accepts in one call.
+    fn write_vectored<'a>(
+        &'a mut self,
+        bufs: &'a [io::IoSlice<'a>],
+    ) -> impl std::future::Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move { poll_fn(|cx| Pin::new(&mut *self).poll_write_vectored(cx, bufs)).await }
+    }
+
+    /// Write every byte of every buffer, advancing `bufs` in place
+    /// across partial writes like `std::io::Write::write_all_vectored`.
+    fn write_all_vectored<'a, 'b>(
+        &'a mut self,
+        mut bufs: &'a mut [io::IoSlice<'b>],
+    ) -> impl std::future::Future<Output = io::Result<()>> + 'a
+    where
+        Self: Unpin,
+    {
+        async move {
+            loop {
+                if bufs.iter().all(|b| b.is_empty()) {
+                    return Ok(());
+                }
+                let n = poll_fn(|cx| Pin::new(&mut *self).poll_write_vectored(cx, bufs)).await?;
+                if n == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0"));
+                }
+                io::IoSlice::advance_slices(&mut bufs, n);
+            }
+        }
     }
 }
 
@@ -526,5 +585,13 @@ impl<S: AsyncWrite + Unpin> AsyncWrite for WriteHalf<S> {
     fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         let mut s = self.inner.lock().unwrap();
         Pin::new(&mut *s).poll_shutdown(cx)
+    }
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        let mut s = self.inner.lock().unwrap();
+        Pin::new(&mut *s).poll_write_vectored(cx, bufs)
     }
 }

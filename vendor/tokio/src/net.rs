@@ -341,13 +341,60 @@ fn poll_read_inner(
     }
 }
 
+/// Completed plain-write ops on TCP sockets, process-wide.
+static TCP_WRITE_OPS: AtomicU64 = AtomicU64::new(0);
+/// Completed vectored-write ops on TCP sockets, process-wide.
+static TCP_WRITEV_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// `(plain_writes, vectored_writes)` completed on TCP sockets since
+/// process start. Each count is one successful kernel write submission
+/// (a parked-and-retried `WouldBlock` is not counted), so the delta
+/// across a request is exactly the syscalls spent on its responses.
+/// Bench/test observability — not part of real tokio's API.
+pub fn tcp_write_op_counts() -> (u64, u64) {
+    (
+        TCP_WRITE_OPS.load(Ordering::Relaxed),
+        TCP_WRITEV_OPS.load(Ordering::Relaxed),
+    )
+}
+
 fn poll_write_inner(
     stream: &std::net::TcpStream,
     driver: &Driver,
     cx: &mut Context<'_>,
     buf: &[u8],
 ) -> Poll<io::Result<usize>> {
-    poll_io(driver, Dir::Write, cx, || (&mut &*stream).write(buf))
+    let res = poll_io(driver, Dir::Write, cx, || (&mut &*stream).write(buf));
+    if let Poll::Ready(Ok(_)) = res {
+        TCP_WRITE_OPS.fetch_add(1, Ordering::Relaxed);
+    }
+    res
+}
+
+/// One gather-write syscall: raw `writev(2)` on reactor-capable targets
+/// (vendor policy — no libc), std's vectored write elsewhere.
+#[cfg(vendored_reactor)]
+fn tcp_write_vectored(stream: &std::net::TcpStream, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    use std::os::fd::AsRawFd;
+    crate::sys::writev(stream.as_raw_fd(), bufs)
+}
+
+#[cfg(not(vendored_reactor))]
+fn tcp_write_vectored(stream: &std::net::TcpStream, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    (&mut &*stream).write_vectored(bufs)
+}
+
+fn poll_write_vectored_inner(
+    stream: &std::net::TcpStream,
+    driver: &Driver,
+    cx: &mut Context<'_>,
+    bufs: &[io::IoSlice<'_>],
+) -> Poll<io::Result<usize>> {
+    let res = poll_io(driver, Dir::Write, cx, || tcp_write_vectored(stream, bufs));
+    if let Poll::Ready(Ok(_)) = res {
+        TCP_WRITEV_OPS.fetch_add(1, Ordering::Relaxed);
+    }
+    res
 }
 
 impl AsyncRead for TcpStream {
@@ -375,6 +422,14 @@ impl AsyncWrite for TcpStream {
 
     fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
         Poll::Ready(self.inner.shutdown(Shutdown::Write))
+    }
+
+    fn poll_write_vectored(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        bufs: &[io::IoSlice<'_>],
+    ) -> Poll<io::Result<usize>> {
+        poll_write_vectored_inner(&self.inner, &self.driver, cx, bufs)
     }
 }
 
@@ -435,6 +490,14 @@ pub mod tcp {
 
         fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
             Poll::Ready(self.inner.shutdown(Shutdown::Write))
+        }
+
+        fn poll_write_vectored(
+            self: Pin<&mut Self>,
+            cx: &mut Context<'_>,
+            bufs: &[io::IoSlice<'_>],
+        ) -> Poll<io::Result<usize>> {
+            poll_write_vectored_inner(&self.inner, &self.driver, cx, bufs)
         }
     }
 }

@@ -22,6 +22,7 @@ mod nr {
     pub const READ: usize = 0;
     pub const WRITE: usize = 1;
     pub const CLOSE: usize = 3;
+    pub const WRITEV: usize = 20;
     pub const EPOLL_CTL: usize = 233;
     pub const EPOLL_PWAIT: usize = 281;
     pub const EVENTFD2: usize = 290;
@@ -34,6 +35,7 @@ mod nr {
     pub const READ: usize = 63;
     pub const WRITE: usize = 64;
     pub const CLOSE: usize = 57;
+    pub const WRITEV: usize = 66;
     pub const EPOLL_CTL: usize = 21;
     pub const EPOLL_PWAIT: usize = 22;
     pub const EVENTFD2: usize = 19;
@@ -281,6 +283,29 @@ pub fn eventfd_drain(fd: i32) {
     };
 }
 
+/// Gather-write `bufs` to `fd` in a single `writev(2)` syscall.
+///
+/// `std::io::IoSlice` is guaranteed ABI-compatible with the kernel's
+/// `struct iovec`, so the slice is passed to the kernel as-is — no
+/// conversion, no allocation. At most `UIO_MAXIOV` (1024) segments are
+/// submitted per call; a short count is a normal partial write and the
+/// caller advances and retries. Nonblocking fds report would-block as
+/// `EAGAIN` through `check`, which the readiness loop parks on exactly
+/// like a plain `write`.
+pub fn writev(fd: i32, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+    const UIO_MAXIOV: usize = 1024;
+    let count = bufs.len().min(UIO_MAXIOV);
+    // SAFETY: `bufs` is a live slice of iovec-compatible `IoSlice`s for
+    // the duration of the call; `count` never exceeds its length.
+    let ret = unsafe {
+        syscall6(
+            nr::WRITEV,
+            [fd as usize, bufs.as_ptr() as usize, count, 0, 0, 0],
+        )
+    };
+    check(ret).map(|n| n as usize)
+}
+
 /// `close(fd)`.
 pub fn close(fd: i32) {
     // SAFETY: closing an fd the caller owns.
@@ -297,6 +322,24 @@ mod tests {
         eventfd_write(fd).expect("write");
         eventfd_drain(fd);
         close(fd);
+    }
+
+    #[test]
+    fn writev_gathers_across_buffers() {
+        use std::io::Read;
+        use std::os::fd::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let bufs = [io::IoSlice::new(b"hel"), io::IoSlice::new(b"lo")];
+        let n = writev(client.as_raw_fd(), &bufs).expect("writev");
+        assert_eq!(n, 5);
+
+        let mut got = [0u8; 5];
+        (&server).read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"hello");
     }
 
     #[test]
