@@ -112,13 +112,14 @@ const BASELINE_ALLOCS_PER_ITER: [(&str, f64); 4] = [
     ("control_get", 50.0),
 ];
 
-/// Regression ceilings on allocations/iteration (post-rework measured
-/// value — 0.0 / 12.0 / 33.6 / 10.0 — plus headroom for executor
-/// scheduling noise).
+/// Regression ceilings on allocations/iteration (measured value —
+/// 0.0 / 12.0 / 29.0 / 10.0 — plus headroom for executor scheduling
+/// noise). `http_predict` ratcheted from 42.0 after the single-model
+/// predict fast path dropped it from 33.6 to 29.0.
 const ALLOC_CEILINGS: [(&str, f64); 4] = [
     ("echo", 2.0),
     ("rpc_predict1", 18.0),
-    ("http_predict", 42.0),
+    ("http_predict", 33.0),
     ("control_get", 15.0),
 ];
 

@@ -32,7 +32,7 @@ use clipper_workload::{run_open_loop_outcomes, ArrivalProcess, RequestOutcome, T
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fast replica service time per query.
 const FAST_US_PER_ITEM: u64 = 500;
@@ -43,6 +43,12 @@ const LOAD_FRACTION: f64 = 0.7;
 /// Queue capacity per replica — small enough that an overloaded replica
 /// visibly sheds within a short phase.
 const QUEUE_CAPACITY: usize = 64;
+/// SLO for the §4.4.1 autotune A/B arm.
+const AUTOTUNE_SLO_MS: u64 = 50;
+/// Offered load for the A/B arm, as a fraction of aggregate capacity —
+/// the same regime as the heterogeneous headline rows: a blind 1/R share
+/// overloads the slow replica.
+const AUTOTUNE_LOAD_FRACTION: f64 = 0.7;
 
 #[derive(Clone, Serialize, Deserialize)]
 struct RunResult {
@@ -58,6 +64,32 @@ struct RunResult {
     /// Fraction of served queries handled by replica 0 (the slow one in
     /// heterogeneous rows).
     replica0_share: f64,
+}
+
+/// One arm of the §4.4.1 A/B: the same heterogeneous fleet under p2c at
+/// elevated load, with continuous per-replica batch autotuning + SLO-aware
+/// admission either on or off.
+#[derive(Clone, Serialize, Deserialize)]
+struct AutotuneArm {
+    autotune: bool,
+    offered_qps: f64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed: u64,
+    lost: u64,
+    errors: u64,
+    /// Answered requests that came back later than the SLO. A shed is an
+    /// honest, immediate 429 — not a violation.
+    slo_violations: u64,
+    /// `slo_violations` over all answered requests (completed + shed).
+    slo_violation_rate: f64,
+    /// Sheds decided up front by SLO-aware admission (subset of `shed`).
+    admission_shed: u64,
+    /// Learned batch ceiling of the slow replica (0 = never established).
+    b_max_slow: usize,
+    /// Learned batch ceiling of the fast replica (0 = never established).
+    b_max_fast: usize,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -76,6 +108,11 @@ struct Report {
     hetero_p99_ms_p2c: f64,
     hetero_shed_rr: u64,
     hetero_shed_p2c: u64,
+    /// §4.4.1 A/B: per-replica autotuning + admission, off vs on.
+    autotune_slo_ms: u64,
+    autotune_load_fraction: f64,
+    autotune_off: AutotuneArm,
+    autotune_on: AutotuneArm,
 }
 
 struct SimReplica {
@@ -199,6 +236,129 @@ async fn run_once(
     }
 }
 
+/// One §4.4.1 A/B arm: heterogeneous 2-replica fleet (replica 0 is the
+/// 10× slow one) under **blind round-robin** with Poisson arrivals at
+/// `AUTOTUNE_LOAD_FRACTION` of aggregate capacity. Round-robin isolates
+/// what the tentpole adds — depth-aware p2c already routes around the
+/// slow replica and masks the batching pathology (the headline rows
+/// cover that). With `autotune` off the fleet runs Fixed(64) batching
+/// and no admission: the slow replica accumulates oversized batches
+/// (64 × 5ms = 320ms service) and blows the SLO for everything it
+/// serves. With it on, each replica's online latency model re-derives
+/// its own ceiling continuously and SLO-aware admission routes around —
+/// or honestly sheds — queries that could not meet the deadline.
+async fn run_autotune_arm(autotune: bool, phase: Duration) -> AutotuneArm {
+    let mal = ModelAbstractionLayer::new(16, Registry::new());
+    let m = ModelId::new("bench", 1);
+    let slo = Duration::from_millis(AUTOTUNE_SLO_MS);
+    let base = BatchConfig {
+        slo,
+        queue_capacity: QUEUE_CAPACITY,
+        max_batch_cap: 64,
+        pipeline_depth: 1,
+        ..Default::default()
+    };
+    let cfg = if autotune {
+        BatchConfig {
+            strategy: BatchStrategy::Autotune { headroom: 0.1 },
+            slo_admission: true,
+            ..base
+        }
+    } else {
+        BatchConfig {
+            strategy: BatchStrategy::Fixed(64),
+            ..base
+        }
+    };
+    mal.add_model_with_policy(m.clone(), cfg, SchedulerPolicy::RoundRobin);
+    for r in 0..2usize {
+        let per_item = if r == 0 {
+            Duration::from_micros(FAST_US_PER_ITEM * SLOW_FACTOR as u64)
+        } else {
+            Duration::from_micros(FAST_US_PER_ITEM)
+        };
+        let served = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, Arc::new(SimReplica { per_item, served }))
+            .unwrap();
+    }
+
+    let fast_capacity = 1_000_000.0 / FAST_US_PER_ITEM as f64;
+    let offered_qps = AUTOTUNE_LOAD_FRACTION * (fast_capacity + fast_capacity / SLOW_FACTOR as f64);
+
+    let violations = Arc::new(AtomicU64::new(0));
+    let drive = |count: bool| {
+        let mal = mal.clone();
+        let m = m.clone();
+        let violations = violations.clone();
+        move |seq: u64| {
+            let mal = mal.clone();
+            let m = m.clone();
+            let violations = violations.clone();
+            async move {
+                let t0 = Instant::now();
+                match mal.predict(&m, Arc::new(vec![seq as f32]), false).await {
+                    Ok(_) => {
+                        if count && t0.elapsed() > slo {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        RequestOutcome::Ok
+                    }
+                    Err(PredictError::Overloaded) => RequestOutcome::Shed,
+                    // Anything that vanished without an honest answer.
+                    Err(_) => RequestOutcome::Lost,
+                }
+            }
+        }
+    };
+
+    // Unmeasured warmup, identical for both arms: lets the online models
+    // establish and the fleet reach its steady state — the A/B compares
+    // sustained behavior, not cold-start transients.
+    let _ = run_open_loop_outcomes(
+        ArrivalProcess::Poisson { rate: offered_qps },
+        phase / 2,
+        29,
+        drive(false),
+    )
+    .await;
+    let report = run_open_loop_outcomes(
+        ArrivalProcess::Poisson { rate: offered_qps },
+        phase,
+        23,
+        drive(true),
+    )
+    .await;
+
+    let tunes = mal.replica_tunes(&m);
+    let b_max_of = |qid: &str| {
+        tunes
+            .iter()
+            .find(|t| t.queue_id == qid)
+            .map_or(0, |t| t.b_max)
+    };
+    let slo_violations = violations.load(Ordering::Relaxed);
+    let answered = report.completed + report.shed;
+    AutotuneArm {
+        autotune,
+        offered_qps,
+        throughput: report.throughput(),
+        p50_ms: report.latency.p50() as f64 / 1_000.0,
+        p99_ms: report.p99_ms(),
+        shed: report.shed,
+        lost: report.lost,
+        errors: report.errors,
+        slo_violations,
+        slo_violation_rate: if answered == 0 {
+            0.0
+        } else {
+            slo_violations as f64 / answered as f64
+        },
+        admission_shed: mal.admission_shed_count(&m),
+        b_max_slow: b_max_of("bench:v1:0"),
+        b_max_fast: b_max_of("bench:v1:1"),
+    }
+}
+
 fn find<'a>(results: &'a [RunResult], replicas: usize, mix: &str, policy: &str) -> &'a RunResult {
     results
         .iter()
@@ -275,6 +435,44 @@ async fn main() {
         rr.p99_ms, p2c.p99_ms, rr.shed, p2c.shed
     );
 
+    println!(
+        "\n== §4.4.1 A/B: per-replica autotune + SLO admission, hetero fleet @ {:.0}% load, slo {}ms ==\n",
+        AUTOTUNE_LOAD_FRACTION * 100.0,
+        AUTOTUNE_SLO_MS
+    );
+    let off = run_autotune_arm(false, phase).await;
+    let on = run_autotune_arm(true, phase).await;
+    let mut ab = Table::new(&[
+        "autotune",
+        "throughput",
+        "p99 (ms)",
+        "slo-violation rate",
+        "shed",
+        "lost",
+        "b_max slow/fast",
+    ]);
+    for arm in [&off, &on] {
+        ab.row(&[
+            if arm.autotune { "on" } else { "off" }.to_string(),
+            format!("{:.0}", arm.throughput),
+            format!("{:.1}", arm.p99_ms),
+            format!("{:.1}%", arm.slo_violation_rate * 100.0),
+            format!("{}", arm.shed),
+            format!("{}", arm.lost),
+            format!("{}/{}", arm.b_max_slow, arm.b_max_fast),
+        ]);
+    }
+    ab.print();
+    println!(
+        "\nautotune: p99 {:.1}ms → {:.1}ms · violations {:.1}% → {:.1}% · slow replica learned b_max {} vs fast {}",
+        off.p99_ms,
+        on.p99_ms,
+        off.slo_violation_rate * 100.0,
+        on.slo_violation_rate * 100.0,
+        on.b_max_slow,
+        on.b_max_fast
+    );
+
     let report = Report {
         bench: "replica_scaling".to_string(),
         cores,
@@ -288,6 +486,10 @@ async fn main() {
         hetero_p99_ms_p2c: p2c.p99_ms,
         hetero_shed_rr: rr.shed,
         hetero_shed_p2c: p2c.shed,
+        autotune_slo_ms: AUTOTUNE_SLO_MS,
+        autotune_load_fraction: AUTOTUNE_LOAD_FRACTION,
+        autotune_off: off.clone(),
+        autotune_on: on.clone(),
     };
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out_path, &json).expect("write report");
@@ -300,6 +502,10 @@ async fn main() {
     assert!(
         !parsed.results.is_empty() && parsed.results.iter().all(|r| r.throughput > 0.0),
         "malformed report: empty or zero-throughput runs"
+    );
+    assert!(
+        parsed.autotune_off.throughput > 0.0 && parsed.autotune_on.throughput > 0.0,
+        "malformed report: zero-throughput autotune arm"
     );
 
     if std::env::var("REPLICA_SCALING_ENFORCE").as_deref() == Ok("1") {
@@ -320,12 +526,50 @@ async fn main() {
             );
             ok = false;
         }
+        // §4.4.1 gates: the autotuned arm must beat the untuned one on
+        // p99 and SLO-violation rate, answer every request it accepts
+        // (zero lost), and the slow replica's learned ceiling must come
+        // out below the fast one's.
+        if !(on.p99_ms < off.p99_ms) {
+            eprintln!(
+                "FAIL: autotune-on p99 {:.1}ms not below autotune-off {:.1}ms",
+                on.p99_ms, off.p99_ms
+            );
+            ok = false;
+        }
+        if on.slo_violation_rate > off.slo_violation_rate {
+            eprintln!(
+                "FAIL: autotune-on violation rate {:.3} exceeds off {:.3}",
+                on.slo_violation_rate, off.slo_violation_rate
+            );
+            ok = false;
+        }
+        if on.lost != 0 {
+            eprintln!("FAIL: autotune-on lost {} requests (must be 0)", on.lost);
+            ok = false;
+        }
+        if !(on.b_max_slow < on.b_max_fast) || on.b_max_slow == 0 {
+            eprintln!(
+                "FAIL: learned ceilings slow {} vs fast {} (want 0 < slow < fast)",
+                on.b_max_slow, on.b_max_fast
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         println!(
-            "enforce: ok (p2c p99 {:.1}ms < rr {:.1}ms; sheds {} <= {})",
-            p2c.p99_ms, rr.p99_ms, p2c.shed, rr.shed
+            "enforce: ok (p2c p99 {:.1}ms < rr {:.1}ms; sheds {} <= {}; autotune p99 {:.1}ms < {:.1}ms, violations {:.1}% <= {:.1}%, lost 0, b_max {} < {})",
+            p2c.p99_ms,
+            rr.p99_ms,
+            p2c.shed,
+            rr.shed,
+            on.p99_ms,
+            off.p99_ms,
+            on.slo_violation_rate * 100.0,
+            off.slo_violation_rate * 100.0,
+            on.b_max_slow,
+            on.b_max_fast
         );
     }
 }

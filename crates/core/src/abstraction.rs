@@ -33,6 +33,7 @@ pub use crate::batching::queue::PredictError;
 use crate::batching::queue::{
     spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
 };
+use crate::batching::LatencyPrior;
 use crate::cache::{CacheKey, CacheStats, Lookup, PredictionCache};
 use crate::types::{Input, ModelId, Output};
 use clipper_metrics::{Counter, Registry};
@@ -134,6 +135,13 @@ struct ModelHandle {
     next_replica_idx: AtomicUsize,
     /// Queries shed by the scheduler (no replica had room).
     shed: Counter,
+    /// Queries shed up front by SLO-aware admission (§4.4.1): the latency
+    /// models said no replica could meet the SLO at current depth.
+    admission_shed: Counter,
+    /// Learned per-replica latency priors restored from persisted
+    /// `BatchKnobs` records, keyed by queue id; consumed when the matching
+    /// replica re-attaches so a rehydrated fleet starts tuned.
+    restore_tunes: Mutex<HashMap<String, LatencyPrior>>,
     defaults: Mutex<DefaultTracker>,
 }
 
@@ -215,6 +223,28 @@ impl ModelHandle {
         }
     }
 
+    /// SLO-aware admission (§4.4.1): whether at least one routable
+    /// replica's latency model + backlog estimate says a query admitted
+    /// now can still meet the model's SLO. A replica without an
+    /// established model admits by default (cold start must not shed on
+    /// a guess), and so does a model with no routable replicas at all —
+    /// the dispatch loop then reports `NoReplicas`, not a shed.
+    fn can_admit(&self, replicas: &[Arc<Replica>]) -> bool {
+        let slo_ns = self.cfg.slo.as_nanos().min(u64::MAX as u128) as u64;
+        let mut any_routable = false;
+        for r in replicas.iter() {
+            if !r.is_routable() {
+                continue;
+            }
+            any_routable = true;
+            match r.queue.estimated_admission_ns() {
+                Some(est) if est > slo_ns => {}
+                _ => return true,
+            }
+        }
+        !any_routable
+    }
+
     /// Route one query. Consumes the sink: on any failure the sink is
     /// completed with the returned error, so cache waiters always settle.
     fn dispatch(&self, input: Input, sink: ReplySink) -> Result<(), PredictError> {
@@ -223,6 +253,14 @@ impl ModelHandle {
             sink.complete(Err(PredictError::NoReplicas));
             return Err(PredictError::NoReplicas);
         }
+        // Admission before routing: an honest 429 now beats a guaranteed
+        // late answer. Opt-in per model (`QueueConfig::slo_admission`).
+        if self.cfg.slo_admission && !self.can_admit(&replicas) {
+            self.shed.inc();
+            self.admission_shed.inc();
+            sink.complete(Err(PredictError::Overloaded));
+            return Err(PredictError::Overloaded);
+        }
         let mut item = QueueItem {
             input,
             sink,
@@ -230,20 +268,43 @@ impl ModelHandle {
         };
         let n = replicas.len();
         let start = self.pick(&replicas);
+        // With SLO-aware admission on, a replica whose latency model +
+        // backlog says a query admitted now would finish past the SLO is
+        // skipped exactly like a full queue — admission and routing stay
+        // coherent: "some replica can meet the deadline" means the query
+        // goes to one that can.
+        let slo_ns = self.cfg.slo.as_nanos().min(u64::MAX as u128) as u64;
+        let over_slo = |r: &Replica| {
+            self.cfg.slo_admission
+                && matches!(r.queue.estimated_admission_ns(), Some(est) if est > slo_ns)
+        };
         match self.policy {
             SchedulerPolicy::RoundRobin => {
                 // Baseline semantics: first healthy replica from the
                 // cursor gets the query; a full queue sheds it.
+                let mut skipped_over_slo = false;
                 for offset in 0..n {
                     let r = &replicas[(start + offset) % n];
-                    if r.transport.is_healthy() {
-                        r.queue.submit(item);
-                        return Ok(());
+                    if !r.transport.is_healthy() {
+                        continue;
                     }
+                    if over_slo(r) {
+                        skipped_over_slo = true;
+                        continue;
+                    }
+                    r.queue.submit(item);
+                    return Ok(());
                 }
+                let err = if skipped_over_slo {
+                    self.shed.inc();
+                    self.admission_shed.inc();
+                    PredictError::Overloaded
+                } else {
+                    PredictError::NoReplicas
+                };
                 let QueueItem { sink, .. } = item;
-                sink.complete(Err(PredictError::NoReplicas));
-                Err(PredictError::NoReplicas)
+                sink.complete(Err(err.clone()));
+                Err(err)
             }
             SchedulerPolicy::PowerOfTwoChoices => {
                 let mut saw_healthy = false;
@@ -258,6 +319,9 @@ impl ModelHandle {
                             continue;
                         }
                         saw_healthy = true;
+                        if over_slo(r) {
+                            continue;
+                        }
                         // `try_submit` hands the item back on refusal (full
                         // or draining) so it can fall through to a sibling.
                         match r.queue.try_submit(item) {
@@ -379,6 +443,8 @@ impl ModelAbstractionLayer {
             cursor: AtomicUsize::new(0),
             next_replica_idx: AtomicUsize::new(0),
             shed: registry.counter(&format!("model/{id}/shed")),
+            admission_shed: registry.counter(&format!("model/{id}/admission_shed")),
+            restore_tunes: Mutex::new(HashMap::new()),
             defaults: Mutex::new(DefaultTracker::default()),
         });
         let weak: Weak<ModelHandle> = Arc::downgrade(&handle);
@@ -415,12 +481,15 @@ impl ModelAbstractionLayer {
         let idx = handle.next_replica_idx.fetch_add(1, Ordering::Relaxed);
         let queue_id = format!("{}:{}", handle.id, idx);
         let metrics = QueueMetrics::register(&self.registry, &format!("queue/{queue_id}"));
-        let queue = spawn_replica_queue(
-            queue_id.clone(),
-            transport.clone(),
-            handle.cfg.clone(),
-            metrics,
-        );
+        let mut cfg = handle.cfg.clone();
+        // A previously-learned curve for this queue id (restored from a
+        // persisted record) overrides the model-wide prior, so a
+        // rehydrated fleet serves with its tuned per-replica ceilings
+        // instead of re-probing from the defaults.
+        if let Some(prior) = handle.restore_tunes.lock().remove(&queue_id) {
+            cfg.latency_prior = Some(prior);
+        }
+        let queue = spawn_replica_queue(queue_id.clone(), transport.clone(), cfg, metrics);
         // Per-replica depth gauge for operators (Weak: an unregistered
         // replica must not be kept alive by the registry).
         let weak_q: Weak<ReplicaQueue> = Arc::downgrade(&queue);
@@ -542,6 +611,71 @@ impl ModelAbstractionLayer {
                 .map(|r| r.queue.id().to_string())
                 .collect()
         })
+    }
+
+    /// Snapshot of each live replica's learned tuning (§4.4.1): latency
+    /// curve, derived batch ceiling, and sample count. Replicas whose
+    /// model is not yet established are skipped — there is nothing worth
+    /// persisting for them.
+    pub fn replica_tunes(&self, id: &ModelId) -> Vec<crate::batching::ReplicaTune> {
+        self.models.read().get(id).map_or_else(Vec::new, |h| {
+            h.replicas
+                .read()
+                .iter()
+                .filter(|r| r.queue.latency_model().is_established())
+                .map(|r| {
+                    let m = r.queue.latency_model();
+                    crate::batching::ReplicaTune {
+                        queue_id: r.queue.id().to_string(),
+                        prior: LatencyPrior {
+                            alpha_us: m.alpha_us(),
+                            beta_us: m.beta_us(),
+                        },
+                        b_max: r.queue.current_max_batch(),
+                        samples: m.sample_count(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// One replica's online latency model, by queue id. Ops/test hook:
+    /// feed synthetic observations or inspect the learned curve without
+    /// driving real traffic through the queue.
+    pub fn replica_latency_model(
+        &self,
+        id: &ModelId,
+        queue_id: &str,
+    ) -> Option<Arc<crate::batching::LatencyModel>> {
+        self.models.read().get(id).and_then(|h| {
+            h.replicas
+                .read()
+                .iter()
+                .find(|r| r.queue.id() == queue_id)
+                .map(|r| r.queue.latency_model().clone())
+        })
+    }
+
+    /// Stash learned per-replica priors (from a persisted record) to be
+    /// applied when replicas with matching queue ids attach — see
+    /// [`add_replica`](Self::add_replica). Unmatched entries are simply
+    /// never consumed; replicas with no entry start from the model-wide
+    /// prior (or cold).
+    pub fn set_replica_tunes(&self, id: &ModelId, tunes: Vec<crate::batching::ReplicaTune>) {
+        if let Some(handle) = self.models.read().get(id) {
+            let mut map = handle.restore_tunes.lock();
+            for t in tunes {
+                map.insert(t.queue_id, t.prior);
+            }
+        }
+    }
+
+    /// Queries shed up front by SLO-aware admission for this model.
+    pub fn admission_shed_count(&self, id: &ModelId) -> u64 {
+        self.models
+            .read()
+            .get(id)
+            .map_or(0, |h| h.admission_shed.get())
     }
 
     /// The queue ids of a model's replicas that the scheduler currently
@@ -1243,5 +1377,114 @@ mod tests {
             1,
             "16 identical concurrent queries must evaluate once"
         );
+    }
+
+    #[tokio::test]
+    async fn slo_admission_sheds_when_no_replica_can_meet_the_slo() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        // Every replica starts from a prior whose intercept alone (10ms)
+        // blows the 5ms SLO: admission must shed up front with an honest
+        // Overloaded instead of queueing a query that cannot make it.
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                slo: Duration::from_millis(5),
+                slo_admission: true,
+                latency_prior: Some(LatencyPrior {
+                    alpha_us: 10_000.0,
+                    beta_us: 1_000.0,
+                }),
+                ..Default::default()
+            },
+        );
+        mal.add_replica(&m, echo()).unwrap();
+        let err = mal
+            .predict(&m, Arc::new(vec![1.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::Overloaded);
+        assert_eq!(mal.admission_shed_count(&m), 1);
+        // No replicas at all must still surface NoReplicas, not a shed.
+        let ghost = ModelId::new("ghost", 1);
+        mal.add_model(
+            ghost.clone(),
+            BatchConfig {
+                slo_admission: true,
+                ..Default::default()
+            },
+        );
+        let err = mal
+            .predict(&ghost, Arc::new(vec![1.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::NoReplicas);
+    }
+
+    #[tokio::test]
+    async fn slo_admission_admits_while_any_sibling_can_meet_the_slo() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                slo: Duration::from_millis(5),
+                slo_admission: true,
+                ..Default::default()
+            },
+        );
+        mal.add_replica(&m, echo()).unwrap();
+        mal.add_replica(&m, echo()).unwrap();
+        // Teach replica 0 a curve far over the SLO; replica 1 a fast one.
+        let slow = mal.replica_latency_model(&m, "m:v1:0").unwrap();
+        let fast = mal.replica_latency_model(&m, "m:v1:1").unwrap();
+        for round in 0..4 {
+            for b in 1..=8usize {
+                let _ = round;
+                slow.observe(b, Duration::from_micros(50_000 + 5_000 * b as u64));
+                fast.observe(b, Duration::from_micros(100 + 10 * b as u64));
+            }
+        }
+        assert!(slow.is_established() && fast.is_established());
+        // One sibling can still meet the deadline: admit.
+        let out = mal.predict(&m, Arc::new(vec![3.0]), false).await.unwrap();
+        assert_eq!(out, Output::Class(3));
+        assert_eq!(mal.admission_shed_count(&m), 0);
+        // Now the fast sibling degrades too: shed.
+        for round in 0..40 {
+            for b in 1..=8usize {
+                let _ = round;
+                fast.observe(b, Duration::from_micros(50_000 + 5_000 * b as u64));
+            }
+        }
+        let err = mal
+            .predict(&m, Arc::new(vec![4.0]), false)
+            .await
+            .unwrap_err();
+        assert_eq!(err, PredictError::Overloaded);
+        assert_eq!(mal.admission_shed_count(&m), 1);
+    }
+
+    #[tokio::test]
+    async fn slo_admission_is_off_by_default() {
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        // Hopeless curve, but admission control is opt-in: the default
+        // config must keep today's queue-then-serve behavior.
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                slo: Duration::from_millis(5),
+                latency_prior: Some(LatencyPrior {
+                    alpha_us: 10_000.0,
+                    beta_us: 1_000.0,
+                }),
+                ..Default::default()
+            },
+        );
+        mal.add_replica(&m, echo()).unwrap();
+        let out = mal.predict(&m, Arc::new(vec![9.0]), false).await.unwrap();
+        assert_eq!(out, Output::Class(9));
+        assert_eq!(mal.admission_shed_count(&m), 0);
     }
 }

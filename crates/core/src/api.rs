@@ -18,7 +18,7 @@
 //!   frontend rehydrate its registry after a restart.
 
 use crate::batching::queue::{PredictError, QueueConfig};
-use crate::batching::BatchStrategy;
+use crate::batching::{BatchStrategy, LatencyPrior, ReplicaTune};
 use crate::json_emit::NonFiniteFloat;
 use crate::types::{AppConfig, AppUpdate, ModelId, Output, PolicyKind};
 use serde::{Deserialize, Serialize};
@@ -765,6 +765,12 @@ pub enum BatchStrategyWire {
     },
     /// Every query is its own batch.
     NoBatching,
+    /// Ceiling continuously re-derived from the replica's online latency
+    /// model (§4.4.1).
+    Autotune {
+        /// Fraction of the SLO held back as jitter headroom.
+        headroom: f64,
+    },
 }
 
 impl From<&BatchStrategy> for BatchStrategyWire {
@@ -774,6 +780,7 @@ impl From<&BatchStrategy> for BatchStrategyWire {
             BatchStrategy::QuantileRegression => BatchStrategyWire::QuantileRegression,
             BatchStrategy::Fixed(size) => BatchStrategyWire::Fixed { size },
             BatchStrategy::NoBatching => BatchStrategyWire::NoBatching,
+            BatchStrategy::Autotune { headroom } => BatchStrategyWire::Autotune { headroom },
         }
     }
 }
@@ -785,6 +792,35 @@ impl From<BatchStrategyWire> for BatchStrategy {
             BatchStrategyWire::QuantileRegression => BatchStrategy::QuantileRegression,
             BatchStrategyWire::Fixed { size } => BatchStrategy::Fixed(size),
             BatchStrategyWire::NoBatching => BatchStrategy::NoBatching,
+            BatchStrategyWire::Autotune { headroom } => BatchStrategy::Autotune { headroom },
+        }
+    }
+}
+
+/// Wire form of a latency-curve prior ([`LatencyPrior`]): the learned or
+/// calibrated `α + β·b` coefficients, microseconds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct LatencyPriorWire {
+    /// Fixed per-batch overhead (intercept), µs.
+    pub alpha_us: f64,
+    /// Marginal cost per batched item (slope), µs.
+    pub beta_us: f64,
+}
+
+impl From<LatencyPrior> for LatencyPriorWire {
+    fn from(p: LatencyPrior) -> Self {
+        LatencyPriorWire {
+            alpha_us: p.alpha_us,
+            beta_us: p.beta_us,
+        }
+    }
+}
+
+impl From<LatencyPriorWire> for LatencyPrior {
+    fn from(p: LatencyPriorWire) -> Self {
+        LatencyPrior {
+            alpha_us: p.alpha_us,
+            beta_us: p.beta_us,
         }
     }
 }
@@ -809,6 +845,14 @@ pub struct BatchKnobs {
     pub pipeline_depth: usize,
     /// Drain hang-detector deadline, µs.
     pub drain_deadline_us: u64,
+    /// Model-wide latency-curve prior (§4.4.1), absent in records written
+    /// before autotuning existed.
+    #[serde(default)]
+    pub latency_prior: Option<LatencyPriorWire>,
+    /// Whether SLO-aware admission is enabled for this model. Absent
+    /// (false) in legacy records.
+    #[serde(default)]
+    pub slo_admission: bool,
 }
 
 impl From<&QueueConfig> for BatchKnobs {
@@ -821,6 +865,8 @@ impl From<&QueueConfig> for BatchKnobs {
             max_batch_cap: cfg.max_batch_cap,
             pipeline_depth: cfg.pipeline_depth,
             drain_deadline_us: cfg.drain_deadline.as_micros() as u64,
+            latency_prior: cfg.latency_prior.map(Into::into),
+            slo_admission: cfg.slo_admission,
         }
     }
 }
@@ -836,6 +882,50 @@ impl BatchKnobs {
             max_batch_cap: self.max_batch_cap,
             pipeline_depth: self.pipeline_depth,
             drain_deadline: Duration::from_micros(self.drain_deadline_us),
+            latency_prior: self.latency_prior.map(Into::into),
+            slo_admission: self.slo_admission,
+        }
+    }
+}
+
+/// One replica's learned tuning inside a [`VersionBatchKnobs`] record:
+/// the wire form of [`ReplicaTune`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ReplicaTuneRecord {
+    /// The replica's queue id (`model:version:index`).
+    pub queue_id: String,
+    /// Learned intercept, µs.
+    pub alpha_us: f64,
+    /// Learned slope, µs per item.
+    pub beta_us: f64,
+    /// The ceiling the controller had derived at persist time.
+    pub b_max: usize,
+    /// Observations backing the fit.
+    pub samples: u64,
+}
+
+impl From<&ReplicaTune> for ReplicaTuneRecord {
+    fn from(t: &ReplicaTune) -> Self {
+        ReplicaTuneRecord {
+            queue_id: t.queue_id.clone(),
+            alpha_us: t.prior.alpha_us,
+            beta_us: t.prior.beta_us,
+            b_max: t.b_max,
+            samples: t.samples,
+        }
+    }
+}
+
+impl From<&ReplicaTuneRecord> for ReplicaTune {
+    fn from(r: &ReplicaTuneRecord) -> Self {
+        ReplicaTune {
+            queue_id: r.queue_id.clone(),
+            prior: LatencyPrior {
+                alpha_us: r.alpha_us,
+                beta_us: r.beta_us,
+            },
+            b_max: r.b_max,
+            samples: r.samples,
         }
     }
 }
@@ -848,6 +938,12 @@ pub struct VersionBatchKnobs {
     pub version: u32,
     /// The knobs.
     pub knobs: BatchKnobs,
+    /// Learned per-replica tuning (§4.4.1), harvested from the live fleet
+    /// at persist time so `rehydrate()` restores a *tuned* fleet. Absent
+    /// in legacy records (those replicas warm-start from the model-wide
+    /// prior, or cold).
+    #[serde(default)]
+    pub replicas: Vec<ReplicaTuneRecord>,
 }
 
 /// The statestore-persisted form of a model's version directory.
@@ -1286,7 +1382,19 @@ mod tests {
                     max_batch_cap: 64,
                     pipeline_depth: 2,
                     drain_deadline: Duration::from_secs(9),
+                    latency_prior: Some(LatencyPrior {
+                        alpha_us: 120.5,
+                        beta_us: 33.25,
+                    }),
+                    slo_admission: true,
                 }),
+                replicas: vec![ReplicaTuneRecord {
+                    queue_id: "m:v2:0".into(),
+                    alpha_us: 140.0,
+                    beta_us: 41.5,
+                    b_max: 17,
+                    samples: 420,
+                }],
             }],
         };
         let json = serde_json::to_string(&rec).unwrap();
@@ -1298,7 +1406,32 @@ mod tests {
         assert_eq!(cfg.batch_wait_timeout, Duration::from_millis(2));
         assert_eq!(cfg.queue_capacity, 123);
         assert_eq!(cfg.drain_deadline, Duration::from_secs(9));
+        assert_eq!(
+            cfg.latency_prior,
+            Some(LatencyPrior {
+                alpha_us: 120.5,
+                beta_us: 33.25,
+            })
+        );
+        assert!(cfg.slo_admission);
         assert!(back.knobs_for(1).is_none());
+    }
+
+    #[test]
+    fn legacy_batch_knobs_without_autotune_fields_still_parse() {
+        // A knobs blob written before §4.4.1 autotuning existed: no
+        // latency_prior, no slo_admission, no per-replica tuning.
+        let legacy = "{\"version\":1,\"knobs\":{\
+             \"strategy\":{\"kind\":\"fixed\",\"size\":8},\"slo_us\":20000,\
+             \"batch_wait_timeout_us\":0,\"queue_capacity\":64,\
+             \"max_batch_cap\":64,\"pipeline_depth\":1,\
+             \"drain_deadline_us\":5000000}}";
+        let vk: VersionBatchKnobs = serde_json::from_str(legacy).unwrap();
+        assert!(vk.replicas.is_empty());
+        let cfg = vk.knobs.into_config();
+        assert_eq!(cfg.strategy, BatchStrategy::Fixed(8));
+        assert_eq!(cfg.latency_prior, None);
+        assert!(!cfg.slo_admission);
     }
 
     #[test]
@@ -1322,6 +1455,7 @@ mod tests {
             BatchStrategy::QuantileRegression,
             BatchStrategy::Fixed(64),
             BatchStrategy::NoBatching,
+            BatchStrategy::Autotune { headroom: 0.1 },
         ] {
             let wire = BatchStrategyWire::from(&strategy);
             let json = serde_json::to_string(&wire).unwrap();

@@ -18,15 +18,20 @@
 //! algorithm analogy.
 
 pub mod aimd;
+pub mod autotune;
+pub mod latency_model;
 pub mod quantile;
 pub mod queue;
 
 pub use aimd::AimdController;
+pub use autotune::AutotuneController;
+pub use latency_model::{LatencyModel, LatencyPrior, ReplicaTune};
 pub use quantile::QuantileController;
 pub use queue::{
     spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, QueueState, ReplicaQueue, ReplySink,
 };
 
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Strategy configuration for a replica's batching controller.
@@ -45,6 +50,13 @@ pub enum BatchStrategy {
     Fixed(usize),
     /// Every query is its own batch (the Figure-4 baseline).
     NoBatching,
+    /// Model-driven ceiling from the replica's online latency model
+    /// (§4.4.1): `b_max = largest b with α + β·b ≤ SLO·(1 − headroom)`,
+    /// with AIMD cold-start fallback until the model is established.
+    Autotune {
+        /// Fraction of the SLO held back as jitter headroom (e.g. 0.1).
+        headroom: f64,
+    },
 }
 
 impl Default for BatchStrategy {
@@ -57,8 +69,15 @@ impl Default for BatchStrategy {
 }
 
 impl BatchStrategy {
-    /// Instantiate the controller for this strategy under `slo`.
-    pub fn build(&self, slo: Duration, cap: usize) -> Box<dyn BatchController> {
+    /// Instantiate the controller for this strategy under `slo`. `model`
+    /// is the replica's shared online latency model; only `Autotune`
+    /// reads it, but every queue maintains one.
+    pub fn build(
+        &self,
+        slo: Duration,
+        cap: usize,
+        model: &Arc<LatencyModel>,
+    ) -> Box<dyn BatchController> {
         match *self {
             BatchStrategy::Aimd { step, backoff } => {
                 Box::new(AimdController::new(slo, step, backoff, cap))
@@ -66,6 +85,9 @@ impl BatchStrategy {
             BatchStrategy::QuantileRegression => Box::new(QuantileController::new(slo, cap)),
             BatchStrategy::Fixed(n) => Box::new(FixedController(n.clamp(1, cap))),
             BatchStrategy::NoBatching => Box::new(FixedController(1)),
+            BatchStrategy::Autotune { headroom } => {
+                Box::new(AutotuneController::new(slo, headroom, model.clone(), cap))
+            }
         }
     }
 }
@@ -98,27 +120,52 @@ impl BatchController for FixedController {
 mod tests {
     use super::*;
 
+    fn model() -> Arc<LatencyModel> {
+        Arc::new(LatencyModel::new())
+    }
+
     #[test]
     fn strategy_builds_matching_controller() {
         let slo = Duration::from_millis(20);
-        assert_eq!(BatchStrategy::default().build(slo, 4096).name(), "aimd");
         assert_eq!(
-            BatchStrategy::QuantileRegression.build(slo, 4096).name(),
+            BatchStrategy::default().build(slo, 4096, &model()).name(),
+            "aimd"
+        );
+        assert_eq!(
+            BatchStrategy::QuantileRegression
+                .build(slo, 4096, &model())
+                .name(),
             "quantile"
         );
-        assert_eq!(BatchStrategy::Fixed(64).build(slo, 4096).max_batch(), 64);
-        assert_eq!(BatchStrategy::NoBatching.build(slo, 4096).max_batch(), 1);
+        assert_eq!(
+            BatchStrategy::Fixed(64)
+                .build(slo, 4096, &model())
+                .max_batch(),
+            64
+        );
+        assert_eq!(
+            BatchStrategy::NoBatching
+                .build(slo, 4096, &model())
+                .max_batch(),
+            1
+        );
+        assert_eq!(
+            BatchStrategy::Autotune { headroom: 0.1 }
+                .build(slo, 4096, &model())
+                .name(),
+            "autotune"
+        );
     }
 
     #[test]
     fn fixed_is_clamped_to_cap() {
-        let c = BatchStrategy::Fixed(10_000).build(Duration::from_millis(20), 256);
+        let c = BatchStrategy::Fixed(10_000).build(Duration::from_millis(20), 256, &model());
         assert_eq!(c.max_batch(), 256);
     }
 
     #[test]
     fn fixed_ignores_feedback() {
-        let mut c = BatchStrategy::Fixed(8).build(Duration::from_millis(20), 4096);
+        let mut c = BatchStrategy::Fixed(8).build(Duration::from_millis(20), 4096, &model());
         c.record(8, Duration::from_secs(10));
         assert_eq!(c.max_batch(), 8);
     }

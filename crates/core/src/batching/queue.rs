@@ -46,7 +46,7 @@
 //! - `overhead_us`: everything else in the round trip (serialization, RPC,
 //!   scheduling).
 
-use super::BatchController;
+use super::{BatchController, LatencyModel, LatencyPrior};
 use crate::cache::{CacheFillError, CacheKey, PredictionCache};
 use crate::types::{Input, Output};
 use clipper_metrics::{Counter, Gauge, Histogram, Meter, Registry};
@@ -233,6 +233,18 @@ pub struct QueueConfig {
     /// items, whose sinks complete-on-drop) and any remaining backlog is
     /// fail-filled, so every waiter still settles.
     pub drain_deadline: Duration,
+    /// Warm-start prior for the replica's online latency model (§4.4.1):
+    /// typically the global curve from the `calibrate` bin, or the
+    /// replica's own previously-learned curve restored from a persisted
+    /// `BatchKnobs` record. `None` = cold start (the model establishes
+    /// itself from live observations).
+    pub latency_prior: Option<LatencyPrior>,
+    /// SLO-aware admission (§4.4.1): when `true`, the scheduler consults
+    /// every routable replica's latency model + backlog estimate at
+    /// predict time and sheds up front (429) when no replica can meet
+    /// the SLO at current depth — an honest fast failure instead of a
+    /// guaranteed late answer.
+    pub slo_admission: bool,
 }
 
 impl Default for QueueConfig {
@@ -245,6 +257,8 @@ impl Default for QueueConfig {
             max_batch_cap: 4_096,
             pipeline_depth: 1,
             drain_deadline: Duration::from_secs(5),
+            latency_prior: None,
+            slo_admission: false,
         }
     }
 }
@@ -337,9 +351,45 @@ struct QueueShared {
     force_failed: AtomicBool,
     /// The configured drain deadline (see [`QueueConfig::drain_deadline`]).
     drain_deadline: Duration,
+    /// Online `α + β·b` latency model (§4.4.1), fed once per dispatched
+    /// batch; read by the autotune controller and SLO-aware admission.
+    latency_model: Arc<LatencyModel>,
+    /// Recycled batch-assembly buffers: dispatches return their emptied
+    /// `items`/`inputs` vectors here, so steady-state batching performs
+    /// zero allocations per batch.
+    spare_items: Mutex<Vec<Vec<QueueItem>>>,
+    spare_inputs: Mutex<Vec<Vec<Input>>>,
 }
 
+/// Spare buffers retained per kind; beyond this they simply drop.
+const SPARE_BUFS: usize = 4;
+
 impl QueueShared {
+    fn take_items_buf(&self) -> Vec<QueueItem> {
+        self.spare_items.lock().pop().unwrap_or_default()
+    }
+
+    fn put_items_buf(&self, mut buf: Vec<QueueItem>) {
+        debug_assert!(buf.is_empty());
+        buf.clear();
+        let mut pool = self.spare_items.lock();
+        if pool.len() < SPARE_BUFS {
+            pool.push(buf);
+        }
+    }
+
+    fn take_inputs_buf(&self) -> Vec<Input> {
+        self.spare_inputs.lock().pop().unwrap_or_default()
+    }
+
+    fn put_inputs_buf(&self, mut buf: Vec<Input>) {
+        buf.clear();
+        let mut pool = self.spare_inputs.lock();
+        if pool.len() < SPARE_BUFS {
+            pool.push(buf);
+        }
+    }
+
     fn record_service(&self, sample_ns_per_item: u64) {
         // Racy read-modify-write is fine for a routing statistic.
         let old = self.ewma_ns_per_item.load(Ordering::Relaxed);
@@ -361,6 +411,9 @@ pub struct ReplicaQueue {
     shared: Arc<QueueShared>,
     metrics: QueueMetrics,
     capacity: usize,
+    /// The worker's batch controller, shared so the handle can report the
+    /// live ceiling (persistence, benches) without waiting for a pull.
+    controller: Arc<Mutex<Box<dyn BatchController>>>,
 }
 
 impl ReplicaQueue {
@@ -480,6 +533,27 @@ impl ReplicaQueue {
         items.saturating_mul(self.shared.ewma_ns_per_item.load(Ordering::Relaxed).max(1))
     }
 
+    /// The replica's online `α + β·b` latency model (§4.4.1).
+    pub fn latency_model(&self) -> &Arc<LatencyModel> {
+        &self.shared.latency_model
+    }
+
+    /// The controller's current maximum batch size — for an autotuning
+    /// controller, the continuously re-derived per-replica ceiling.
+    pub fn current_max_batch(&self) -> usize {
+        self.controller.lock().max_batch()
+    }
+
+    /// Model-based estimate of when a query admitted *now* would
+    /// complete: the current backlog plus one more query's predicted
+    /// service time (`α + β`). `None` until the latency model is
+    /// established — admission then gives the replica the benefit of
+    /// the doubt rather than shedding on a guess.
+    pub fn estimated_admission_ns(&self) -> Option<u64> {
+        let one = self.shared.latency_model.predict_ns(1)?;
+        Some(self.backlog_estimate_ns().saturating_add(one))
+    }
+
     /// Begin a graceful drain: refuse new submissions, let the worker
     /// complete (or fail-fill) everything already queued, then stop.
     /// Idempotent. Await [`ReplicaQueue::drained`] for completion.
@@ -596,7 +670,15 @@ pub fn spawn_replica_queue(
     metrics: QueueMetrics,
 ) -> Arc<ReplicaQueue> {
     let (tx, rx) = mpsc::channel(cfg.queue_capacity.max(1));
-    let controller = Arc::new(Mutex::new(cfg.strategy.build(cfg.slo, cfg.max_batch_cap)));
+    let latency_model = Arc::new(match cfg.latency_prior {
+        Some(prior) => LatencyModel::with_prior(prior),
+        None => LatencyModel::new(),
+    });
+    let controller = Arc::new(Mutex::new(cfg.strategy.build(
+        cfg.slo,
+        cfg.max_batch_cap,
+        &latency_model,
+    )));
     let shared = Arc::new(QueueShared {
         state: AtomicU8::new(STATE_RUNNING),
         depth: AtomicUsize::new(0),
@@ -607,13 +689,16 @@ pub fn spawn_replica_queue(
         dispatch_tasks: Mutex::new(Vec::new()),
         force_failed: AtomicBool::new(false),
         drain_deadline: cfg.drain_deadline,
+        latency_model,
+        spare_items: Mutex::new(Vec::new()),
+        spare_inputs: Mutex::new(Vec::new()),
     });
     // Detached on purpose: the worker owns its own exit (channel close →
     // drain → Stopped), so no JoinHandle juggling is needed.
     tokio::spawn(worker_loop(
         rx,
         transport,
-        controller,
+        controller.clone(),
         cfg.clone(),
         metrics.clone(),
         shared.clone(),
@@ -624,6 +709,7 @@ pub fn spawn_replica_queue(
         shared,
         metrics,
         capacity: cfg.queue_capacity.max(1),
+        controller,
     })
 }
 
@@ -654,7 +740,8 @@ async fn worker_loop(
             metrics.current_max_batch.set(c.max_batch() as i64);
             c.max_batch().min(cfg.max_batch_cap).max(1)
         };
-        let mut items = vec![first];
+        let mut items = shared.take_items_buf();
+        items.push(first);
         if cfg.batch_wait_timeout > Duration::ZERO {
             // Delayed batching: hold the batch open briefly.
             let wait_deadline = tokio::time::Instant::now() + cfg.batch_wait_timeout;
@@ -685,9 +772,10 @@ async fn worker_loop(
         if shared.force_failed.load(Ordering::Acquire) {
             let err = PredictError::Failed("replica drain deadline exceeded".into());
             metrics.errors.add(items.len() as u64);
-            for item in items {
+            for item in items.drain(..) {
                 item.sink.complete(Err(err.clone()));
             }
+            shared.put_items_buf(items);
             drop(permit);
             continue;
         }
@@ -775,7 +863,10 @@ async fn dispatch_batch(
             .record(item.enqueued.elapsed().as_micros() as u64);
     }
     // Zero-copy batch assembly: clone Arc pointers, never feature data.
-    let inputs: Vec<Input> = job.items.iter().map(|i| i.input.clone()).collect();
+    // The buffer itself is recycled across batches (see `QueueShared`
+    // spare pools), so no per-batch allocation either.
+    let mut inputs = shared.take_inputs_buf();
+    inputs.extend(job.items.iter().map(|i| i.input.clone()));
     let n = job.items.len();
     metrics.batch_size.record(n as u64);
 
@@ -783,14 +874,15 @@ async fn dispatch_batch(
     // this task here, dropping it settles sinks → inflight → permit, in
     // that order (see [`BatchJob`]).
     let result = transport.predict_batch(&inputs).await;
-    drop(inputs);
+    shared.put_inputs_buf(inputs);
     let BatchJob {
-        items,
+        mut items,
         inflight,
         permit,
     } = job;
     let rpc_elapsed = dispatch_time.elapsed();
     controller.lock().record(n, rpc_elapsed);
+    shared.latency_model.observe(n, rpc_elapsed);
     metrics.rpc_us.record(rpc_elapsed.as_micros() as u64);
     if rpc_elapsed > slo {
         metrics.slo_violations.inc();
@@ -813,7 +905,7 @@ async fn dispatch_batch(
             };
             shared.record_service((batch_us.saturating_mul(1_000)) / n as u64);
             shared.consecutive_errors.store(0, Ordering::Relaxed);
-            for (item, output) in items.into_iter().zip(reply.outputs) {
+            for (item, output) in items.drain(..).zip(reply.outputs) {
                 item.sink.complete(Ok(output));
             }
         }
@@ -825,7 +917,7 @@ async fn dispatch_batch(
                 reply.outputs.len(),
                 n
             ));
-            for item in items {
+            for item in items.drain(..) {
                 item.sink.complete(Err(err.clone()));
             }
         }
@@ -833,11 +925,12 @@ async fn dispatch_batch(
             shared.consecutive_errors.fetch_add(1, Ordering::Relaxed);
             metrics.errors.add(n as u64);
             let err = PredictError::Failed(e.to_string());
-            for item in items {
+            for item in items.drain(..) {
                 item.sink.complete(Err(err.clone()));
             }
         }
     }
+    shared.put_items_buf(items);
     drop(inflight);
     drop(permit);
 }

@@ -192,14 +192,27 @@ impl Inner {
             // lot — so rehydrate() restores them instead of silently
             // resetting rolled-out models to default batching.
             for &v in &dir.versions {
+                let id = ModelId::new(name, v);
                 let cfg = self
                     .mal
-                    .model_config(&ModelId::new(name, v))
+                    .model_config(&id)
                     .or_else(|| dir.parked.get(&v).map(|p| p.cfg.clone()));
                 if let Some(cfg) = cfg {
+                    // Harvest each live replica's learned curve (§4.4.1)
+                    // alongside the version's knobs, so a rehydrated
+                    // fleet serves with its tuned per-replica ceilings.
+                    // Parked versions have no live queues; their replica
+                    // list is simply empty.
+                    let replicas = self
+                        .mal
+                        .replica_tunes(&id)
+                        .iter()
+                        .map(api::ReplicaTuneRecord::from)
+                        .collect();
                     rec.batch.push(api::VersionBatchKnobs {
                         version: v,
                         knobs: (&cfg).into(),
+                        replicas,
                     });
                 }
             }
@@ -207,6 +220,25 @@ impl Inner {
         };
         if let Ok(bytes) = serde_json::to_vec(&record) {
             self.store.set(&api::model_key(name), bytes);
+        }
+    }
+
+    /// Register one persisted version with the abstraction layer: its
+    /// batch knobs, plus any learned per-replica tuning — stashed so the
+    /// matching replicas warm-start when they re-attach.
+    fn adopt_version(&self, rec: &ModelRecord, v: u32) {
+        let cfg = rec
+            .knobs_for(v)
+            .cloned()
+            .map(api::BatchKnobs::into_config)
+            .unwrap_or_default();
+        let id = ModelId::new(&rec.name, v);
+        self.mal.add_model(id.clone(), cfg);
+        if let Some(vk) = rec.batch.iter().find(|vb| vb.version == v) {
+            if !vk.replicas.is_empty() {
+                self.mal
+                    .set_replica_tunes(&id, vk.replicas.iter().map(Into::into).collect());
+            }
         }
     }
 }
@@ -377,6 +409,20 @@ impl Clipper {
             }
         }
         self.inner.persist_model(&id.name);
+        true
+    }
+
+    /// Re-persist `name`'s record to the statestore, capturing the
+    /// current batch knobs *and* each live replica's learned latency
+    /// model (§4.4.1) so a later [`rehydrate`](Self::rehydrate) restores
+    /// a tuned fleet instead of cold controllers. Returns `false` for an
+    /// unknown model. Rollouts and registrations checkpoint implicitly;
+    /// call this to capture tuning learned since.
+    pub fn checkpoint_model(&self, name: &str) -> bool {
+        if !self.inner.models_dir.read().contains_key(name) {
+            return false;
+        }
+        self.inner.persist_model(name);
         true
     }
 
@@ -657,12 +703,7 @@ impl Clipper {
                 );
             }
             for &v in &rec.versions {
-                let cfg = rec
-                    .knobs_for(v)
-                    .cloned()
-                    .map(api::BatchKnobs::into_config)
-                    .unwrap_or_default();
-                self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
+                self.inner.adopt_version(&rec, v);
             }
             report.models += 1;
         }
@@ -744,12 +785,7 @@ impl Clipper {
                         parked: HashMap::new(),
                     });
                 for &v in &rec.versions {
-                    let cfg = rec
-                        .knobs_for(v)
-                        .cloned()
-                        .map(api::BatchKnobs::into_config)
-                        .unwrap_or_default();
-                    self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
+                    self.inner.adopt_version(&rec, v);
                 }
                 report.adopted_models += 1;
                 continue;
@@ -764,12 +800,7 @@ impl Clipper {
                     if !dir.versions.contains(&v) {
                         dir.versions.push(v);
                         dir.versions.sort_unstable();
-                        let cfg = rec
-                            .knobs_for(v)
-                            .cloned()
-                            .map(api::BatchKnobs::into_config)
-                            .unwrap_or_default();
-                        self.inner.mal.add_model(ModelId::new(&rec.name, v), cfg);
+                        self.inner.adopt_version(&rec, v);
                         report.adopted_versions += 1;
                     }
                 }
@@ -966,11 +997,84 @@ impl Clipper {
         let app = self.app(app_name)?;
         let state = self.app_state(app_name, context, &app)?;
 
-        let selected = app.policy.select(&state, &input);
+        let mut selected = app.policy.select(&state, &input);
         if selected.is_empty() {
             return Err(PredictError::Failed("policy selected no models".into()));
         }
         let deadline = start + app.cfg.slo;
+
+        // Single-candidate fast path — the common shape (one model per
+        // app) and the predict hot path. Calls the MAL inline instead of
+        // standing up an mpsc channel plus a spawned fan-out task per
+        // request. The SLO deadline still applies: on timeout the
+        // in-flight call moves to a background task so cache waiters
+        // settle and the model's running default keeps refreshing,
+        // exactly as the spawned fan-out would.
+        if selected.len() == 1 {
+            // The future carries the ModelId through and hands it back,
+            // so the completed path reuses the one clone as the preds
+            // key instead of cloning again.
+            let mut call = Box::pin({
+                let mal = self.inner.mal.clone();
+                let model = selected[0].clone();
+                let input = input.clone();
+                let use_cache = self.inner.cache_enabled;
+                async move {
+                    let result = mal.predict(&model, input, use_cache).await;
+                    (model, result)
+                }
+            });
+            let budget = deadline.saturating_duration_since(Instant::now());
+            let (model, arrived) = match tokio::time::timeout(budget, &mut call).await {
+                Ok((model, Ok(out))) => (model, Some(out)),
+                Ok((model, Err(_))) => (model, None),
+                Err(_) => {
+                    // Straggler: let it finish off-path.
+                    tokio::spawn(call);
+                    (selected.pop().expect("len == 1"), None)
+                }
+            };
+            let fresh = arrived.is_some();
+            let substituted = match arrived {
+                Some(out) => Some(out),
+                None => {
+                    let default = self.inner.mal.default_output(&model);
+                    if default.is_some() {
+                        self.inner.substitutions.inc();
+                    }
+                    default
+                }
+            };
+            let prediction = match substituted {
+                Some(out) => {
+                    let mut preds = HashMap::with_capacity(1);
+                    preds.insert(model, out);
+                    let (output, confidence) = app.policy.combine(&state, &input, &preds);
+                    Prediction {
+                        output,
+                        confidence,
+                        models_used: usize::from(fresh),
+                        models_missing: usize::from(!fresh),
+                        latency: start.elapsed(),
+                    }
+                }
+                None => {
+                    self.inner.defaults_used.inc();
+                    Prediction {
+                        output: app.cfg.default_output.clone(),
+                        confidence: 0.0,
+                        models_used: 0,
+                        models_missing: 1,
+                        latency: start.elapsed(),
+                    }
+                }
+            };
+            self.inner.predictions.mark();
+            self.inner
+                .latency_us
+                .record(prediction.latency.as_micros() as u64);
+            return Ok(prediction);
+        }
 
         // Fan out; each model reports back over the channel as it lands.
         let (tx, mut rx) =
@@ -1667,6 +1771,7 @@ mod tests {
             max_batch_cap: 64,
             pipeline_depth: 2,
             drain_deadline: Duration::from_secs(9),
+            ..BatchConfig::default()
         };
         {
             let first = Clipper::builder().statestore(store.clone()).build();
@@ -1700,6 +1805,63 @@ mod tests {
             .model_config(&ModelId::new("m", 1))
             .expect("v1 restored");
         assert_eq!(v1_cfg.queue_capacity, BatchConfig::default().queue_capacity);
+    }
+
+    #[tokio::test]
+    async fn checkpoint_persists_learned_replica_tunes_for_rehydrate() {
+        let store = Arc::new(clipper_statestore::StateStore::new());
+        let cfg = BatchConfig {
+            strategy: crate::BatchStrategy::Autotune { headroom: 0.1 },
+            slo: Duration::from_millis(20),
+            ..BatchConfig::default()
+        };
+        {
+            let first = Clipper::builder().statestore(store.clone()).build();
+            let id = ModelId::new("m", 1);
+            first.add_model(id.clone(), cfg.clone());
+            first.add_replica(&id, const_transport(1, None)).unwrap();
+            // Teach the replica its curve: 100µs + 50µs·b.
+            let model = first
+                .abstraction()
+                .replica_latency_model(&id, "m:v1:0")
+                .unwrap();
+            for round in 0..10 {
+                for b in 1..=16usize {
+                    let _ = round;
+                    model.observe(b, Duration::from_micros(100 + 50 * b as u64));
+                }
+            }
+            assert!(model.is_established());
+            assert!(first.checkpoint_model("m"));
+            assert!(!first.checkpoint_model("ghost"));
+        }
+        // A fresh frontend rehydrates and re-attaches the replica: it
+        // must serve with the learned per-replica curve and ceiling, not
+        // a cold controller probing from scratch.
+        let second = Clipper::builder().statestore(store).build();
+        second.rehydrate();
+        let id = ModelId::new("m", 1);
+        second.add_replica(&id, const_transport(1, None)).unwrap();
+        let restored = second
+            .abstraction()
+            .replica_latency_model(&id, "m:v1:0")
+            .unwrap();
+        assert!(restored.is_established(), "warm start from persisted tune");
+        assert!(
+            (restored.beta_us() - 50.0).abs() < 20.0,
+            "restored beta {} expected ≈50",
+            restored.beta_us()
+        );
+        // The autotune controller inverts the restored curve at once:
+        // b_max ≈ (0.9·20ms − α)/β ≈ 350, nowhere near a cold start.
+        let tunes = second.abstraction().replica_tunes(&id);
+        assert_eq!(tunes.len(), 1);
+        assert_eq!(tunes[0].queue_id, "m:v1:0");
+        assert!(
+            tunes[0].b_max > 100,
+            "ceiling should come from the learned curve, got {}",
+            tunes[0].b_max
+        );
     }
 
     /// Two frontends over one store: A owns the initial registration, B

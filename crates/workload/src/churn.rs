@@ -243,6 +243,7 @@ mod tests {
                 completed: 100,
                 errors,
                 shed,
+                lost: errors.saturating_sub(shed),
                 latency: clipper_metrics::Histogram::new().snapshot(),
             },
             actions: vec![ActionOutcome {

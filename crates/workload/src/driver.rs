@@ -14,12 +14,18 @@ pub enum RequestOutcome {
     /// The request completed successfully.
     Ok,
     /// The request was shed (e.g. [`Overloaded`]: every replica's queue
-    /// was full) — counted separately so scheduler comparisons can tell
-    /// "refused under load" apart from "broke".
+    /// was full, or SLO-aware admission refused it up front) — counted
+    /// separately so scheduler comparisons can tell "refused under load,
+    /// with an honest 429" apart from "broke".
     ///
     /// [`Overloaded`]: https://en.wikipedia.org/wiki/Load_shedding
     Shed,
-    /// The request failed for any other reason.
+    /// The request got **no answer at all** — connection dropped,
+    /// timeout, reply never materialized. The worst outcome: a shed is a
+    /// routing decision the client can retry against, a lost request is
+    /// a broken promise. Benchmarks gate on `lost == 0`.
+    Lost,
+    /// The request failed for any other reason (an error *answer*).
     Error,
 }
 
@@ -34,6 +40,9 @@ pub struct LoadReport {
     pub errors: u64,
     /// Requests shed by load shedding (subset of `errors`).
     pub shed: u64,
+    /// Requests that vanished without any answer (subset of `errors`,
+    /// disjoint from `shed`).
+    pub lost: u64,
     /// Latency distribution of successful requests (µs).
     pub latency: HistogramSnapshot,
 }
@@ -104,6 +113,7 @@ where
         completed: completed.get(),
         errors: errors.get(),
         shed: 0,
+        lost: 0,
         latency: latency.snapshot(),
     }
 }
@@ -151,6 +161,7 @@ where
     let completed = Counter::new();
     let errors = Counter::new();
     let shed = Counter::new();
+    let lost = Counter::new();
     let start = Instant::now();
     let deadline = start + duration;
     let inflight = Arc::new(tokio::sync::Semaphore::new(65_536));
@@ -169,6 +180,7 @@ where
         let completed = completed.clone();
         let errors = errors.clone();
         let shed = shed.clone();
+        let lost = lost.clone();
         let permit = inflight.clone().acquire_owned().await.expect("semaphore");
         handles.push(tokio::spawn(async move {
             let t0 = Instant::now();
@@ -179,6 +191,10 @@ where
                 }
                 RequestOutcome::Shed => {
                     shed.inc();
+                    errors.inc();
+                }
+                RequestOutcome::Lost => {
+                    lost.inc();
                     errors.inc();
                 }
                 RequestOutcome::Error => {
@@ -201,6 +217,7 @@ where
         completed: completed.get(),
         errors: errors.get(),
         shed: shed.get(),
+        lost: lost.get(),
         latency: latency.snapshot(),
     }
 }
@@ -261,9 +278,10 @@ mod tests {
             Duration::from_millis(200),
             1,
             |seq| async move {
-                match seq % 3 {
+                match seq % 4 {
                     0 => RequestOutcome::Ok,
                     1 => RequestOutcome::Shed,
+                    2 => RequestOutcome::Lost,
                     _ => RequestOutcome::Error,
                 }
             },
@@ -271,11 +289,13 @@ mod tests {
         .await;
         assert!(report.completed > 0);
         assert!(report.shed > 0, "sheds counted");
+        assert!(report.lost > 0, "losses counted");
         assert!(
-            report.errors >= report.shed,
-            "sheds are a subset of errors: {} vs {}",
+            report.errors >= report.shed + report.lost,
+            "sheds and losses are disjoint subsets of errors: {} vs {} + {}",
             report.errors,
-            report.shed
+            report.shed,
+            report.lost
         );
     }
 

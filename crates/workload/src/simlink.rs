@@ -17,13 +17,24 @@ use std::time::{Duration, Instant};
 
 /// One direction of a serial link.
 struct Scheduler {
-    next_free: Mutex<Instant>,
+    state: Mutex<SchedState>,
+}
+
+struct SchedState {
+    next_free: Instant,
+    /// Accumulated simulated wire occupancy — the exact `bytes/bandwidth`
+    /// transfer time, independent of timer granularity or scheduler
+    /// noise. Tests assert on this instead of wall clock.
+    busy: Duration,
 }
 
 impl Scheduler {
     fn new() -> Self {
         Scheduler {
-            next_free: Mutex::new(Instant::now()),
+            state: Mutex::new(SchedState {
+                next_free: Instant::now(),
+                busy: Duration::ZERO,
+            }),
         }
     }
 
@@ -31,11 +42,16 @@ impl Scheduler {
     /// the transfer will complete (absolute deadline to sleep until).
     fn reserve(&self, bytes: usize, bytes_per_sec: f64) -> Instant {
         let transfer = Duration::from_secs_f64(bytes as f64 / bytes_per_sec.max(1.0));
-        let mut next_free = self.next_free.lock();
-        let start = (*next_free).max(Instant::now());
+        let mut state = self.state.lock();
+        let start = state.next_free.max(Instant::now());
         let done = start + transfer;
-        *next_free = done;
+        state.next_free = done;
+        state.busy += transfer;
         done
+    }
+
+    fn busy(&self) -> Duration {
+        self.state.lock().busy
     }
 }
 
@@ -62,6 +78,18 @@ impl SimLink {
     /// Link capacity in bytes/second.
     pub fn bytes_per_sec(&self) -> f64 {
         self.bytes_per_sec
+    }
+
+    /// Total simulated occupancy of the request (tx) direction so far —
+    /// the sum of exact `bytes/bandwidth` transfer times, free of wall-
+    /// clock noise.
+    pub fn tx_busy(&self) -> Duration {
+        self.tx.busy()
+    }
+
+    /// Total simulated occupancy of the response (rx) direction so far.
+    pub fn rx_busy(&self) -> Duration {
+        self.rx.busy()
     }
 
     /// Wrap a transport so its traffic flows over this link. Many
@@ -151,26 +179,28 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn ten_gbps_is_ten_times_faster() {
+        // Assert on the *simulated* transfer time, not wall clock: the
+        // fast link's 1ms transfer sits inside timer-granularity noise,
+        // which made the old `slow_elapsed > fast_elapsed * 3` flake.
         let slow = SimLink::gbps(1.0, Duration::ZERO);
         let fast = SimLink::gbps(10.0, Duration::ZERO);
         let input: Input = Arc::new(vec![0.0f32; 312_500]);
 
-        let t_slow = slow.wrap(instant_transport());
-        let start = Instant::now();
-        t_slow
+        slow.wrap(instant_transport())
             .predict_batch(std::slice::from_ref(&input))
             .await
             .unwrap();
-        let slow_elapsed = start.elapsed();
+        fast.wrap(instant_transport())
+            .predict_batch(&[input])
+            .await
+            .unwrap();
 
-        let t_fast = fast.wrap(instant_transport());
-        let start = Instant::now();
-        t_fast.predict_batch(&[input]).await.unwrap();
-        let fast_elapsed = start.elapsed();
-
+        let s = slow.tx_busy() + slow.rx_busy();
+        let f = fast.tx_busy() + fast.rx_busy();
+        let ratio = s.as_secs_f64() / f.as_secs_f64();
         assert!(
-            slow_elapsed > fast_elapsed * 3,
-            "1Gbps {slow_elapsed:?} should be much slower than 10Gbps {fast_elapsed:?}"
+            (9.5..=10.5).contains(&ratio),
+            "1Gbps busy {s:?} vs 10Gbps busy {f:?}: ratio {ratio} expected 10"
         );
     }
 
