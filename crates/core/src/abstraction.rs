@@ -203,14 +203,24 @@ impl ModelHandle {
                         // Distinct second sample from the high bits.
                         let b = (a + 1 + ((h >> 32) % (m as u64 - 1)) as usize) % m;
                         let (qa, qb) = (&replicas[routable[a]].queue, &replicas[routable[b]].queue);
-                        // Backlog (occupancy × service EWMA) only once both
-                        // candidates have observed rates; otherwise raw
-                        // occupancy, so an unobserved replica can't win on
-                        // an artificially zero estimate.
-                        let a_wins = if qa.has_service_estimate() && qb.has_service_estimate() {
-                            qa.backlog_estimate_ns() <= qb.backlog_estimate_ns()
-                        } else {
-                            qa.occupancy() <= qb.occupancy()
+                        // Score with the learned per-replica latency curve
+                        // (§4.4.1, `α + β·b̂` over the work already ahead)
+                        // once both candidates' models are established — it
+                        // separates a replica that is merely busy from one
+                        // that is intrinsically slow. Fall back to backlog
+                        // (occupancy × service EWMA) when both have observed
+                        // rates, and to raw occupancy otherwise, so an
+                        // unobserved replica can't win on an artificially
+                        // zero estimate.
+                        let curve = |q: &crate::batching::ReplicaQueue| {
+                            q.latency_model().predict_ns(q.occupancy() + 1)
+                        };
+                        let a_wins = match (curve(qa), curve(qb)) {
+                            (Some(ca), Some(cb)) => ca <= cb,
+                            _ if qa.has_service_estimate() && qb.has_service_estimate() => {
+                                qa.backlog_estimate_ns() <= qb.backlog_estimate_ns()
+                            }
+                            _ => qa.occupancy() <= qb.occupancy(),
                         };
                         if a_wins {
                             routable[a]
@@ -472,6 +482,20 @@ impl ModelAbstractionLayer {
         id: &ModelId,
         transport: Arc<dyn BatchTransport>,
     ) -> Result<String, PredictError> {
+        self.add_replica_with_prior(id, transport, None)
+    }
+
+    /// [`add_replica`](Self::add_replica) with an explicit latency prior:
+    /// a re-registering fleet replica is re-admitted with the curve
+    /// harvested when it expired, regardless of the queue id it lands on
+    /// this time (queue ids are monotonic, so the id-keyed restore map
+    /// can't warm-start a *returning* container on its own).
+    pub fn add_replica_with_prior(
+        &self,
+        id: &ModelId,
+        transport: Arc<dyn BatchTransport>,
+        prior: Option<LatencyPrior>,
+    ) -> Result<String, PredictError> {
         let handle = self
             .models
             .read()
@@ -485,8 +509,9 @@ impl ModelAbstractionLayer {
         // A previously-learned curve for this queue id (restored from a
         // persisted record) overrides the model-wide prior, so a
         // rehydrated fleet serves with its tuned per-replica ceilings
-        // instead of re-probing from the defaults.
-        if let Some(prior) = handle.restore_tunes.lock().remove(&queue_id) {
+        // instead of re-probing from the defaults. An explicit caller
+        // prior (fleet warm re-admission) wins over both.
+        if let Some(prior) = prior.or_else(|| handle.restore_tunes.lock().remove(&queue_id)) {
             cfg.latency_prior = Some(prior);
         }
         let queue = spawn_replica_queue(queue_id.clone(), transport.clone(), cfg, metrics);
@@ -690,6 +715,34 @@ impl ModelAbstractionLayer {
                 .filter(|r| r.queue.is_suspect())
                 .map(|r| r.queue.id().to_string())
                 .collect()
+        })
+    }
+
+    /// Externally flag (or clear) one replica queue as suspect — the
+    /// fleet health monitor's bridge into p2c suspect-avoidance for
+    /// replicas whose heartbeats went silent before their batches began
+    /// failing. Returns whether the queue id was found.
+    pub fn set_replica_suspect_hint(&self, id: &ModelId, queue_id: &str, suspect: bool) -> bool {
+        self.models.read().get(id).is_some_and(|h| {
+            h.replicas
+                .read()
+                .iter()
+                .find(|r| r.queue.id() == queue_id)
+                .map(|r| r.queue.set_suspect_hint(suspect))
+                .is_some()
+        })
+    }
+
+    /// Total estimated backlog across a model's replicas, in nanoseconds
+    /// of queued work (`Σ occupancy × service EWMA`) — the autoscaler's
+    /// primary load signal.
+    pub fn backlog_ns(&self, id: &ModelId) -> u64 {
+        self.models.read().get(id).map_or(0, |h| {
+            h.replicas
+                .read()
+                .iter()
+                .map(|r| r.queue.backlog_estimate_ns())
+                .sum()
         })
     }
 

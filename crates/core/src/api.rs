@@ -28,6 +28,8 @@ use std::time::Duration;
 pub const APP_KEY_PREFIX: &str = "config/app/";
 /// Statestore key prefix for persisted model registrations.
 pub const MODEL_KEY_PREFIX: &str = "config/model/";
+/// Statestore key prefix for persisted fleet replica registrations.
+pub const REPLICA_KEY_PREFIX: &str = "config/replica/";
 
 /// Statestore key for an app's persisted registration.
 pub fn app_key(name: &str) -> String {
@@ -37,6 +39,11 @@ pub fn app_key(name: &str) -> String {
 /// Statestore key for a model's persisted registration.
 pub fn model_key(name: &str) -> String {
     format!("{MODEL_KEY_PREFIX}{name}")
+}
+
+/// Statestore key for a fleet replica's persisted registration.
+pub fn replica_key(name: &str) -> String {
+    format!("{REPLICA_KEY_PREFIX}{name}")
 }
 
 // ---------------------------------------------------------------------
@@ -89,6 +96,11 @@ pub enum ApiError {
     /// Rollback refused: no rollout has happened, nothing to restore.
     /// HTTP 409.
     NoRolloutHistory(String),
+    /// The named fleet replica is not registered. HTTP 404.
+    ReplicaUnknown(String),
+    /// The named fleet replica was expired by the health monitor; it must
+    /// re-register, not heartbeat. HTTP 410.
+    ReplicaGone(String),
     /// The request body or parameters were malformed. HTTP 400.
     BadRequest(String),
     /// No route matches the request. HTTP 404.
@@ -116,7 +128,9 @@ impl ApiError {
             ApiError::AppUnknown(_)
             | ApiError::ModelUnknown(_)
             | ApiError::VersionUnknown { .. }
+            | ApiError::ReplicaUnknown(_)
             | ApiError::NotFound => 404,
+            ApiError::ReplicaGone(_) => 410,
             ApiError::BadRequest(_) => 400,
             ApiError::Internal(_) => 500,
         }
@@ -134,6 +148,8 @@ impl ApiError {
             ApiError::AlreadyCurrent { .. } => "already_current",
             ApiError::NoReplicasForVersion { .. } => "no_replicas_for_version",
             ApiError::NoRolloutHistory(_) => "no_rollout_history",
+            ApiError::ReplicaUnknown(_) => "replica_unknown",
+            ApiError::ReplicaGone(_) => "replica_gone",
             ApiError::BadRequest(_) => "bad_request",
             ApiError::NotFound => "not_found",
             ApiError::Internal(_) => "internal",
@@ -178,6 +194,13 @@ impl std::fmt::Display for ApiError {
             }
             ApiError::NoRolloutHistory(model) => {
                 write!(f, "model \"{model}\" has no rollout to roll back")
+            }
+            ApiError::ReplicaUnknown(name) => write!(f, "unknown replica \"{name}\""),
+            ApiError::ReplicaGone(name) => {
+                write!(
+                    f,
+                    "replica \"{name}\" was expired by the health monitor; re-register"
+                )
             }
             ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
             ApiError::NotFound => write!(f, "not found"),
@@ -975,6 +998,102 @@ impl ModelRecord {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fleet replica registration (control-plane surface of `crate::fleet`)
+// ---------------------------------------------------------------------
+
+/// `POST /api/v1/replicas` request body — a container announcing itself
+/// to the control plane.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ReplicaSpec {
+    /// Container name, stable across restarts of the same container —
+    /// the fleet membership key.
+    pub container_name: String,
+    /// The model this container serves.
+    pub model_name: String,
+    /// The model version this container serves.
+    pub model_version: u32,
+    /// Attachment capabilities, matched against registered
+    /// `ReplicaLauncher`s (e.g. `"local:noop"`); an empty list means the
+    /// container will dial the RPC data plane itself.
+    #[serde(default)]
+    pub capabilities: Vec<String>,
+}
+
+/// The statestore-persisted form of a fleet replica registration —
+/// `config/replica/*`, beside [`AppRecord`] and [`ModelRecord`], so a
+/// restarted (or sibling) frontend re-adopts the registered fleet.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ReplicaRecord {
+    /// Container name (membership key).
+    pub container_name: String,
+    /// The model this container serves.
+    pub model_name: String,
+    /// The model version this container serves.
+    pub model_version: u32,
+    /// Attachment capabilities (see [`ReplicaSpec::capabilities`]).
+    #[serde(default)]
+    pub capabilities: Vec<String>,
+    /// Lifecycle state at persist time: `"registered"` or `"expired"`.
+    pub state: String,
+    /// The learned latency curve harvested from the replica's queue when
+    /// it was drained — the warm start handed back on re-registration.
+    #[serde(default)]
+    pub tune: Option<ReplicaTuneRecord>,
+}
+
+/// Persisted state value for a live registration.
+pub const REPLICA_STATE_REGISTERED: &str = "registered";
+/// Persisted state value for an expired (drained) registration.
+pub const REPLICA_STATE_EXPIRED: &str = "expired";
+
+/// `POST /api/v1/replicas` response body.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RegisterOutcome {
+    /// Echo of the membership key.
+    pub container_name: String,
+    /// The data-plane queue id, when the frontend attached the replica
+    /// immediately (a launcher matched its capabilities). `None` means
+    /// the container must dial `rpc_addr` and send `Register`.
+    pub queue_id: Option<String>,
+    /// The RPC data-plane address to dial when not attached in-process.
+    pub rpc_addr: Option<String>,
+    /// Whether a persisted tune warm-started this admission.
+    pub warm_start: bool,
+    /// The heartbeat interval the control plane expects, in milliseconds.
+    pub heartbeat_interval_ms: u64,
+}
+
+/// `POST /api/v1/replicas/{name}/heartbeat` request body: liveness plus
+/// optional self-reported load stats (all fields optional — an empty
+/// object is a pure liveness beat).
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct HeartbeatReport {
+    /// Container-side queue depth, if the container tracks one.
+    #[serde(default)]
+    pub queue_depth: Option<usize>,
+    /// Container-side mean service time per query, µs.
+    #[serde(default)]
+    pub service_us: Option<f64>,
+}
+
+/// Read-back shape for `GET /api/v1/replicas` — one row per member.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ReplicaView {
+    /// Container name (membership key).
+    pub container_name: String,
+    /// The model this member serves.
+    pub model_name: String,
+    /// The model version this member serves.
+    pub model_version: u32,
+    /// Health state: `"healthy"`, `"suspect"`, or `"expired"`.
+    pub health: String,
+    /// The data-plane queue id, when attached.
+    pub queue_id: Option<String>,
+    /// Whether the autoscaler launched (and may reap) this member.
+    pub managed: bool,
+}
+
 /// Summary of a registry rehydration from the statestore.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RehydrateReport {
@@ -982,6 +1101,8 @@ pub struct RehydrateReport {
     pub models: usize,
     /// App registrations restored.
     pub apps: usize,
+    /// Fleet replica registrations adopted into the membership view.
+    pub replicas: usize,
     /// Statestore keys whose records failed to parse and were skipped —
     /// one corrupt record never aborts the rest of the recovery.
     pub skipped: Vec<String>,
@@ -1009,6 +1130,9 @@ pub struct SyncReport {
     pub updated_apps: usize,
     /// Apps removed locally because their record was deleted.
     pub removed_apps: usize,
+    /// Fleet replica records adopted into the local membership view
+    /// (registered by another frontend sharing the statestore).
+    pub adopted_replicas: usize,
     /// Statestore keys whose records failed to parse and were skipped.
     pub skipped: Vec<String>,
 }

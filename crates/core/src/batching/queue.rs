@@ -339,6 +339,11 @@ struct QueueShared {
     /// ever errors drains instantly and would otherwise look *ideal* to
     /// depth-aware routing — this is how the scheduler spots the trap.
     consecutive_errors: AtomicUsize,
+    /// Externally asserted suspicion (the fleet health monitor flags a
+    /// replica whose heartbeats stopped before its batches start failing).
+    /// ORed into [`ReplicaQueue::is_suspect`]; cleared when a heartbeat
+    /// returns.
+    suspect_hint: AtomicBool,
     /// Closed by the worker on exit; `drained()` waits on it.
     done: Semaphore,
     /// Live dispatch tasks, retained so the drain watchdog can abort
@@ -517,11 +522,21 @@ impl ReplicaQueue {
         self.len() + self.inflight()
     }
 
-    /// Whether the replica's last few batches all failed (≥ 3 in a row).
+    /// Whether the replica's last few batches all failed (≥ 3 in a row),
+    /// or an external monitor (the fleet health loop) has flagged it.
     /// Suspect replicas are routed to only when no clean replica has
-    /// room; any successful batch clears the flag.
+    /// room; any successful batch clears the error streak, and the
+    /// monitor clears its hint when heartbeats resume.
     pub fn is_suspect(&self) -> bool {
         self.shared.consecutive_errors.load(Ordering::Relaxed) >= 3
+            || self.shared.suspect_hint.load(Ordering::Relaxed)
+    }
+
+    /// Externally assert (or clear) suspicion — the fleet health
+    /// monitor's hook into p2c suspect-avoidance for replicas whose
+    /// heartbeats went silent before their batches started failing.
+    pub fn set_suspect_hint(&self, suspect: bool) {
+        self.shared.suspect_hint.store(suspect, Ordering::Relaxed);
     }
 
     /// Estimated nanoseconds of work ahead of a newly enqueued query:
@@ -685,6 +700,7 @@ pub fn spawn_replica_queue(
         inflight: AtomicUsize::new(0),
         ewma_ns_per_item: AtomicU64::new(0),
         consecutive_errors: AtomicUsize::new(0),
+        suspect_hint: AtomicBool::new(false),
         done: Semaphore::new(0),
         dispatch_tasks: Mutex::new(Vec::new()),
         force_failed: AtomicBool::new(false),

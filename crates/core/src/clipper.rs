@@ -36,10 +36,12 @@
 
 use crate::abstraction::{BatchConfig, ModelAbstractionLayer, SchedulerPolicy};
 use crate::api::{
-    self, ApiError, AppRecord, ModelRecord, ModelView, RehydrateReport, RolloutOutcome, SyncReport,
+    self, ApiError, AppRecord, ModelRecord, ModelView, RehydrateReport, ReplicaRecord,
+    RolloutOutcome, SyncReport,
 };
 use crate::batching::queue::PredictError;
 use crate::batching::ReplicaQueue;
+use crate::fleet::{Fleet, FleetConfig};
 use crate::selection::{build_policy, SelectionPolicy, SelectionStateManager};
 use crate::types::{AppConfig, AppUpdate, Feedback, Input, ModelId, Output, Prediction};
 use clipper_metrics::{Counter, Histogram, Meter, Registry};
@@ -47,7 +49,7 @@ use clipper_rpc::transport::BatchTransport;
 use clipper_statestore::StateStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use tokio::sync::mpsc;
 
@@ -57,6 +59,7 @@ pub struct ClipperBuilder {
     cache_enabled: bool,
     registry: Registry,
     statestore: Option<Arc<StateStore>>,
+    fleet_config: FleetConfig,
 }
 
 impl Default for ClipperBuilder {
@@ -66,6 +69,7 @@ impl Default for ClipperBuilder {
             cache_enabled: true,
             registry: Registry::new(),
             statestore: None,
+            fleet_config: FleetConfig::default(),
         }
     }
 }
@@ -96,6 +100,14 @@ impl ClipperBuilder {
         self
     }
 
+    /// Timing knobs for the fleet manager (heartbeat interval, suspect
+    /// and expiry thresholds) — applied when [`Clipper::fleet`] first
+    /// constructs it.
+    pub fn fleet_config(mut self, cfg: FleetConfig) -> Self {
+        self.fleet_config = cfg;
+        self
+    }
+
     /// Build the instance.
     pub fn build(self) -> Clipper {
         let registry = self.registry;
@@ -117,6 +129,8 @@ impl ClipperBuilder {
                 defaults_used: registry.counter("clipper/defaults_used"),
                 substitutions: registry.counter("clipper/straggler_substitutions"),
                 registry,
+                fleet_cfg: self.fleet_config,
+                fleet: OnceLock::new(),
             }),
         }
     }
@@ -171,6 +185,10 @@ struct Inner {
     feedback_count: Meter,
     defaults_used: Counter,
     substitutions: Counter,
+    fleet_cfg: FleetConfig,
+    /// Lazily constructed on first [`Clipper::fleet`] call — a deployment
+    /// that never touches the fleet surface pays nothing for it.
+    fleet: OnceLock<Fleet>,
 }
 
 impl Inner {
@@ -726,6 +744,24 @@ impl Clipper {
                 .insert(cfg.name.clone(), Arc::new(App { cfg, policy }));
             report.apps += 1;
         }
+        // Fleet replica registrations: adopt each live record into the
+        // membership view (attaching through a matching launcher when one
+        // is registered; otherwise the container's own re-dial — or the
+        // monitor's expiry — settles it). Expired tombstones are left in
+        // the store untouched: they answer late heartbeats with 410 and
+        // carry the warm start for re-registration.
+        for key in store.keys_with_prefix(api::REPLICA_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<ReplicaRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            if self.fleet().adopt_record(rec) {
+                report.replicas += 1;
+            }
+        }
         report
     }
 
@@ -861,14 +897,38 @@ impl Clipper {
                 report.removed_apps += 1;
             }
         }
+
+        // Fleet replicas: adopt records another frontend registered, so
+        // the fan-in group shares one membership view. Same semantics as
+        // the rehydrate pass; records already known locally are no-ops.
+        for key in store.keys_with_prefix(api::REPLICA_KEY_PREFIX) {
+            let Some(bytes) = store.get(&key) else {
+                continue;
+            };
+            let Ok(rec) = serde_json::from_slice::<ReplicaRecord>(&bytes) else {
+                report.skipped.push(key);
+                continue;
+            };
+            if self.fleet().adopt_record(rec) {
+                report.adopted_replicas += 1;
+            }
+        }
         report
     }
 
     /// Hot-remove and gracefully drain every replica of `id` the
-    /// scheduler currently marks suspect (≥3 consecutive failed batches)
-    /// — the ops response to a replica that started failing mid-run.
-    /// Returns the drained queue ids. Callers decide policy (this will
-    /// happily remove the last replica if everything is suspect).
+    /// scheduler currently marks suspect (≥3 consecutive failed batches,
+    /// or an external suspect hint from the fleet health monitor) — the
+    /// ops response to a replica that started failing mid-run. Returns
+    /// the drained queue ids. Callers decide policy (this will happily
+    /// remove the last replica if everything is suspect).
+    ///
+    /// Idempotent against the fleet's expiry path racing on the same
+    /// queue id (a dead replica is usually both silent *and* failing):
+    /// `remove_replica` removes under the replica write lock, so exactly
+    /// one caller wins each queue — the loser skips it, nothing
+    /// double-drains, and each side's drain accounting counts only the
+    /// queues it actually won.
     pub async fn drain_suspect_replicas(&self, id: &ModelId) -> Vec<String> {
         let mut removed = Vec::new();
         for qid in self.inner.mal.suspect_queue_ids(id) {
@@ -905,6 +965,23 @@ impl Clipper {
     /// Remove (and gracefully drain) all replicas of a model.
     pub fn remove_replicas(&self, id: &ModelId) {
         self.inner.mal.remove_replicas(id);
+    }
+
+    /// The fleet manager (replica self-registration, heartbeat health,
+    /// autoscaling) — constructed lazily on first use, over this
+    /// instance's abstraction layer, statestore, and metrics registry.
+    pub fn fleet(&self) -> Fleet {
+        self.inner
+            .fleet
+            .get_or_init(|| {
+                Fleet::new(
+                    self.inner.mal.clone(),
+                    self.inner.store.clone(),
+                    &self.inner.registry,
+                    self.inner.fleet_cfg.clone(),
+                )
+            })
+            .clone()
     }
 
     /// The underlying model abstraction layer.

@@ -1,0 +1,703 @@
+//! Fleet membership: self-registration, persistence, and launchers.
+//!
+//! The registry is the single source of truth for *who is in the fleet*:
+//! every container that announced itself (over HTTP or by dialing the RPC
+//! data plane) has a [`Member`] entry keyed by container name, and a
+//! mirrored `config/replica/*` record in the statestore so a restarted or
+//! sibling frontend re-adopts the same membership view. Expired members
+//! stay behind as tombstones: a heartbeat arriving after expiry gets an
+//! unambiguous 410 (re-register, don't resume), and the tombstone carries
+//! the learned latency curve harvested at drain time — the warm start
+//! handed back when the container returns.
+
+use crate::abstraction::ModelAbstractionLayer;
+use crate::api::{
+    self, ApiError, HeartbeatReport, RegisterOutcome, ReplicaRecord, ReplicaSpec,
+    ReplicaTuneRecord, ReplicaView, REPLICA_STATE_EXPIRED, REPLICA_STATE_REGISTERED,
+};
+use crate::batching::LatencyPrior;
+use crate::types::ModelId;
+use clipper_metrics::{Counter, Registry};
+use clipper_rpc::server::{ContainerInfo, RpcServer, TcpContainerHandle};
+use clipper_rpc::transport::BatchTransport;
+use clipper_statestore::StateStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A member's position in the `Healthy → Suspect → Expired` state
+/// machine driven by the health monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Heartbeats arriving on schedule.
+    Healthy,
+    /// Heartbeats late: deprioritized by p2c suspect-avoidance, but not
+    /// yet drained — a resumed heartbeat restores `Healthy`.
+    Suspect,
+    /// Heartbeats stopped: the queue was gracefully drained and the
+    /// member is a tombstone. Re-registration is the only way back.
+    Expired,
+}
+
+impl ReplicaHealth {
+    /// Wire form used in [`ReplicaView::health`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Suspect => "suspect",
+            ReplicaHealth::Expired => "expired",
+        }
+    }
+}
+
+/// Timing knobs for the fleet control loop.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// The heartbeat interval containers are told to report on.
+    pub heartbeat_interval: Duration,
+    /// Missed intervals before a member turns `Suspect`.
+    pub suspect_after: u32,
+    /// Missed intervals before a member is `Expired` and drained.
+    pub expire_after: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            suspect_after: 2,
+            expire_after: 4,
+        }
+    }
+}
+
+/// What a [`ReplicaLauncher`] produced.
+pub enum Launched {
+    /// An in-process transport — the frontend attaches it immediately.
+    Attached(Arc<dyn BatchTransport>),
+    /// An external process was started; it will dial the RPC data plane
+    /// and complete its own registration.
+    Dialing,
+}
+
+/// Pluggable replica factory the autoscaler (and registration path)
+/// drives. A launcher serves one capability string; a replica whose
+/// `capabilities` list names it can be launched/attached by it.
+pub trait ReplicaLauncher: Send + Sync {
+    /// The capability this launcher serves (e.g. `"local:noop"`).
+    fn capability(&self) -> &str;
+    /// Launch (or attach) a replica for `record`.
+    fn launch(&self, record: &ReplicaRecord) -> Result<Launched, String>;
+}
+
+/// In-process launcher: a transport-factory closure under a capability
+/// name. The workhorse for tests, benches, and single-process
+/// deployments.
+pub struct FnLauncher {
+    capability: String,
+    #[allow(clippy::type_complexity)]
+    factory: Box<dyn Fn(&ReplicaRecord) -> Arc<dyn BatchTransport> + Send + Sync>,
+}
+
+impl FnLauncher {
+    /// Wrap `factory` under `capability`.
+    pub fn new<F>(capability: &str, factory: F) -> Self
+    where
+        F: Fn(&ReplicaRecord) -> Arc<dyn BatchTransport> + Send + Sync + 'static,
+    {
+        FnLauncher {
+            capability: capability.to_string(),
+            factory: Box::new(factory),
+        }
+    }
+}
+
+impl ReplicaLauncher for FnLauncher {
+    fn capability(&self) -> &str {
+        &self.capability
+    }
+    fn launch(&self, record: &ReplicaRecord) -> Result<Launched, String> {
+        Ok(Launched::Attached((self.factory)(record)))
+    }
+}
+
+/// Spawned-process launcher: starts an external container process that
+/// dials the RPC data plane back (`CLIPPER_RPC_ADDR`, `CLIPPER_MODEL`,
+/// `CLIPPER_MODEL_VERSION`, `CLIPPER_CONTAINER_NAME` in its environment)
+/// and completes its own registration.
+pub struct ProcessLauncher {
+    capability: String,
+    program: String,
+    args: Vec<String>,
+    rpc_addr: String,
+}
+
+impl ProcessLauncher {
+    /// Launch `program args…` per replica, pointing it at `rpc_addr`.
+    pub fn new(capability: &str, program: &str, args: Vec<String>, rpc_addr: &str) -> Self {
+        ProcessLauncher {
+            capability: capability.to_string(),
+            program: program.to_string(),
+            args,
+            rpc_addr: rpc_addr.to_string(),
+        }
+    }
+}
+
+impl ReplicaLauncher for ProcessLauncher {
+    fn capability(&self) -> &str {
+        &self.capability
+    }
+    fn launch(&self, record: &ReplicaRecord) -> Result<Launched, String> {
+        std::process::Command::new(&self.program)
+            .args(&self.args)
+            .env("CLIPPER_RPC_ADDR", &self.rpc_addr)
+            .env("CLIPPER_MODEL", &record.model_name)
+            .env("CLIPPER_MODEL_VERSION", record.model_version.to_string())
+            .env("CLIPPER_CONTAINER_NAME", &record.container_name)
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", self.program))?;
+        Ok(Launched::Dialing)
+    }
+}
+
+/// Timeline entry for observability and bench assertions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A container registered (first time or after deregistration).
+    Registered {
+        /// Container name.
+        container: String,
+        /// Whether a persisted tune warm-started the admission.
+        warm_start: bool,
+    },
+    /// An expired container re-registered.
+    Readmitted {
+        /// Container name.
+        container: String,
+        /// Whether a persisted tune warm-started the re-admission.
+        warm_start: bool,
+    },
+    /// Heartbeats went late; p2c now deprioritizes the member.
+    Suspected {
+        /// Container name.
+        container: String,
+        /// Silence observed when the transition fired, ms.
+        silent_ms: u64,
+    },
+    /// Heartbeats stopped; the member was drained and tombstoned.
+    Expired {
+        /// Container name.
+        container: String,
+        /// Silence observed when the transition fired, ms — the
+        /// detection latency the bench gates on.
+        silent_ms: u64,
+        /// Whether this path won the (idempotent) drain race.
+        drained: bool,
+    },
+    /// The autoscaler launched a managed replica.
+    ScaledUp {
+        /// Container name of the launched replica.
+        container: String,
+    },
+    /// The autoscaler drained and removed a managed replica.
+    ScaledDown {
+        /// Container name of the removed replica.
+        container: String,
+    },
+}
+
+/// One fleet member (keyed by container name in [`Fleet`]).
+pub(crate) struct Member {
+    pub(crate) model: ModelId,
+    pub(crate) capabilities: Vec<String>,
+    pub(crate) queue_id: Option<String>,
+    pub(crate) health: ReplicaHealth,
+    pub(crate) last_beat: Instant,
+    /// RPC members carry their handle: the connection's own passive
+    /// probing (`is_healthy`) counts as a heartbeat, so an RPC container
+    /// doesn't need a parallel HTTP beat loop.
+    pub(crate) transport: Option<Arc<dyn BatchTransport>>,
+    /// Launched by the autoscaler (eligible for scale-down reaping).
+    pub(crate) managed: bool,
+    /// Monotonic admission order; scale-down reaps the newest.
+    pub(crate) joined_seq: u64,
+}
+
+pub(crate) struct FleetInner {
+    pub(crate) mal: Arc<ModelAbstractionLayer>,
+    pub(crate) store: Arc<StateStore>,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) members: Mutex<HashMap<String, Member>>,
+    launchers: Mutex<Vec<Arc<dyn ReplicaLauncher>>>,
+    rpc_addr: Mutex<Option<SocketAddr>>,
+    events: Mutex<Vec<FleetEvent>>,
+    next_seq: Mutex<u64>,
+    /// Queues this fleet won the drain race for (expiry, deregister,
+    /// scale-down). `remove_replica` is exclusive under the replica
+    /// write lock, so a concurrent `drain_suspect_replicas` on the same
+    /// queue id can never double-count here.
+    pub(crate) drains: Counter,
+    pub(crate) registrations: Counter,
+    pub(crate) expiries: Counter,
+}
+
+/// The fleet manager: membership registry + health monitor + autoscaler
+/// hooks over one [`ModelAbstractionLayer`]. Cheap to clone (shared
+/// inner).
+#[derive(Clone)]
+pub struct Fleet {
+    pub(crate) inner: Arc<FleetInner>,
+}
+
+impl Fleet {
+    /// Build a fleet manager over `mal`, persisting membership to
+    /// `store` and reporting metrics into `registry`.
+    pub fn new(
+        mal: Arc<ModelAbstractionLayer>,
+        store: Arc<StateStore>,
+        registry: &Registry,
+        cfg: FleetConfig,
+    ) -> Fleet {
+        Fleet {
+            inner: Arc::new(FleetInner {
+                mal,
+                store,
+                cfg,
+                members: Mutex::new(HashMap::new()),
+                launchers: Mutex::new(Vec::new()),
+                rpc_addr: Mutex::new(None),
+                events: Mutex::new(Vec::new()),
+                next_seq: Mutex::new(0),
+                drains: registry.counter("fleet/drains"),
+                registrations: registry.counter("fleet/registrations"),
+                expiries: registry.counter("fleet/expiries"),
+            }),
+        }
+    }
+
+    /// The fleet's timing configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.inner.cfg
+    }
+
+    /// Register a launcher; replicas whose capability list names it can
+    /// be attached in-process (registration) or launched (autoscaler).
+    pub fn add_launcher(&self, launcher: Arc<dyn ReplicaLauncher>) {
+        self.inner.launchers.lock().push(launcher);
+    }
+
+    /// The RPC data-plane address handed to registrants, once
+    /// [`serve_rpc`](Self::serve_rpc) is running.
+    pub fn rpc_addr(&self) -> Option<SocketAddr> {
+        *self.inner.rpc_addr.lock()
+    }
+
+    /// Snapshot of the event timeline (registration, health transitions,
+    /// scaling decisions) — the bench's assertion surface.
+    pub fn events(&self) -> Vec<FleetEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    /// Queues this fleet gracefully drained (expiry/deregister/reap).
+    pub fn drain_count(&self) -> u64 {
+        self.inner.drains.get()
+    }
+
+    /// One member's current view, if registered (tombstones included).
+    pub fn view(&self, name: &str) -> Option<ReplicaView> {
+        self.inner
+            .members
+            .lock()
+            .get(name)
+            .map(|m| view_of(name, m))
+    }
+
+    /// Every member's current view, sorted by container name.
+    pub fn list(&self) -> Vec<ReplicaView> {
+        let mut views: Vec<ReplicaView> = self
+            .inner
+            .members
+            .lock()
+            .iter()
+            .map(|(n, m)| view_of(n, m))
+            .collect();
+        views.sort_by(|a, b| a.container_name.cmp(&b.container_name));
+        views
+    }
+
+    /// One member's health, if registered.
+    pub fn health_of(&self, name: &str) -> Option<ReplicaHealth> {
+        self.inner.members.lock().get(name).map(|m| m.health)
+    }
+
+    pub(crate) fn push_event(&self, e: FleetEvent) {
+        self.inner.events.lock().push(e);
+    }
+
+    fn next_seq(&self) -> u64 {
+        let mut seq = self.inner.next_seq.lock();
+        *seq += 1;
+        *seq
+    }
+
+    pub(crate) fn load_record(&self, name: &str) -> Option<ReplicaRecord> {
+        let bytes = self.inner.store.get(&api::replica_key(name))?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    pub(crate) fn persist_record(&self, rec: &ReplicaRecord) {
+        if let Ok(bytes) = serde_json::to_vec(rec) {
+            self.inner
+                .store
+                .set(&api::replica_key(&rec.container_name), bytes);
+        }
+    }
+
+    fn match_launcher(&self, capabilities: &[String]) -> Option<Arc<dyn ReplicaLauncher>> {
+        let launchers = self.inner.launchers.lock();
+        launchers
+            .iter()
+            .find(|l| capabilities.iter().any(|c| c == l.capability()))
+            .cloned()
+    }
+
+    /// Handle `POST /api/v1/replicas`: validate the announced
+    /// model/version against the directory, attach the replica (via a
+    /// matching launcher, in-process) or point it at the RPC data plane,
+    /// persist the registration, and admit it to the membership view.
+    /// A previously-expired container is re-admitted with the latency
+    /// curve harvested when it was drained (warm start).
+    pub fn register(&self, spec: ReplicaSpec) -> Result<RegisterOutcome, ApiError> {
+        self.register_inner(spec, false)
+    }
+
+    pub(crate) fn register_inner(
+        &self,
+        spec: ReplicaSpec,
+        managed: bool,
+    ) -> Result<RegisterOutcome, ApiError> {
+        if spec.container_name.is_empty() {
+            return Err(ApiError::BadRequest(
+                "container_name must not be empty".into(),
+            ));
+        }
+        let model = ModelId::new(&spec.model_name, spec.model_version);
+        if !self.inner.mal.has_model(&model) {
+            let name_known = self
+                .inner
+                .mal
+                .models()
+                .iter()
+                .any(|m| m.name == spec.model_name);
+            return Err(if name_known {
+                ApiError::VersionUnknown {
+                    model: spec.model_name,
+                    version: spec.model_version,
+                }
+            } else {
+                ApiError::ModelUnknown(spec.model_name)
+            });
+        }
+        // Warm start: the tune harvested when this container last expired
+        // (or was last persisted) rides back in as the queue's prior.
+        let tune = self.load_record(&spec.container_name).and_then(|r| r.tune);
+        let warm_start = tune.is_some();
+        let prior = tune.as_ref().map(|t| LatencyPrior {
+            alpha_us: t.alpha_us,
+            beta_us: t.beta_us,
+        });
+        let record = ReplicaRecord {
+            container_name: spec.container_name.clone(),
+            model_name: spec.model_name.clone(),
+            model_version: spec.model_version,
+            capabilities: spec.capabilities.clone(),
+            state: REPLICA_STATE_REGISTERED.to_string(),
+            tune,
+        };
+        // Attach through a matching launcher; otherwise the container
+        // dials the RPC data plane itself.
+        let mut queue_id = None;
+        if let Some(launcher) = self.match_launcher(&spec.capabilities) {
+            match launcher.launch(&record).map_err(ApiError::Internal)? {
+                Launched::Attached(transport) => {
+                    let qid = self
+                        .inner
+                        .mal
+                        .add_replica_with_prior(&model, transport, prior)
+                        .map_err(|e| ApiError::Internal(e.to_string()))?;
+                    queue_id = Some(qid);
+                }
+                Launched::Dialing => {}
+            }
+        }
+        let readmitted = self.admit_member(
+            &spec.container_name,
+            model,
+            spec.capabilities,
+            queue_id.clone(),
+            None,
+            managed,
+        );
+        self.persist_record(&record);
+        self.inner.registrations.inc();
+        self.push_event(if readmitted {
+            FleetEvent::Readmitted {
+                container: spec.container_name.clone(),
+                warm_start,
+            }
+        } else {
+            FleetEvent::Registered {
+                container: spec.container_name.clone(),
+                warm_start,
+            }
+        });
+        Ok(RegisterOutcome {
+            container_name: spec.container_name,
+            queue_id,
+            rpc_addr: self.rpc_addr().map(|a| a.to_string()),
+            warm_start,
+            heartbeat_interval_ms: self.inner.cfg.heartbeat_interval.as_millis() as u64,
+        })
+    }
+
+    /// Insert-or-replace the membership entry; returns whether this
+    /// replaced an expired tombstone (a re-admission). If a *live* entry
+    /// with an attached queue is replaced (container restarted faster
+    /// than the monitor noticed), its old queue is drained in the
+    /// background — distinct queue ids keep the drains independent.
+    fn admit_member(
+        &self,
+        name: &str,
+        model: ModelId,
+        capabilities: Vec<String>,
+        queue_id: Option<String>,
+        transport: Option<Arc<dyn BatchTransport>>,
+        managed: bool,
+    ) -> bool {
+        let member = Member {
+            model: model.clone(),
+            capabilities,
+            queue_id,
+            health: ReplicaHealth::Healthy,
+            last_beat: Instant::now(),
+            transport,
+            managed,
+            joined_seq: self.next_seq(),
+        };
+        let old = self.inner.members.lock().insert(name.to_string(), member);
+        let readmitted = old
+            .as_ref()
+            .is_some_and(|m| m.health == ReplicaHealth::Expired);
+        if let Some(old) = old {
+            if old.health != ReplicaHealth::Expired {
+                if let Some(old_qid) = old.queue_id {
+                    let fleet = self.clone();
+                    tokio::spawn(async move {
+                        if let Ok(q) = fleet.inner.mal.remove_replica(&old.model, &old_qid) {
+                            q.drained().await;
+                            fleet.inner.drains.inc();
+                        }
+                    });
+                }
+            }
+        }
+        readmitted
+    }
+
+    /// Handle `POST /api/v1/replicas/{name}/heartbeat`. A beat from an
+    /// expired member gets 410 (`replica_gone`): its queue is already
+    /// drained, so resuming silently would serve from a ghost — it must
+    /// re-register. A beat from a suspect member restores `Healthy` and
+    /// clears the scheduler's suspect hint.
+    pub fn heartbeat(&self, name: &str, _report: HeartbeatReport) -> Result<ReplicaView, ApiError> {
+        let mut members = self.inner.members.lock();
+        let Some(m) = members.get_mut(name) else {
+            drop(members);
+            return Err(match self.load_record(name) {
+                Some(r) if r.state == REPLICA_STATE_EXPIRED => {
+                    ApiError::ReplicaGone(name.to_string())
+                }
+                _ => ApiError::ReplicaUnknown(name.to_string()),
+            });
+        };
+        if m.health == ReplicaHealth::Expired {
+            return Err(ApiError::ReplicaGone(name.to_string()));
+        }
+        m.last_beat = Instant::now();
+        if m.health == ReplicaHealth::Suspect {
+            m.health = ReplicaHealth::Healthy;
+            if let Some(qid) = &m.queue_id {
+                self.inner
+                    .mal
+                    .set_replica_suspect_hint(&m.model, qid, false);
+            }
+        }
+        Ok(view_of(name, m))
+    }
+
+    /// Handle `DELETE /api/v1/replicas/{name}`: graceful deregistration.
+    /// The queue drains zero-drop, the membership entry and persisted
+    /// record are removed — the name is immediately free to re-register.
+    pub async fn deregister(&self, name: &str) -> Result<(), ApiError> {
+        let member = self
+            .inner
+            .members
+            .lock()
+            .remove(name)
+            .ok_or_else(|| ApiError::ReplicaUnknown(name.to_string()))?;
+        if let Some(qid) = &member.queue_id {
+            if let Ok(queue) = self.inner.mal.remove_replica(&member.model, qid) {
+                queue.drained().await;
+                self.inner.drains.inc();
+            }
+        }
+        self.inner.store.del(&api::replica_key(name));
+        Ok(())
+    }
+
+    /// Adopt a persisted registration written by another frontend (or a
+    /// previous life of this one): attach via a matching launcher when
+    /// possible, otherwise admit unattached — the container's own
+    /// heartbeats (or the monitor's expiry) settle it. Returns whether a
+    /// new member was admitted.
+    pub(crate) fn adopt_record(&self, rec: ReplicaRecord) -> bool {
+        if rec.state != REPLICA_STATE_REGISTERED {
+            return false;
+        }
+        let model = ModelId::new(&rec.model_name, rec.model_version);
+        if !self.inner.mal.has_model(&model) {
+            return false;
+        }
+        if self.inner.members.lock().contains_key(&rec.container_name) {
+            return false;
+        }
+        let prior = rec.tune.as_ref().map(|t| LatencyPrior {
+            alpha_us: t.alpha_us,
+            beta_us: t.beta_us,
+        });
+        let mut queue_id = None;
+        if let Some(launcher) = self.match_launcher(&rec.capabilities) {
+            if let Ok(Launched::Attached(transport)) = launcher.launch(&rec) {
+                queue_id = self
+                    .inner
+                    .mal
+                    .add_replica_with_prior(&model, transport, prior)
+                    .ok();
+            }
+        }
+        self.admit_member(
+            &rec.container_name,
+            model,
+            rec.capabilities.clone(),
+            queue_id,
+            None,
+            false,
+        );
+        true
+    }
+
+    /// Serve the RPC data plane for self-registering containers: bind,
+    /// then accept `Register` frames forever, attaching each container
+    /// as a fleet member (its connection's passive health probing counts
+    /// as its heartbeat).
+    pub async fn serve_rpc(&self, addr: &str) -> Result<SocketAddr, ApiError> {
+        let mut server = RpcServer::bind(addr)
+            .await
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        let local = server.local_addr();
+        *self.inner.rpc_addr.lock() = Some(local);
+        let fleet = self.clone();
+        tokio::spawn(async move {
+            while let Some((info, handle)) = server.next_container().await {
+                fleet.admit_rpc(info, handle);
+            }
+        });
+        Ok(local)
+    }
+
+    /// Admit one RPC-registered container. Unknown model/version frames
+    /// are dropped (the container sees its connection close on the next
+    /// probe cycle) — the RPC surface has no error channel at register
+    /// time.
+    pub(crate) fn admit_rpc(&self, info: ContainerInfo, handle: TcpContainerHandle) {
+        let model = ModelId::new(&info.model_name, info.model_version);
+        if !self.inner.mal.has_model(&model) {
+            return;
+        }
+        let interval = self.inner.cfg.heartbeat_interval;
+        let grace = interval * self.inner.cfg.suspect_after.max(1);
+        handle.start_heartbeats(interval, grace);
+        let transport: Arc<dyn BatchTransport> = Arc::new(handle);
+        let tune = self.load_record(&info.container_name).and_then(|r| r.tune);
+        let warm_start = tune.is_some();
+        let prior = tune.as_ref().map(|t| LatencyPrior {
+            alpha_us: t.alpha_us,
+            beta_us: t.beta_us,
+        });
+        let Ok(queue_id) = self
+            .inner
+            .mal
+            .add_replica_with_prior(&model, transport.clone(), prior)
+        else {
+            return;
+        };
+        let readmitted = self.admit_member(
+            &info.container_name,
+            model,
+            Vec::new(),
+            Some(queue_id),
+            Some(transport),
+            false,
+        );
+        self.persist_record(&ReplicaRecord {
+            container_name: info.container_name.clone(),
+            model_name: info.model_name.clone(),
+            model_version: info.model_version,
+            capabilities: Vec::new(),
+            state: REPLICA_STATE_REGISTERED.to_string(),
+            tune,
+        });
+        self.inner.registrations.inc();
+        self.push_event(if readmitted {
+            FleetEvent::Readmitted {
+                container: info.container_name,
+                warm_start,
+            }
+        } else {
+            FleetEvent::Registered {
+                container: info.container_name,
+                warm_start,
+            }
+        });
+    }
+
+    /// Harvest a replica's learned latency curve into its wire record
+    /// form, if the model is established — the warm start persisted with
+    /// the tombstone at expiry.
+    pub(crate) fn harvest_tune(
+        &self,
+        model: &ModelId,
+        queue_id: &str,
+    ) -> Option<ReplicaTuneRecord> {
+        self.inner
+            .mal
+            .replica_tunes(model)
+            .iter()
+            .find(|t| t.queue_id == queue_id)
+            .map(ReplicaTuneRecord::from)
+    }
+}
+
+pub(crate) fn view_of(name: &str, m: &Member) -> ReplicaView {
+    ReplicaView {
+        container_name: name.to_string(),
+        model_name: m.model.name.clone(),
+        model_version: m.model.version,
+        health: m.health.as_str().to_string(),
+        queue_id: m.queue_id.clone(),
+        managed: m.managed,
+    }
+}

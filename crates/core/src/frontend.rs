@@ -561,6 +561,7 @@ impl ResponseWriter {
             400 => "Bad Request",
             404 => "Not Found",
             409 => "Conflict",
+            410 => "Gone",
             429 => "Too Many Requests",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",
@@ -863,6 +864,35 @@ async fn dispatch(
         (Post, ["api", "v1", "models", name, "rollback"]) => {
             let outcome = clipper.rollback_model(name).await?;
             json_ok(200, &outcome)
+        }
+
+        // --- fleet (replica lifecycle) ---
+        (Get, ["api", "v1", "replicas"]) => json_ok(200, &clipper.fleet().list()),
+        (Post, ["api", "v1", "replicas"]) => {
+            let spec: crate::api::ReplicaSpec = parse_json(body)?;
+            let outcome = clipper.fleet().register(spec)?;
+            json_ok(201, &outcome)
+        }
+        (Get, ["api", "v1", "replicas", name]) => {
+            let view = clipper
+                .fleet()
+                .view(name)
+                .ok_or_else(|| ApiError::ReplicaUnknown(name.to_string()))?;
+            json_ok(200, &view)
+        }
+        (Post, ["api", "v1", "replicas", name, "heartbeat"]) => {
+            // An empty body is a pure liveness beat.
+            let report: crate::api::HeartbeatReport = if body.is_empty() {
+                Default::default()
+            } else {
+                parse_json(body)?
+            };
+            let view = clipper.fleet().heartbeat(name, report)?;
+            json_ok(200, &view)
+        }
+        (Delete, ["api", "v1", "replicas", name]) => {
+            clipper.fleet().deregister(name).await?;
+            Ok((200, status_body("deregistered")))
         }
 
         _ => Err(ApiError::NotFound),

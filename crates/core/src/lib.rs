@@ -36,7 +36,9 @@
 //! graceful drain of the old version, statestore-persisted registrations
 //! with restart rehydration, and the typed error taxonomy in [`api`].
 //! [`frontend`] exposes both planes over HTTP as the versioned `/api/v1`
-//! REST surface. Start from [`ClipperBuilder`]:
+//! REST surface, and [`fleet`] closes the replica loop production-style:
+//! container self-registration, heartbeat-driven health with graceful
+//! expiry, and backlog-driven autoscaling. Start from [`ClipperBuilder`]:
 //!
 //! ```no_run
 //! # use clipper_core::*;
@@ -56,6 +58,7 @@ pub mod api;
 pub mod batching;
 pub mod cache;
 pub mod clipper;
+pub mod fleet;
 pub mod frontend;
 pub mod json_emit;
 pub mod selection;
@@ -69,6 +72,10 @@ pub use api::{
 pub use batching::{AimdController, BatchStrategy, QuantileController, QueueState};
 pub use cache::{CacheKey, CacheStats, PredictionCache};
 pub use clipper::{Clipper, ClipperBuilder};
+pub use fleet::{
+    AutoscaleConfig, AutoscaleDecision, Fleet, FleetConfig, FleetEvent, FnLauncher, ReplicaHealth,
+    ReplicaLauncher,
+};
 pub use frontend::HttpFrontend;
 pub use selection::{
     EpsilonGreedyPolicy, Exp3Policy, Exp4Policy, PolicyState, SelectionPolicy, StaticPolicy,

@@ -57,6 +57,10 @@ use std::time::{Duration, Instant};
 pub const MODEL: &str = "m";
 /// The application every query targets.
 pub const APP: &str = "app";
+/// Container name used by the fleet register/expire timeline actions.
+pub const FLEET_REPLICA: &str = "soak-fleet-replica";
+/// Launcher capability the fleet actions attach through.
+pub const FLEET_CAPABILITY: &str = "soak:inproc";
 
 /// One scheduled timeline event.
 #[derive(Clone, Debug)]
@@ -116,6 +120,22 @@ pub enum SoakAction {
     /// Every frontend hot-removes and drains the replicas its scheduler
     /// marked suspect ([`Clipper::drain_suspect_replicas`]).
     DrainSuspects,
+    /// A container self-registers over frontend `via`'s
+    /// `POST /api/v1/replicas` surface (an in-process launcher attaches
+    /// it immediately) and starts serving traffic as [`FLEET_REPLICA`].
+    RegisterReplica {
+        /// Model version the container announces.
+        version: u32,
+        /// Frontend whose HTTP API performs the registration.
+        via: usize,
+    },
+    /// Frontend `via`'s fleet expires [`FLEET_REPLICA`] — the
+    /// deterministic equivalent of its heartbeats stopping: the member
+    /// is tombstoned and its queue gracefully drained (zero-drop).
+    ExpireReplica {
+        /// Frontend whose fleet performs the expiry.
+        via: usize,
+    },
 }
 
 impl SoakAction {
@@ -132,6 +152,10 @@ impl SoakAction {
             SoakAction::FaultOn { version, replica } => format!("fault on v{version}r{replica}"),
             SoakAction::FaultOff { version, replica } => format!("fault off v{version}r{replica}"),
             SoakAction::DrainSuspects => "drain suspects".into(),
+            SoakAction::RegisterReplica { version, via } => {
+                format!("register {FLEET_REPLICA} v{version} via f{via}")
+            }
+            SoakAction::ExpireReplica { via } => format!("expire {FLEET_REPLICA} via f{via}"),
         }
     }
 }
@@ -596,6 +620,56 @@ impl Harness {
                     Err("no suspect replicas found to drain".into())
                 } else {
                     Ok(format!("drained {drained:?}"))
+                }
+            }
+            SoakAction::RegisterReplica { version, via } => {
+                let clipper = self
+                    .clipper(*via)
+                    .ok_or_else(|| format!("frontend {via} down"))?;
+                // Launcher for the announced capability, so the HTTP
+                // registration attaches the replica in-process.
+                let v = *version;
+                clipper
+                    .fleet()
+                    .add_launcher(Arc::new(clipper_core::FnLauncher::new(
+                        FLEET_CAPABILITY,
+                        move |_rec| {
+                            Arc::new(FnTransport::new(
+                                FLEET_REPLICA,
+                                move |inputs: &[Input]| {
+                                    Ok(PredictReply {
+                                        outputs: vec![WireOutput::Class(v); inputs.len()],
+                                        queue_us: 0,
+                                        compute_us: 50,
+                                    })
+                                },
+                            )) as Arc<dyn BatchTransport>
+                        },
+                    )));
+                let addr = self
+                    .addr(*via)
+                    .ok_or_else(|| format!("frontend {via} down"))?;
+                let body = format!(
+                    "{{\"container_name\":\"{FLEET_REPLICA}\",\"model_name\":\"{MODEL}\",\
+                     \"model_version\":{version},\"capabilities\":[\"{FLEET_CAPABILITY}\"]}}"
+                );
+                let (status, resp) = http_request(addr, "POST", "/api/v1/replicas", &body)
+                    .await
+                    .map_err(|e| format!("register io: {e}"))?;
+                if status == 201 && resp.contains("\"queue_id\":\"") {
+                    Ok(resp)
+                } else {
+                    Err(format!("register {status}: {resp}"))
+                }
+            }
+            SoakAction::ExpireReplica { via } => {
+                let clipper = self
+                    .clipper(*via)
+                    .ok_or_else(|| format!("frontend {via} down"))?;
+                if clipper.fleet().expire(FLEET_REPLICA).await {
+                    Ok(format!("{FLEET_REPLICA} expired and drained"))
+                } else {
+                    Err(format!("{FLEET_REPLICA} not expirable (not a live member)"))
                 }
             }
         }

@@ -141,6 +141,85 @@ async fn p2c_beats_round_robin_under_replica_heterogeneity() {
     );
 }
 
+/// Two identical replicas; optionally teach their latency models
+/// opposite curves before any traffic. Returns served counts for
+/// (expensive-curve, cheap-curve) after `n` sequential predicts.
+async fn drive_taught_curves(teach: bool, n: u32) -> (u64, u64) {
+    let mal = ModelAbstractionLayer::new(16, Registry::new());
+    let m = ModelId::new("taught", 1);
+    mal.add_model_with_policy(
+        m.clone(),
+        BatchConfig {
+            strategy: BatchStrategy::Fixed(8),
+            ..Default::default()
+        },
+        SchedulerPolicy::PowerOfTwoChoices,
+    );
+    let (a, a_count) = sim(Duration::from_micros(50));
+    let (b, b_count) = sim(Duration::from_micros(50));
+    let qa = mal.add_replica(&m, a).unwrap();
+    let qb = mal.add_replica(&m, b).unwrap();
+
+    if teach {
+        // Same slope, wildly different intercepts: replica A "measured"
+        // expensive (α ≈ 50ms), replica B cheap (α ≈ 100µs). The batch
+        // spread gives the fit enough variance to establish.
+        let teach_curve = |qid: &str, alpha_us: u64| {
+            let model = mal.replica_latency_model(&m, qid).unwrap();
+            for round in 0..2u64 {
+                for batch in 1..=8usize {
+                    model.observe(
+                        batch,
+                        Duration::from_micros(alpha_us + 10 * batch as u64 + round),
+                    );
+                }
+            }
+            assert!(model.is_established(), "taught curve is established");
+        };
+        teach_curve(&qa, 50_000);
+        teach_curve(&qb, 100);
+    }
+
+    // Sequential queries: occupancy is 0-vs-0 at every pick, so raw
+    // depth signals cannot separate the replicas — only the curves can.
+    for i in 0..n {
+        mal.predict(&m, Arc::new(vec![i as f32]), false)
+            .await
+            .unwrap();
+    }
+    (
+        a_count.load(Ordering::Relaxed),
+        b_count.load(Ordering::Relaxed),
+    )
+}
+
+/// Satellite A/B for learned-curve scoring: with both replicas' `α+β·b̂`
+/// models established, p2c must route by predicted cost (the cheap
+/// replica takes ≥ 90%); without curves, identical replicas split the
+/// traffic — proof the preference comes from the curves, not the tie
+/// break.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn p2c_prefers_the_learned_cheaper_curve_when_established() {
+    let n = 400u32;
+    let (cold_a, cold_b) = drive_taught_curves(false, n).await;
+    let (hot_a, hot_b) = drive_taught_curves(true, n).await;
+
+    // Control: no curves, identical replicas — both serve real shares.
+    assert_eq!(cold_a + cold_b, n as u64);
+    assert!(
+        cold_a.min(cold_b) * 5 >= n as u64,
+        "cold routing splits (≥20% each): a {cold_a} vs b {cold_b}"
+    );
+
+    // Treatment: the cheap curve dominates routing.
+    assert_eq!(hot_a + hot_b, n as u64);
+    assert!(
+        hot_b * 10 >= n as u64 * 9,
+        "established curves steer ≥90% to the cheap replica: \
+         expensive {hot_a} vs cheap {hot_b}"
+    );
+}
+
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn facade_hot_remove_drains_mid_traffic() {
     use clipper::core::{AppConfig, Clipper, PolicyKind};

@@ -42,6 +42,18 @@ fn const_transport(label: u32) -> Arc<dyn BatchTransport> {
 async fn smoke_soak_survives_the_standard_timeline_losslessly() {
     let mut spec = SoakSpec::new(2, 350.0, Duration::from_secs(4)).with_standard_timeline();
     spec.input_space = 256; // small enough to warm caches at smoke rates
+
+    // The fleet rides the same timeline: a container self-registers over
+    // f0's `/api/v1/replicas` just after the rollout lands and is expired
+    // (graceful zero-drop drain) mid-run — still lossless.
+    spec.events.push(SoakEvent {
+        at: spec.duration.mul_f64(0.20),
+        action: SoakAction::RegisterReplica { version: 2, via: 0 },
+    });
+    spec.events.push(SoakEvent {
+        at: spec.duration.mul_f64(0.55),
+        action: SoakAction::ExpireReplica { via: 0 },
+    });
     let report = run_soak(spec).await;
 
     assert!(report.issued > 500, "traffic flowed: {}", report.issued);
@@ -54,6 +66,16 @@ async fn smoke_soak_survives_the_standard_timeline_losslessly() {
     assert!(report.accounted(), "every arrival accounted for");
     assert!(report.is_lossless(), "the soak's verdict");
     assert!(report.converged, "frontends agree with the statestore");
+
+    // The fleet actions fired and landed (registration attached a queue;
+    // the expiry found a live member and drained it).
+    for label in ["register", "expire"] {
+        assert!(
+            report.actions.iter().any(|a| a.label.contains(label)),
+            "{label} action fired: {:#?}",
+            report.actions
+        );
+    }
 
     // The crash window is visible as refusals — answered, never lost.
     assert!(report.totals.refused > 0, "crash window refused traffic");
