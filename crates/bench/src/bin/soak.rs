@@ -6,7 +6,8 @@
 //! fault-injectable replica fleet, a sustained open-loop mixed workload
 //! (predict + feedback + control-plane churn), and the standard
 //! adversarial timeline — rollout v1→v2 with cross-frontend
-//! `sync_config()`, a frontend crash, a `rehydrate()` restart, a
+//! `sync_config()`, a transiently flaky replica that the retry path must
+//! absorb invisibly, a frontend crash, a `rehydrate()` restart, a
 //! black-holed replica that the schedulers must mark suspect and drain,
 //! and a rollback. The verdict the file exists to carry: **zero lost
 //! queries** — every accepted query completes or fail-fills; sheds and
@@ -59,6 +60,8 @@ struct FrontendRow {
     shed: u64,
     refused: u64,
     lost: u64,
+    retried: u64,
+    hedged: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
@@ -90,6 +93,8 @@ struct Report {
     shed: u64,
     refused: u64,
     lost: u64,
+    retried: u64,
+    hedged: u64,
     p50_ms: f64,
     p99_ms: f64,
     throughput: f64,
@@ -198,6 +203,7 @@ async fn main() {
         "shed",
         "refused",
         "lost",
+        "retried",
         "cache hit/miss",
         "pending",
         "version",
@@ -214,6 +220,8 @@ async fn main() {
             shed: f.shed,
             refused: f.refused,
             lost: f.lost,
+            retried: f.retried,
+            hedged: f.hedged,
             cache_hits: f.cache.hits,
             cache_misses: f.cache.misses,
             cache_evictions: f.cache.evictions,
@@ -231,6 +239,7 @@ async fn main() {
             format!("{}", f.shed),
             format!("{}", f.refused),
             format!("{}", f.lost),
+            format!("{}", f.retried),
             format!("{}/{}", f.cache_hits, f.cache_misses),
             format!("{}", f.pending_len),
             f.current_version.map_or("-".into(), |v| format!("v{v}")),
@@ -277,6 +286,8 @@ async fn main() {
         shed: report.totals.shed,
         refused: report.totals.refused,
         lost: report.totals.lost,
+        retried: report.retried(),
+        hedged: report.hedged(),
         p50_ms: report.totals.latency.p50() as f64 / 1_000.0,
         p99_ms: report.totals.p99_ms(),
         throughput: report.totals.throughput(),
@@ -287,8 +298,8 @@ async fn main() {
         actions,
     };
     println!(
-        "\nissued {} · completed {} · shed {} · refused {} · lost {} · p99 {:.1}ms · lossless {} · converged {}",
-        out.issued, out.completed, out.shed, out.refused, out.lost, out.p99_ms, out.lossless, out.converged
+        "\nissued {} · completed {} · shed {} · refused {} · lost {} · retried {} · p99 {:.1}ms · lossless {} · converged {}",
+        out.issued, out.completed, out.shed, out.refused, out.lost, out.retried, out.p99_ms, out.lossless, out.converged
     );
 
     let json = serde_json::to_string(&out).expect("serialize report");

@@ -31,7 +31,8 @@
 
 pub use crate::batching::queue::PredictError;
 use crate::batching::queue::{
-    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, ReplicaQueue, ReplySink,
+    spawn_replica_queue_with_hooks, QueueConfig, QueueHooks, QueueItem, QueueMetrics, ReplicaQueue,
+    ReplySink,
 };
 use crate::batching::LatencyPrior;
 use crate::cache::{CacheKey, CacheStats, Lookup, PredictionCache};
@@ -246,6 +247,12 @@ impl ModelHandle {
             if !r.is_routable() {
                 continue;
             }
+            // A breaker that is open and cooling down can't serve the
+            // query at all; its (likely idle) queue must not vouch for
+            // admission.
+            if r.queue.breaker().is_tripped() {
+                continue;
+            }
             any_routable = true;
             match r.queue.estimated_admission_ns() {
                 Some(est) if est > slo_ns => {}
@@ -271,11 +278,10 @@ impl ModelHandle {
             sink.complete(Err(PredictError::Overloaded));
             return Err(PredictError::Overloaded);
         }
-        let mut item = QueueItem {
-            input,
-            sink,
-            enqueued: Instant::now(),
-        };
+        // The deadline is the retry budget: a retryable upstream failure
+        // may redispatch this query onto a sibling replica only while the
+        // original SLO window is still open.
+        let mut item = QueueItem::with_deadline(input, sink, Instant::now() + self.cfg.slo);
         let n = replicas.len();
         let start = self.pick(&replicas);
         // With SLO-aware admission on, a replica whose latency model +
@@ -317,6 +323,28 @@ impl ModelHandle {
                 Err(err)
             }
             SchedulerPolicy::PowerOfTwoChoices => {
+                // Recovery probe: a suspect replica whose breaker asks
+                // for a probe is deliberately handed this query — the
+                // breaker admits it as the single probe batch, success
+                // clears the error streak and rejoins the replica to the
+                // clean tier, failure re-opens the breaker while the
+                // deadline budget redispatches the query onto a sibling.
+                // Without this, a pull-based queue the scheduler routes
+                // around would never see traffic again and could never
+                // prove it recovered.
+                for offset in 0..n {
+                    let r = &replicas[(start + offset) % n];
+                    if r.transport.is_healthy()
+                        && r.queue.is_suspect()
+                        && r.queue.breaker().wants_probe()
+                        && !over_slo(r)
+                    {
+                        match r.queue.try_submit(item) {
+                            Ok(()) => return Ok(()),
+                            Err(back) => item = back,
+                        }
+                    }
+                }
                 let mut saw_healthy = false;
                 // Two fall-through tiers: clean replicas first, suspect
                 // ones only when no clean replica had room — a suspect
@@ -351,6 +379,50 @@ impl ModelHandle {
                 Err(err)
             }
         }
+    }
+
+    /// Redispatch a retry-budgeted item that failed on `origin` onto a
+    /// *different* routable, non-suspect replica. Draining queues refuse
+    /// via `try_submit`, open breakers and error streaks are excluded as
+    /// suspects, and a single-replica fleet has nowhere to go —
+    /// `Err(item)` hands the item back for a typed fail-fill.
+    fn redispatch(&self, origin: &str, mut item: QueueItem) -> Result<(), QueueItem> {
+        let replicas = self.replicas.read();
+        let n = replicas.len();
+        if n <= 1 {
+            return Err(item);
+        }
+        let start = self.pick(&replicas);
+        for offset in 0..n {
+            let r = &replicas[(start + offset) % n];
+            if r.queue.id() == origin || !r.is_routable() || r.queue.is_suspect() {
+                continue;
+            }
+            match r.queue.try_submit(item) {
+                Ok(()) => return Ok(()),
+                Err(back) => item = back,
+            }
+        }
+        Err(item)
+    }
+
+    /// A healthy sibling's transport for a hedged dispatch (never the
+    /// straggling `origin` replica itself), or `None` when no clean
+    /// sibling exists.
+    fn hedge_pick(&self, origin: &str) -> Option<Arc<dyn BatchTransport>> {
+        let replicas = self.replicas.read();
+        let n = replicas.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for offset in 0..n {
+            let r = &replicas[(start + offset) % n];
+            if r.queue.id() != origin && r.is_routable() && !r.queue.is_suspect() {
+                return Some(r.transport.clone());
+            }
+        }
+        None
     }
 
     fn queue_depth(&self) -> usize {
@@ -514,13 +586,64 @@ impl ModelAbstractionLayer {
         if let Some(prior) = prior.or_else(|| handle.restore_tunes.lock().remove(&queue_id)) {
             cfg.latency_prior = Some(prior);
         }
-        let queue = spawn_replica_queue(queue_id.clone(), transport.clone(), cfg, metrics);
-        // Per-replica depth gauge for operators (Weak: an unregistered
-        // replica must not be kept alive by the registry).
+        // Recovery hooks close the loop from a replica's queue back to the
+        // scheduler: retryable batch failures redispatch onto a *different*
+        // routable replica, and hedged dispatch borrows a sibling's
+        // transport. Weak handles so an unregistered model can drop.
+        let hooks = QueueHooks {
+            redispatch: Some(Arc::new({
+                let weak = Arc::downgrade(&handle);
+                let origin = queue_id.clone();
+                move |item| match weak.upgrade() {
+                    Some(h) => h.redispatch(&origin, item),
+                    None => Err(item),
+                }
+            })),
+            hedge_pick: Some(Arc::new({
+                let weak = Arc::downgrade(&handle);
+                let origin = queue_id.clone();
+                move || weak.upgrade().and_then(|h| h.hedge_pick(&origin))
+            })),
+        };
+        let queue = spawn_replica_queue_with_hooks(
+            queue_id.clone(),
+            transport.clone(),
+            cfg,
+            metrics,
+            hooks,
+        );
+        // Per-replica depth gauge plus live breaker telemetry for
+        // operators (Weak: an unregistered replica must not be kept
+        // alive by the registry; `remove_replica`'s prefix unregister
+        // reclaims all of these together).
         let weak_q: Weak<ReplicaQueue> = Arc::downgrade(&queue);
         self.registry
-            .poll_gauge(&format!("queue/{queue_id}/depth"), move || {
-                weak_q.upgrade().map_or(0, |q| q.len() as i64)
+            .poll_gauge(&format!("queue/{queue_id}/depth"), {
+                let weak_q = weak_q.clone();
+                move || weak_q.upgrade().map_or(0, |q| q.len() as i64)
+            });
+        self.registry
+            .poll_gauge(&format!("queue/{queue_id}/breaker_state"), {
+                let weak_q = weak_q.clone();
+                move || {
+                    weak_q
+                        .upgrade()
+                        .map_or(0, |q| q.breaker().state().code() as i64)
+                }
+            });
+        self.registry
+            .poll_counter(&format!("queue/{queue_id}/breaker_opened"), {
+                let weak_q = weak_q.clone();
+                move || weak_q.upgrade().map_or(0, |q| q.breaker().opened())
+            });
+        self.registry
+            .poll_counter(&format!("queue/{queue_id}/breaker_half_open"), {
+                let weak_q = weak_q.clone();
+                move || weak_q.upgrade().map_or(0, |q| q.breaker().half_opened())
+            });
+        self.registry
+            .poll_counter(&format!("queue/{queue_id}/breaker_closed"), move || {
+                weak_q.upgrade().map_or(0, |q| q.breaker().closed())
             });
         handle
             .replicas
@@ -704,8 +827,9 @@ impl ModelAbstractionLayer {
     }
 
     /// The queue ids of a model's replicas that the scheduler currently
-    /// considers suspect (≥3 consecutive failed batches) — the candidates
-    /// a chaos/ops loop hot-removes via
+    /// considers suspect (≥3 consecutive failed batches, an externally
+    /// set health hint, or an open circuit breaker inside its cooldown)
+    /// — the candidates a chaos/ops loop hot-removes via
     /// [`remove_replica`](Self::remove_replica).
     pub fn suspect_queue_ids(&self, id: &ModelId) -> Vec<String> {
         self.models.read().get(id).map_or_else(Vec::new, |h| {
@@ -844,6 +968,9 @@ async fn await_fill(
     match rx.await {
         Ok(Ok(out)) => Ok(out),
         Ok(Err(crate::cache::CacheFillError::Failed(m))) => Err(PredictError::Failed(m)),
+        // Typed passthrough: upstream failures keep their kind (and the
+        // 503-vs-500 split) instead of collapsing into a string.
+        Ok(Err(crate::cache::CacheFillError::Predict(e))) => Err(e),
         Err(_) => Err(PredictError::Failed("cache fill dropped".into())),
     }
 }
@@ -1177,6 +1304,180 @@ mod tests {
             ok >= 30,
             "suspect avoidance should rescue most queries, ok {ok} (blackhole ate {})",
             blackhole_hits.load(Ordering::Relaxed)
+        );
+    }
+
+    #[tokio::test]
+    async fn retryable_failures_redispatch_with_zero_client_visible_errors() {
+        // One replica drops every batch with a *retryable* error; its
+        // sibling is healthy. Deadline-budgeted redispatch must rescue
+        // every query — the client sees zero errors, not "mostly ok".
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                slo: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::Injected)
+            }));
+        let good = Arc::new(AtomicU64::new(0));
+        mal.add_replica(&m, flaky).unwrap();
+        mal.add_replica(&m, delayed(1, Duration::from_micros(50), good.clone()))
+            .unwrap();
+        for i in 0..40 {
+            let out = mal
+                .predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .expect("redispatch must rescue every retryable drop");
+            assert_eq!(out, Output::Class(1));
+        }
+        assert_eq!(good.load(Ordering::Relaxed), 40);
+    }
+
+    #[tokio::test]
+    async fn breaker_probe_routes_traffic_back_after_heal() {
+        // The full recovery story: a replica fails hard enough to trip
+        // its breaker and turn suspect, the fleet routes around it, the
+        // fault lifts — and the scheduler's probe routing must hand it a
+        // query once the cooldown elapses so the breaker can close and
+        // the replica rejoins the clean tier. Without the probe, a
+        // pull-based queue nobody routes to stays suspect forever.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                slo: Duration::from_secs(1),
+                breaker: crate::batching::BreakerConfig {
+                    cooldown: Duration::from_millis(20),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let failing = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let healed_serves = Arc::new(AtomicU64::new(0));
+        let flaky: Arc<dyn BatchTransport> = {
+            let failing = failing.clone();
+            let serves = healed_serves.clone();
+            Arc::new(FnTransport::new("flaky", move |inputs: &[Input]| {
+                if failing.load(Ordering::Relaxed) {
+                    Err(clipper_rpc::RpcError::Injected)
+                } else {
+                    serves.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+                    Ok(PredictReply {
+                        outputs: vec![WireOutput::Class(9); inputs.len()],
+                        queue_us: 0,
+                        compute_us: 1,
+                    })
+                }
+            }))
+        };
+        mal.add_replica(&m, flaky).unwrap();
+        mal.add_replica(&m, echo()).unwrap();
+
+        let breaker_count = |suffix: &str| -> u64 {
+            mal.registry()
+                .snapshot()
+                .values
+                .iter()
+                .filter(|(name, _)| name.starts_with("queue/") && name.ends_with(suffix))
+                .map(|(_, v)| match v {
+                    clipper_metrics::MetricValue::Counter { value } => *value,
+                    _ => 0,
+                })
+                .sum()
+        };
+
+        // Trip the flaky replica: every query still succeeds (redispatch
+        // rescues the ones that land on it first).
+        let mut i = 0u32;
+        while breaker_count("/breaker_opened") == 0 {
+            i += 1;
+            assert!(i < 500, "breaker never opened");
+            mal.predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .expect("sibling must rescue");
+        }
+
+        // Heal, then keep trickling traffic: the probe must close the
+        // breaker without any external intervention.
+        failing.store(false, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while breaker_count("/breaker_closed") == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "breaker never closed after heal: opened {} half-open {} closed {}",
+                breaker_count("/breaker_opened"),
+                breaker_count("/breaker_half_open"),
+                breaker_count("/breaker_closed"),
+            );
+            i += 1;
+            mal.predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .expect("healthy fleet");
+            tokio::time::sleep(Duration::from_millis(2)).await;
+        }
+
+        // And the healed replica actually serves again (the probe itself
+        // counts; steady traffic should follow once it rejoined).
+        let before = healed_serves.load(Ordering::Relaxed);
+        assert!(before >= 1, "the probe batch must have reached the replica");
+        for _ in 0..50 {
+            i += 1;
+            mal.predict(&m, Arc::new(vec![i as f32]), false)
+                .await
+                .expect("healthy fleet");
+        }
+        assert!(
+            healed_serves.load(Ordering::Relaxed) > before,
+            "a recovered replica must rejoin the rotation"
+        );
+    }
+
+    #[tokio::test]
+    async fn single_replica_retryable_failure_surfaces_typed_and_503() {
+        // With no sibling to redispatch onto, a retryable failure must
+        // fail exactly as before this feature existed — but typed, so
+        // the HTTP layer can answer 503 instead of 500.
+        let mal = layer();
+        let m = ModelId::new("m", 1);
+        mal.add_model(
+            m.clone(),
+            BatchConfig {
+                strategy: crate::batching::BatchStrategy::NoBatching,
+                ..Default::default()
+            },
+        );
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::Timeout)
+            }));
+        mal.add_replica(&m, flaky).unwrap();
+        let err = mal
+            .predict(&m, Arc::new(vec![1.0]), true) // through the cache
+            .await
+            .unwrap_err();
+        match err {
+            PredictError::Upstream {
+                retryable: true,
+                attempts: 1,
+                ..
+            } => {}
+            other => panic!("expected typed retryable upstream error, got {other:?}"),
+        }
+        assert_eq!(err.http_status(), 503);
+        assert_eq!(
+            mal.cache().pending_len(),
+            0,
+            "the failed fill must settle its cache entry"
         );
     }
 

@@ -876,6 +876,41 @@ pub struct BatchKnobs {
     /// (false) in legacy records.
     #[serde(default)]
     pub slo_admission: bool,
+    /// Retry budget: total dispatch attempts per query before the typed
+    /// upstream error surfaces (1 disables redispatch). Absent in legacy
+    /// records, which rehydrate with the [`QueueConfig`] default.
+    #[serde(default)]
+    pub retry_max_attempts: Option<u32>,
+    /// Hedged-dispatch knob; absent (off) in legacy records.
+    #[serde(default)]
+    pub hedge: Option<HedgeWire>,
+}
+
+/// Wire form of [`HedgeConfig`](crate::batching::HedgeConfig).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct HedgeWire {
+    /// Hedge fires at `delay_factor ×` the model-predicted batch latency.
+    pub delay_factor: f64,
+    /// Floor (and cold-start value) for the hedge delay, µs.
+    pub min_delay_us: u64,
+}
+
+impl From<crate::batching::HedgeConfig> for HedgeWire {
+    fn from(h: crate::batching::HedgeConfig) -> Self {
+        HedgeWire {
+            delay_factor: h.delay_factor,
+            min_delay_us: h.min_delay.as_micros() as u64,
+        }
+    }
+}
+
+impl From<HedgeWire> for crate::batching::HedgeConfig {
+    fn from(h: HedgeWire) -> Self {
+        crate::batching::HedgeConfig {
+            delay_factor: h.delay_factor,
+            min_delay: Duration::from_micros(h.min_delay_us),
+        }
+    }
 }
 
 impl From<&QueueConfig> for BatchKnobs {
@@ -890,12 +925,17 @@ impl From<&QueueConfig> for BatchKnobs {
             drain_deadline_us: cfg.drain_deadline.as_micros() as u64,
             latency_prior: cfg.latency_prior.map(Into::into),
             slo_admission: cfg.slo_admission,
+            retry_max_attempts: Some(cfg.retry_max_attempts),
+            hedge: cfg.hedge.map(Into::into),
         }
     }
 }
 
 impl BatchKnobs {
-    /// Rebuild the domain config (used by registry rehydration).
+    /// Rebuild the domain config (used by registry rehydration). Breaker
+    /// tuning is not persisted — a rehydrated model runs with the
+    /// built-in [`BreakerConfig`](crate::batching::BreakerConfig)
+    /// defaults.
     pub fn into_config(self) -> QueueConfig {
         QueueConfig {
             strategy: self.strategy.into(),
@@ -907,6 +947,11 @@ impl BatchKnobs {
             drain_deadline: Duration::from_micros(self.drain_deadline_us),
             latency_prior: self.latency_prior.map(Into::into),
             slo_admission: self.slo_admission,
+            retry_max_attempts: self
+                .retry_max_attempts
+                .unwrap_or(QueueConfig::default().retry_max_attempts),
+            hedge: self.hedge.map(Into::into),
+            ..QueueConfig::default()
         }
     }
 }
@@ -1202,6 +1247,33 @@ mod tests {
         assert_eq!(ApiError::from(PredictError::NoReplicas).http_status(), 503);
         assert_eq!(ApiError::AppExists("a".into()).http_status(), 409);
         assert_eq!(ApiError::NotFound.http_status(), 404);
+    }
+
+    #[test]
+    fn upstream_errors_keep_their_retryability_on_the_wire() {
+        use crate::batching::UpstreamKind;
+        // A retryable upstream failure (budget exhausted mid-retry) must
+        // answer 503 with `retryable: true` — clients may safely resend.
+        let retryable = ApiError::from(PredictError::Upstream {
+            kind: UpstreamKind::ConnectionClosed,
+            retryable: true,
+            attempts: 3,
+        });
+        assert_eq!(retryable.http_status(), 503);
+        let body = ErrorBody::of(&retryable);
+        assert_eq!(body.error.code, "upstream");
+        assert!(body.error.retryable);
+        assert!(!body.error.shed, "an upstream fault is not load shedding");
+        assert!(body.error.message.contains("3 attempt(s)"));
+        // A non-retryable one (e.g. a remote application error) is a 500
+        // and tells clients not to bother resending.
+        let fatal = ApiError::from(PredictError::Upstream {
+            kind: UpstreamKind::Remote,
+            retryable: false,
+            attempts: 1,
+        });
+        assert_eq!(fatal.http_status(), 500);
+        assert!(!ErrorBody::of(&fatal).error.retryable);
     }
 
     #[test]
@@ -1511,6 +1583,12 @@ mod tests {
                         beta_us: 33.25,
                     }),
                     slo_admission: true,
+                    retry_max_attempts: 2,
+                    hedge: Some(crate::batching::HedgeConfig {
+                        delay_factor: 2.5,
+                        min_delay: Duration::from_micros(900),
+                    }),
+                    ..QueueConfig::default()
                 }),
                 replicas: vec![ReplicaTuneRecord {
                     queue_id: "m:v2:0".into(),
@@ -1538,6 +1616,10 @@ mod tests {
             })
         );
         assert!(cfg.slo_admission);
+        assert_eq!(cfg.retry_max_attempts, 2);
+        let hedge = cfg.hedge.expect("hedge knob round-trips");
+        assert_eq!(hedge.delay_factor, 2.5);
+        assert_eq!(hedge.min_delay, Duration::from_micros(900));
         assert!(back.knobs_for(1).is_none());
     }
 
@@ -1556,6 +1638,12 @@ mod tests {
         assert_eq!(cfg.strategy, BatchStrategy::Fixed(8));
         assert_eq!(cfg.latency_prior, None);
         assert!(!cfg.slo_admission);
+        // Recovery knobs absent in legacy records → QueueConfig defaults.
+        assert_eq!(
+            cfg.retry_max_attempts,
+            QueueConfig::default().retry_max_attempts
+        );
+        assert!(cfg.hedge.is_none());
     }
 
     #[test]

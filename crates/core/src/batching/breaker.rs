@@ -1,0 +1,414 @@
+//! Per-replica circuit breaker (§5.2.2 robustness): stop dispatching at a
+//! replica that keeps failing, probe it after a cooldown, and readmit it
+//! only once a probe batch succeeds.
+//!
+//! The breaker runs the classic three-state machine per replica queue:
+//!
+//! - **Closed** — batches dispatch normally. Every batch outcome lands in
+//!   a sliding window of the last [`BreakerConfig::window`] batches; the
+//!   breaker *opens* when the failure rate over a sufficiently full window
+//!   crosses [`BreakerConfig::failure_threshold`], or immediately on
+//!   [`BreakerConfig::streak`] consecutive failures.
+//! - **Open** — the worker refuses to dispatch here; queued items are
+//!   redispatched onto sibling replicas (or fail-filled when none can take
+//!   them). [`CircuitBreaker::is_tripped`] reports `true` for the
+//!   [`BreakerConfig::cooldown`] duration, feeding the scheduler's
+//!   suspect hint so new traffic routes around the replica. Once the
+//!   cooldown elapses the breaker stops reporting tripped — routing
+//!   resumes, and the first batch to arrive becomes the probe.
+//! - **HalfOpen** — exactly one probe batch is admitted
+//!   ([`CircuitBreaker::admit_batch`]); its outcome decides: success
+//!   *closes* the breaker (window reset), failure *re-opens* it for
+//!   another cooldown.
+//!
+//! All state transitions are counted ([`CircuitBreaker::opened`],
+//! [`CircuitBreaker::half_opened`], [`CircuitBreaker::closed`]) and the
+//! live state is exported as a per-queue `/metrics` gauge by the model
+//! abstraction layer.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning (per replica queue).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Sliding window length in batches (capped at 64 — outcomes live in
+    /// a bitmask).
+    pub window: usize,
+    /// Failure rate over the window that opens the breaker (once at least
+    /// `min_samples` outcomes are in the window).
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before the rate test applies — a
+    /// single failed batch after an idle period must not trip a 100% rate.
+    pub min_samples: usize,
+    /// Consecutive failures that open the breaker regardless of the
+    /// window (fast trip for a replica that is hard-down).
+    pub streak: usize,
+    /// How long an opened breaker holds traffic off before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            failure_threshold: 0.5,
+            min_samples: 8,
+            // Matches the queue's consecutive-error suspect threshold, so
+            // a replica the scheduler routes around for a failure streak
+            // always has a tripped breaker — whose probe cycle is what
+            // later routes traffic *back* (see `wants_probe`).
+            streak: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Live state of a [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Dispatching normally.
+    Closed,
+    /// One probe batch is (or is about to be) in flight.
+    HalfOpen,
+    /// Refusing dispatch until the cooldown elapses.
+    Open,
+}
+
+impl BreakerState {
+    /// Stable numeric code for the `/metrics` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn code(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+const ST_CLOSED: u8 = 0;
+const ST_HALF_OPEN: u8 = 1;
+const ST_OPEN: u8 = 2;
+
+/// Sliding-window batch outcomes plus the half-open probe token.
+struct BreakerWindow {
+    /// Bit i set = outcome i in the ring was a failure.
+    bits: u64,
+    /// Next ring slot to overwrite.
+    head: usize,
+    /// Outcomes recorded so far, saturating at the window length.
+    len: usize,
+    /// Consecutive failures (reset by any success).
+    streak: usize,
+    /// Whether the half-open probe slot is taken.
+    probing: bool,
+}
+
+/// The per-replica breaker. All reads on the routing path
+/// ([`is_tripped`](CircuitBreaker::is_tripped),
+/// [`state`](CircuitBreaker::state)) are lock-free; the window mutex is
+/// touched only once per *batch* (not per query), off the submit path.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    /// Reference point for the atomic `open_until_ns` deadline.
+    base: Instant,
+    state: AtomicU8,
+    /// Cooldown deadline in nanoseconds since `base` (valid while Open).
+    open_until_ns: AtomicU64,
+    window: Mutex<BreakerWindow>,
+    n_opened: AtomicU64,
+    n_half_opened: AtomicU64,
+    n_closed: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                window: cfg.window.clamp(1, 64),
+                ..cfg
+            },
+            base: Instant::now(),
+            state: AtomicU8::new(ST_CLOSED),
+            open_until_ns: AtomicU64::new(0),
+            window: Mutex::new(BreakerWindow {
+                bits: 0,
+                head: 0,
+                len: 0,
+                streak: 0,
+                probing: false,
+            }),
+            n_opened: AtomicU64::new(0),
+            n_half_opened: AtomicU64::new(0),
+            n_closed: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            ST_CLOSED => BreakerState::Closed,
+            ST_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Open,
+        }
+    }
+
+    /// Whether the breaker is currently holding traffic off: `Open` and
+    /// still inside the cooldown. Routing treats a tripped breaker like a
+    /// suspect replica; once the cooldown elapses this reports `false`
+    /// again so the scheduler can deliver the probe batch — a pull-based
+    /// queue that nobody routes to would otherwise never get the chance
+    /// to close its breaker.
+    pub fn is_tripped(&self) -> bool {
+        self.state.load(Ordering::Acquire) == ST_OPEN
+            && self.now_ns() < self.open_until_ns.load(Ordering::Acquire)
+    }
+
+    /// Whether the breaker is ready for a recovery probe: `Open` with
+    /// the cooldown elapsed, or `HalfOpen` with the probe slot free. The
+    /// scheduler uses this to deliberately hand one query to a suspect
+    /// replica — a pull-based queue that nobody routes to could never
+    /// prove it recovered, and the breaker would stay open forever.
+    pub fn wants_probe(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            ST_OPEN => self.now_ns() >= self.open_until_ns.load(Ordering::Acquire),
+            ST_HALF_OPEN => !self.window.lock().probing,
+            _ => false,
+        }
+    }
+
+    /// Ask to dispatch one batch. `Closed` admits; `Open` admits only
+    /// past the cooldown (transitioning to `HalfOpen` and consuming the
+    /// probe slot); `HalfOpen` admits only if the probe slot is free.
+    pub fn admit_batch(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            ST_CLOSED => true,
+            ST_OPEN => {
+                if self.now_ns() < self.open_until_ns.load(Ordering::Acquire) {
+                    return false;
+                }
+                let mut w = self.window.lock();
+                // Re-check under the lock: a racing worker may have taken
+                // the probe slot already.
+                match self.state.load(Ordering::Acquire) {
+                    ST_OPEN => {
+                        w.probing = true;
+                        self.state.store(ST_HALF_OPEN, Ordering::Release);
+                        self.n_half_opened.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    ST_CLOSED => true,
+                    _ => {
+                        if w.probing {
+                            false
+                        } else {
+                            w.probing = true;
+                            true
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut w = self.window.lock();
+                if w.probing {
+                    false
+                } else {
+                    w.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record one batch outcome (called once per dispatched batch).
+    pub fn record(&self, ok: bool) {
+        let mut w = self.window.lock();
+        match self.state.load(Ordering::Acquire) {
+            ST_HALF_OPEN => {
+                w.probing = false;
+                if ok {
+                    // Probe succeeded: close with a fresh window.
+                    w.bits = 0;
+                    w.head = 0;
+                    w.len = 0;
+                    w.streak = 0;
+                    self.state.store(ST_CLOSED, Ordering::Release);
+                    self.n_closed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.open_locked();
+                }
+            }
+            ST_CLOSED => {
+                let bit = 1u64 << w.head;
+                if !ok {
+                    w.bits |= bit;
+                } else {
+                    w.bits &= !bit;
+                }
+                w.head = (w.head + 1) % self.cfg.window;
+                w.len = (w.len + 1).min(self.cfg.window);
+                w.streak = if ok { 0 } else { w.streak + 1 };
+                let rate_trips = w.len >= self.cfg.min_samples
+                    && (w.bits.count_ones() as f64 / w.len as f64) >= self.cfg.failure_threshold;
+                if rate_trips || w.streak >= self.cfg.streak {
+                    self.open_locked();
+                    // Fresh window after recovery.
+                    w.bits = 0;
+                    w.head = 0;
+                    w.len = 0;
+                    w.streak = 0;
+                }
+            }
+            _ => {
+                // Already Open: a straggler batch dispatched before the
+                // trip is still settling — nothing to update.
+            }
+        }
+    }
+
+    /// Transition to Open and arm the cooldown (window lock held).
+    fn open_locked(&self) {
+        self.open_until_ns.store(
+            self.now_ns()
+                .saturating_add(self.cfg.cooldown.as_nanos().min(u64::MAX as u128) as u64),
+            Ordering::Release,
+        );
+        self.state.store(ST_OPEN, Ordering::Release);
+        self.n_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closed→Open transitions observed (including HalfOpen re-opens).
+    pub fn opened(&self) -> u64 {
+        self.n_opened.load(Ordering::Relaxed)
+    }
+
+    /// Open→HalfOpen transitions (probes granted).
+    pub fn half_opened(&self) -> u64 {
+        self.n_half_opened.load(Ordering::Relaxed)
+    }
+
+    /// HalfOpen→Closed transitions (successful recoveries).
+    pub fn closed(&self) -> u64 {
+        self.n_closed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            streak: 3,
+            cooldown: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn opens_on_a_failure_streak() {
+        let b = CircuitBreaker::new(fast_cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.is_tripped());
+        assert_eq!(b.opened(), 1);
+        assert!(!b.admit_batch(), "open breaker must refuse inside cooldown");
+    }
+
+    #[test]
+    fn opens_on_failure_rate_without_a_streak() {
+        let b = CircuitBreaker::new(fast_cfg());
+        // Alternate so no 3-streak forms, but the window rate hits 50%.
+        for _ in 0..4 {
+            b.record(false);
+            b.record(true);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn successes_keep_it_closed() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..100 {
+            b.record(true);
+        }
+        // One failure in a healthy window is noise, not an outage.
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit_batch());
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            b.record(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(!b.is_tripped(), "cooldown elapsed: routable again");
+        assert!(b.admit_batch(), "first batch after cooldown is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit_batch(), "only one probe at a time");
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.half_opened(), 1);
+        assert_eq!(b.closed(), 1);
+        assert!(b.admit_batch());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            b.record(false);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit_batch());
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.is_tripped(), "re-open re-arms the cooldown");
+        assert_eq!(b.opened(), 2);
+        // And it can still recover after another cooldown.
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit_batch());
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn wants_probe_tracks_the_recovery_cycle() {
+        let b = CircuitBreaker::new(fast_cfg());
+        assert!(!b.wants_probe(), "closed breaker needs no probe");
+        for _ in 0..3 {
+            b.record(false);
+        }
+        assert!(!b.wants_probe(), "cooling down: hold traffic off");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.wants_probe(), "cooldown elapsed: ask for a probe");
+        assert!(b.admit_batch());
+        assert!(!b.wants_probe(), "probe in flight: no second probe");
+        b.record(true);
+        assert!(!b.wants_probe(), "closed again");
+    }
+
+    #[test]
+    fn state_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::HalfOpen.code(), 1);
+        assert_eq!(BreakerState::Open.code(), 2);
+    }
+}

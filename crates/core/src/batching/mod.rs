@@ -16,19 +16,29 @@
 //! dispatcher briefly waits for more queries before sending an under-full
 //! batch, trading a bounded delay for amortized fixed costs — the Nagle's
 //! algorithm analogy.
+//!
+//! Failure recovery is layered on the same queues: each replica carries a
+//! per-replica circuit breaker ([`breaker::CircuitBreaker`]), retryable
+//! batch failures redispatch still-within-budget queries onto a sibling
+//! replica through [`queue::QueueHooks`], and an opt-in hedging knob
+//! ([`queue::QueueConfig::hedge`]) races a straggling batch against a
+//! second replica.
 
 pub mod aimd;
 pub mod autotune;
+pub mod breaker;
 pub mod latency_model;
 pub mod quantile;
 pub mod queue;
 
 pub use aimd::AimdController;
 pub use autotune::AutotuneController;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use latency_model::{LatencyModel, LatencyPrior, ReplicaTune};
 pub use quantile::QuantileController;
 pub use queue::{
-    spawn_replica_queue, QueueConfig, QueueItem, QueueMetrics, QueueState, ReplicaQueue, ReplySink,
+    spawn_replica_queue, spawn_replica_queue_with_hooks, HedgeConfig, QueueConfig, QueueHooks,
+    QueueItem, QueueMetrics, QueueState, ReplicaQueue, ReplySink, UpstreamKind,
 };
 
 use std::sync::Arc;

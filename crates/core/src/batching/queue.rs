@@ -46,12 +46,15 @@
 //! - `overhead_us`: everything else in the round trip (serialization, RPC,
 //!   scheduling).
 
+use super::breaker::{BreakerConfig, CircuitBreaker};
 use super::{BatchController, LatencyModel, LatencyPrior};
 use crate::cache::{CacheFillError, CacheKey, PredictionCache};
 use crate::types::{Input, Output};
 use clipper_metrics::{Counter, Gauge, Histogram, Meter, Registry};
 use clipper_rpc::transport::BatchTransport;
+use clipper_rpc::RpcError;
 use parking_lot::Mutex;
+use std::future::Future;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -81,6 +84,75 @@ pub enum PredictError {
     BadInput(String),
     /// Evaluation failed (RPC or container error). HTTP 500.
     Failed(String),
+    /// The upstream replica failed the batch with a typed transport
+    /// error, after `attempts` dispatch attempts (> 1 means redispatch
+    /// was tried and exhausted). Retryable kinds map to HTTP 503 —
+    /// another replica, or the same one a moment later, may well serve
+    /// the request — non-retryable kinds to HTTP 500.
+    Upstream {
+        /// What failed upstream.
+        kind: UpstreamKind,
+        /// Whether a retry elsewhere could have succeeded (mirrors
+        /// [`clipper_rpc::RpcError::is_retryable`]).
+        retryable: bool,
+        /// Dispatch attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+/// The typed cause of a [`PredictError::Upstream`] failure — the
+/// [`clipper_rpc::RpcError`] taxonomy minus payloads, plus the queue's
+/// own breaker refusal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpstreamKind {
+    /// Underlying socket error.
+    Io,
+    /// The replica closed the connection mid-request.
+    ConnectionClosed,
+    /// The RPC waited past its deadline.
+    Timeout,
+    /// Malformed frame or unexpected message.
+    Protocol,
+    /// Dropped by fault injection.
+    Injected,
+    /// The container rejected the batch.
+    Remote,
+    /// The replica's circuit breaker was open and no sibling could take
+    /// the query.
+    BreakerOpen,
+}
+
+impl UpstreamKind {
+    /// Classify a transport error.
+    pub fn of(e: &RpcError) -> Self {
+        match e {
+            RpcError::Io(_) => UpstreamKind::Io,
+            RpcError::ConnectionClosed => UpstreamKind::ConnectionClosed,
+            RpcError::Timeout => UpstreamKind::Timeout,
+            RpcError::Protocol(_) => UpstreamKind::Protocol,
+            RpcError::Injected => UpstreamKind::Injected,
+            RpcError::Remote(_) => UpstreamKind::Remote,
+        }
+    }
+
+    /// Stable label for messages and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UpstreamKind::Io => "io",
+            UpstreamKind::ConnectionClosed => "connection_closed",
+            UpstreamKind::Timeout => "timeout",
+            UpstreamKind::Protocol => "protocol",
+            UpstreamKind::Injected => "injected",
+            UpstreamKind::Remote => "remote",
+            UpstreamKind::BreakerOpen => "breaker_open",
+        }
+    }
+}
+
+impl std::fmt::Display for UpstreamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl PredictError {
@@ -93,6 +165,13 @@ impl PredictError {
             PredictError::ModelUnknown | PredictError::AppUnknown => 404,
             PredictError::BadInput(_) => 400,
             PredictError::Failed(_) => 500,
+            PredictError::Upstream { retryable, .. } => {
+                if *retryable {
+                    503
+                } else {
+                    500
+                }
+            }
         }
     }
 
@@ -106,6 +185,7 @@ impl PredictError {
             PredictError::AppUnknown => "app_unknown",
             PredictError::BadInput(_) => "bad_input",
             PredictError::Failed(_) => "internal",
+            PredictError::Upstream { .. } => "upstream",
         }
     }
 
@@ -114,7 +194,13 @@ impl PredictError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            PredictError::Timeout | PredictError::Overloaded | PredictError::NoReplicas
+            PredictError::Timeout
+                | PredictError::Overloaded
+                | PredictError::NoReplicas
+                | PredictError::Upstream {
+                    retryable: true,
+                    ..
+                }
         )
     }
 }
@@ -129,6 +215,10 @@ impl std::fmt::Display for PredictError {
             PredictError::AppUnknown => write!(f, "unknown application"),
             PredictError::BadInput(m) => write!(f, "bad input: {m}"),
             PredictError::Failed(m) => write!(f, "prediction failed: {m}"),
+            PredictError::Upstream { kind, attempts, .. } => write!(
+                f,
+                "upstream replica failure ({kind}) after {attempts} attempt(s)"
+            ),
         }
     }
 }
@@ -173,7 +263,9 @@ impl ReplySink {
     fn finish(&mut self, result: Result<Output, PredictError>) {
         match self.0.take() {
             Some(SinkKind::Cache { cache, key }) => {
-                let fill = result.map_err(|e| CacheFillError::Failed(e.to_string()));
+                // Typed passthrough: waiters (and the HTTP taxonomy) see
+                // the same `PredictError` a direct sink would deliver.
+                let fill = result.map_err(CacheFillError::Predict);
                 cache.fill(key, fill);
             }
             Some(SinkKind::Direct(tx)) => {
@@ -200,8 +292,37 @@ pub struct QueueItem {
     pub input: Input,
     /// Where the output goes.
     pub sink: ReplySink,
-    /// When the query entered the queue.
+    /// When the query entered the queue (reset on redispatch, so each
+    /// queue's wait histogram stays truthful).
     pub enqueued: Instant,
+    /// Deadline budget for retry/redispatch: a retryable upstream
+    /// failure redispatches the item only while `now < deadline`.
+    /// `None` = no budget tracking (fail on first exhausted attempt
+    /// policy still applies via `attempts`).
+    pub deadline: Option<Instant>,
+    /// Dispatch attempts consumed so far (0 for a fresh query).
+    pub attempts: u32,
+}
+
+impl QueueItem {
+    /// A fresh queue item with no retry deadline.
+    pub fn new(input: Input, sink: ReplySink) -> Self {
+        QueueItem {
+            input,
+            sink,
+            enqueued: Instant::now(),
+            deadline: None,
+            attempts: 0,
+        }
+    }
+
+    /// A fresh queue item carrying a retry-budget deadline.
+    pub fn with_deadline(input: Input, sink: ReplySink, deadline: Instant) -> Self {
+        QueueItem {
+            deadline: Some(deadline),
+            ..QueueItem::new(input, sink)
+        }
+    }
 }
 
 /// Queue configuration (per replica).
@@ -245,6 +366,19 @@ pub struct QueueConfig {
     /// the SLO at current depth — an honest fast failure instead of a
     /// guaranteed late answer.
     pub slo_admission: bool,
+    /// Deadline-budgeted retry (§5.2.2): total dispatch attempts a query
+    /// may consume when batches fail with *retryable* transport errors —
+    /// each failed attempt redispatches still-within-budget items onto a
+    /// different routable replica (when the queue is wired into a
+    /// scheduler; standalone queues fail as before). `1` disables retry.
+    pub retry_max_attempts: u32,
+    /// Per-replica circuit breaker tuning (§5.2.2).
+    pub breaker: BreakerConfig,
+    /// Opt-in hedged dispatch (§5.2.2 straggler mitigation): when a
+    /// batch's in-flight time crosses the model-derived hedge delay, the
+    /// batch is re-dispatched to a sibling replica and the first success
+    /// wins. `None` = no hedging.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for QueueConfig {
@@ -259,8 +393,49 @@ impl Default for QueueConfig {
             drain_deadline: Duration::from_secs(5),
             latency_prior: None,
             slo_admission: false,
+            retry_max_attempts: 3,
+            breaker: BreakerConfig::default(),
+            hedge: None,
         }
     }
+}
+
+/// Hedged-dispatch tuning (see [`QueueConfig::hedge`]).
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeConfig {
+    /// The hedge fires when a batch's in-flight time exceeds
+    /// `delay_factor ×` the replica's model-predicted batch latency — a
+    /// quantile proxy: with factor 3 only genuine stragglers trigger it.
+    pub delay_factor: f64,
+    /// Floor for the hedge delay; also the delay used while the latency
+    /// model has no estimate yet.
+    pub min_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            delay_factor: 3.0,
+            min_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Scheduler callbacks wired into a queue at spawn time
+/// ([`spawn_replica_queue_with_hooks`]); both default to `None` for
+/// standalone queues, which then fail exactly as a single-replica fleet
+/// would.
+#[derive(Clone, Default)]
+pub struct QueueHooks {
+    /// Hand a retry-budgeted item back for redispatch onto a *different*
+    /// routable replica. `Err(item)` = nobody could take it (the queue
+    /// then fail-fills it).
+    #[allow(clippy::type_complexity)]
+    pub redispatch: Option<Arc<dyn Fn(QueueItem) -> Result<(), QueueItem> + Send + Sync>>,
+    /// Pick a sibling replica's transport for a hedged re-dispatch (or
+    /// `None` when no healthy sibling exists).
+    #[allow(clippy::type_complexity)]
+    pub hedge_pick: Option<Arc<dyn Fn() -> Option<Arc<dyn BatchTransport>> + Send + Sync>>,
 }
 
 /// Telemetry for one replica queue.
@@ -288,6 +463,11 @@ pub struct QueueMetrics {
     pub current_max_batch: Gauge,
     /// Queries shed because the queue was full.
     pub shed: Counter,
+    /// Queries handed back for redispatch after a retryable upstream
+    /// failure (recovered, not client-visible errors).
+    pub retried: Counter,
+    /// Batches re-dispatched to a sibling replica by hedging.
+    pub hedged: Counter,
 }
 
 impl QueueMetrics {
@@ -305,6 +485,8 @@ impl QueueMetrics {
             slo_violations: registry.counter(&format!("{prefix}/slo_violations")),
             current_max_batch: registry.gauge(&format!("{prefix}/max_batch")),
             shed: registry.counter(&format!("{prefix}/shed")),
+            retried: registry.counter(&format!("{prefix}/retried")),
+            hedged: registry.counter(&format!("{prefix}/hedged")),
         }
     }
 }
@@ -364,6 +546,18 @@ struct QueueShared {
     /// zero allocations per batch.
     spare_items: Mutex<Vec<Vec<QueueItem>>>,
     spare_inputs: Mutex<Vec<Vec<Input>>>,
+    /// Per-replica circuit breaker (§5.2.2): worker consults it before
+    /// dispatching, feeds it every batch outcome; its tripped state ORs
+    /// into [`ReplicaQueue::is_suspect`].
+    breaker: CircuitBreaker,
+    /// Scheduler callbacks for redispatch and hedging (empty for
+    /// standalone queues).
+    hooks: QueueHooks,
+    /// Total dispatch attempts per query (see
+    /// [`QueueConfig::retry_max_attempts`]).
+    retry_max_attempts: u32,
+    /// Hedged-dispatch tuning, when enabled.
+    hedge: Option<HedgeConfig>,
 }
 
 /// Spare buffers retained per kind; beyond this they simply drop.
@@ -523,13 +717,21 @@ impl ReplicaQueue {
     }
 
     /// Whether the replica's last few batches all failed (≥ 3 in a row),
-    /// or an external monitor (the fleet health loop) has flagged it.
-    /// Suspect replicas are routed to only when no clean replica has
-    /// room; any successful batch clears the error streak, and the
-    /// monitor clears its hint when heartbeats resume.
+    /// an external monitor (the fleet health loop) has flagged it, or
+    /// its circuit breaker is open and still cooling down. Suspect
+    /// replicas are routed to only when no clean replica has room; any
+    /// successful batch clears the error streak, the monitor clears its
+    /// hint when heartbeats resume, and an open breaker stops reporting
+    /// tripped once its cooldown elapses (so the probe batch can route).
     pub fn is_suspect(&self) -> bool {
         self.shared.consecutive_errors.load(Ordering::Relaxed) >= 3
             || self.shared.suspect_hint.load(Ordering::Relaxed)
+            || self.shared.breaker.is_tripped()
+    }
+
+    /// The replica's circuit breaker (live state, transition counters).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.shared.breaker
     }
 
     /// Externally assert (or clear) suspicion — the fleet health
@@ -684,6 +886,21 @@ pub fn spawn_replica_queue(
     cfg: QueueConfig,
     metrics: QueueMetrics,
 ) -> Arc<ReplicaQueue> {
+    spawn_replica_queue_with_hooks(id, transport, cfg, metrics, QueueHooks::default())
+}
+
+/// [`spawn_replica_queue`] with recovery hooks wired in. The hooks are
+/// how a standalone queue stays standalone: without a `redispatch`
+/// hook, a failed batch fail-fills immediately (no retry); without a
+/// `hedge_pick` hook, the hedge knob is inert. The model abstraction
+/// layer supplies both so retry and hedging route across the fleet.
+pub fn spawn_replica_queue_with_hooks(
+    id: String,
+    transport: Arc<dyn BatchTransport>,
+    cfg: QueueConfig,
+    metrics: QueueMetrics,
+    hooks: QueueHooks,
+) -> Arc<ReplicaQueue> {
     let (tx, rx) = mpsc::channel(cfg.queue_capacity.max(1));
     let latency_model = Arc::new(match cfg.latency_prior {
         Some(prior) => LatencyModel::with_prior(prior),
@@ -708,6 +925,10 @@ pub fn spawn_replica_queue(
         latency_model,
         spare_items: Mutex::new(Vec::new()),
         spare_inputs: Mutex::new(Vec::new()),
+        breaker: CircuitBreaker::new(cfg.breaker),
+        hooks,
+        retry_max_attempts: cfg.retry_max_attempts.max(1),
+        hedge: cfg.hedge,
     });
     // Detached on purpose: the worker owns its own exit (channel close →
     // drain → Stopped), so no JoinHandle juggling is needed.
@@ -791,6 +1012,24 @@ async fn worker_loop(
             for item in items.drain(..) {
                 item.sink.complete(Err(err.clone()));
             }
+            shared.put_items_buf(items);
+            drop(permit);
+            continue;
+        }
+
+        // Circuit breaker: an open breaker inside its cooldown refuses
+        // the batch outright. The items still get the full recovery
+        // path — redispatch onto a sibling when within budget, typed
+        // fail-fill otherwise — so a breaker trip is invisible to
+        // clients whenever another replica can absorb the load.
+        if !shared.breaker.admit_batch() {
+            settle_upstream_failure(
+                &mut items,
+                UpstreamKind::BreakerOpen,
+                true,
+                &metrics,
+                &shared,
+            );
             shared.put_items_buf(items);
             drop(permit);
             continue;
@@ -886,10 +1125,52 @@ async fn dispatch_batch(
     let n = job.items.len();
     metrics.batch_size.record(n as u64);
 
-    // `job` stays intact across the await: if the drain watchdog aborts
-    // this task here, dropping it settles sinks → inflight → permit, in
-    // that order (see [`BatchJob`]).
-    let result = transport.predict_batch(&inputs).await;
+    // `job` stays intact across the awaits: if the drain watchdog
+    // aborts this task mid-flight, dropping it settles sinks →
+    // inflight → permit, in that order (see [`BatchJob`]).
+    //
+    // Hedging: the primary RPC races a model-derived straggler timer.
+    // If the timer fires first and a sibling transport is available,
+    // the same inputs dispatch there too and the first success wins —
+    // the loser's completion is simply never awaited (transport
+    // futures own their request state, so dropping one is a no-op at
+    // this layer).
+    let mut primary = transport.predict_batch(&inputs);
+    let mut hedge_won = false;
+    let result = match hedge_delay(&shared, n) {
+        Some(delay) => match tokio::time::timeout(delay, &mut primary).await {
+            Ok(r) => r,
+            Err(_) => {
+                let picked = shared.hooks.hedge_pick.as_ref().and_then(|pick| pick());
+                match picked {
+                    Some(backup) => {
+                        metrics.hedged.inc();
+                        let mut hedge = backup.predict_batch(&inputs);
+                        match race(&mut primary, &mut hedge).await {
+                            RaceOutcome::Primary(Ok(r)) => Ok(r),
+                            RaceOutcome::Hedge(Ok(r)) => {
+                                hedge_won = true;
+                                Ok(r)
+                            }
+                            // A failed primary still has a hedge in
+                            // flight — give it the chance to rescue
+                            // the batch before reporting the error.
+                            RaceOutcome::Primary(Err(e)) => match hedge.await {
+                                Ok(r) => {
+                                    hedge_won = true;
+                                    Ok(r)
+                                }
+                                Err(_) => Err(e),
+                            },
+                            RaceOutcome::Hedge(Err(_)) => primary.await,
+                        }
+                    }
+                    None => primary.await,
+                }
+            }
+        },
+        None => primary.await,
+    };
     shared.put_inputs_buf(inputs);
     let BatchJob {
         mut items,
@@ -897,8 +1178,14 @@ async fn dispatch_batch(
         permit,
     } = job;
     let rpc_elapsed = dispatch_time.elapsed();
-    controller.lock().record(n, rpc_elapsed);
-    shared.latency_model.observe(n, rpc_elapsed);
+    // A hedge win says nothing about *this* replica's latency or
+    // health, so the batch controller, latency model, EWMA, error
+    // streak, and breaker all skip the sample — only the primary's own
+    // completions feed its estimators.
+    if !hedge_won {
+        controller.lock().record(n, rpc_elapsed);
+        shared.latency_model.observe(n, rpc_elapsed);
+    }
     metrics.rpc_us.record(rpc_elapsed.as_micros() as u64);
     if rpc_elapsed > slo {
         metrics.slo_violations.inc();
@@ -912,22 +1199,30 @@ async fn dispatch_batch(
                 (rpc_elapsed.as_micros() as u64).saturating_sub(reply.queue_us + reply.compute_us);
             metrics.overhead_us.record(overhead);
             metrics.completed.mark_n(n as u64);
-            // Service-rate sample: container compute per query, falling
-            // back to the round trip when the container didn't report.
-            let batch_us = if reply.compute_us > 0 {
-                reply.compute_us
-            } else {
-                rpc_elapsed.as_micros() as u64
-            };
-            shared.record_service((batch_us.saturating_mul(1_000)) / n as u64);
-            shared.consecutive_errors.store(0, Ordering::Relaxed);
+            if !hedge_won {
+                // Service-rate sample: container compute per query,
+                // falling back to the round trip when the container
+                // didn't report.
+                let batch_us = if reply.compute_us > 0 {
+                    reply.compute_us
+                } else {
+                    rpc_elapsed.as_micros() as u64
+                };
+                shared.record_service((batch_us.saturating_mul(1_000)) / n as u64);
+                shared.consecutive_errors.store(0, Ordering::Relaxed);
+                shared.breaker.record(true);
+            }
             for (item, output) in items.drain(..).zip(reply.outputs) {
                 item.sink.complete(Ok(output));
             }
         }
         Ok(reply) => {
             shared.consecutive_errors.fetch_add(1, Ordering::Relaxed);
+            shared.breaker.record(false);
             metrics.errors.add(n as u64);
+            // A malformed reply is not retryable: the replica is
+            // reachable but wrong, and a different replica may well
+            // agree with it.
             let err = PredictError::Failed(format!(
                 "container returned {} outputs for {} inputs",
                 reply.outputs.len(),
@@ -939,11 +1234,14 @@ async fn dispatch_batch(
         }
         Err(e) => {
             shared.consecutive_errors.fetch_add(1, Ordering::Relaxed);
-            metrics.errors.add(n as u64);
-            let err = PredictError::Failed(e.to_string());
-            for item in items.drain(..) {
-                item.sink.complete(Err(err.clone()));
-            }
+            shared.breaker.record(false);
+            settle_upstream_failure(
+                &mut items,
+                UpstreamKind::of(&e),
+                e.is_retryable(),
+                &metrics,
+                &shared,
+            );
         }
     }
     shared.put_items_buf(items);
@@ -951,12 +1249,113 @@ async fn dispatch_batch(
     drop(permit);
 }
 
+/// The straggler threshold for hedged dispatch, or `None` when hedging
+/// is off (no [`QueueConfig::hedge`]) or can't act (no `hedge_pick`
+/// hook to find a sibling).
+fn hedge_delay(shared: &QueueShared, batch: usize) -> Option<Duration> {
+    let h = shared.hedge.as_ref()?;
+    shared.hooks.hedge_pick.as_ref()?;
+    let predicted = shared
+        .latency_model
+        .predict_ns(batch)
+        .map(|ns| Duration::from_nanos((ns as f64 * h.delay_factor) as u64));
+    Some(predicted.map_or(h.min_delay, |d| d.max(h.min_delay)))
+}
+
+enum RaceOutcome<T> {
+    Primary(T),
+    Hedge(T),
+}
+
+/// Race two in-flight RPCs; primary wins ties (it's polled first).
+async fn race<T>(
+    a: &mut (impl Future<Output = T> + Unpin),
+    b: &mut (impl Future<Output = T> + Unpin),
+) -> RaceOutcome<T> {
+    std::future::poll_fn(|cx| {
+        if let std::task::Poll::Ready(r) = std::pin::Pin::new(&mut *a).poll(cx) {
+            return std::task::Poll::Ready(RaceOutcome::Primary(r));
+        }
+        if let std::task::Poll::Ready(r) = std::pin::Pin::new(&mut *b).poll(cx) {
+            return std::task::Poll::Ready(RaceOutcome::Hedge(r));
+        }
+        std::task::Poll::Pending
+    })
+    .await
+}
+
+/// Settle a failed batch item-by-item: items that are retryable, inside
+/// their deadline budget, and under the attempt cap go back to the
+/// scheduler for redispatch onto a different replica; the rest
+/// fail-fill with a typed [`PredictError::Upstream`]. `errors` counts
+/// only the fail-filled items — a rescued item is not a client-visible
+/// error.
+fn settle_upstream_failure(
+    items: &mut Vec<QueueItem>,
+    kind: UpstreamKind,
+    retryable: bool,
+    metrics: &QueueMetrics,
+    shared: &QueueShared,
+) {
+    let now = Instant::now();
+    for mut item in items.drain(..) {
+        item.attempts += 1;
+        let within_budget = item.deadline.is_none_or(|d| now < d);
+        if retryable && within_budget && item.attempts < shared.retry_max_attempts {
+            if let Some(redispatch) = shared.hooks.redispatch.as_ref() {
+                // Queue-wait restarts on the new queue; the deadline
+                // budget, deliberately, does not.
+                item.enqueued = Instant::now();
+                match redispatch(item) {
+                    Ok(()) => {
+                        metrics.retried.inc();
+                        continue;
+                    }
+                    Err(back) => item = back,
+                }
+            }
+        }
+        metrics.errors.inc();
+        let attempts = item.attempts;
+        item.sink.complete(Err(PredictError::Upstream {
+            kind,
+            retryable,
+            attempts,
+        }));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batching::breaker::BreakerState;
     use crate::batching::BatchStrategy;
     use clipper_rpc::message::{PredictReply, WireOutput};
     use clipper_rpc::transport::FnTransport;
+
+    /// A transport that sleeps, then fails — for hedge/straggler tests
+    /// (`FnTransport` resolves synchronously, so it can't straggle).
+    struct SlowFailTransport {
+        delay: Duration,
+    }
+
+    impl BatchTransport for SlowFailTransport {
+        fn predict_batch(
+            &self,
+            _inputs: &[Input],
+        ) -> clipper_rpc::transport::BoxFuture<Result<PredictReply, clipper_rpc::RpcError>>
+        {
+            let delay = self.delay;
+            Box::pin(async move {
+                tokio::time::sleep(delay).await;
+                Err(clipper_rpc::RpcError::ConnectionClosed)
+            })
+        }
+
+        fn id(&self) -> String {
+            "slow-fail".into()
+        }
+    }
 
     fn echo_transport() -> Arc<dyn BatchTransport> {
         Arc::new(FnTransport::new("echo", |inputs: &[Input]| {
@@ -977,14 +1376,7 @@ mod tests {
 
     fn direct_item(v: f32) -> (QueueItem, oneshot::Receiver<Result<Output, PredictError>>) {
         let (tx, rx) = oneshot::channel();
-        (
-            QueueItem {
-                input: Arc::new(vec![v]),
-                sink: ReplySink::direct(tx),
-                enqueued: Instant::now(),
-            },
-            rx,
-        )
+        (QueueItem::new(Arc::new(vec![v]), ReplySink::direct(tx)), rx)
     }
 
     #[tokio::test]
@@ -1029,11 +1421,7 @@ mod tests {
             }));
         let q = spawn_replica_queue("m:0".into(), t, QueueConfig::default(), test_metrics());
         let (tx, rx) = oneshot::channel();
-        q.submit(QueueItem {
-            input: original,
-            sink: ReplySink::direct(tx),
-            enqueued: Instant::now(),
-        });
+        q.submit(QueueItem::new(original, ReplySink::direct(tx)));
         rx.await.unwrap().unwrap();
     }
 
@@ -1171,7 +1559,17 @@ mod tests {
         let (item, rx) = direct_item(1.0);
         q.submit(item);
         let err = rx.await.unwrap().unwrap_err();
-        assert!(matches!(err, PredictError::Failed(_)));
+        // `Remote` is non-retryable, so the single attempt fail-fills
+        // with the typed upstream error (503-vs-500 decided by it).
+        assert!(matches!(
+            err,
+            PredictError::Upstream {
+                kind: UpstreamKind::Remote,
+                retryable: false,
+                attempts: 1,
+            }
+        ));
+        assert_eq!(err.http_status(), 500);
     }
 
     #[tokio::test]
@@ -1240,11 +1638,10 @@ mod tests {
             QueueConfig::default(),
             test_metrics(),
         );
-        q.submit(QueueItem {
-            input: input.clone(),
-            sink: ReplySink::cache(cache.clone(), key),
-            enqueued: Instant::now(),
-        });
+        q.submit(QueueItem::new(
+            input.clone(),
+            ReplySink::cache(cache.clone(), key),
+        ));
         let out = rx.await.unwrap().unwrap();
         assert_eq!(out, Output::Class(3));
         assert_eq!(cache.fetch(key), Some(Output::Class(3)));
@@ -1262,15 +1659,14 @@ mod tests {
             crate::cache::Lookup::MustCompute(rx) => rx,
             _ => panic!(),
         };
-        let item = QueueItem {
-            input,
-            sink: ReplySink::cache(cache.clone(), key),
-            enqueued: Instant::now(),
-        };
+        let item = QueueItem::new(input, ReplySink::cache(cache.clone(), key));
         drop(item);
         assert_eq!(cache.pending_len(), 0, "drop must fail-fill the entry");
         let filled = rx.await.unwrap();
-        assert!(matches!(filled, Err(CacheFillError::Failed(_))));
+        assert!(matches!(
+            filled,
+            Err(CacheFillError::Predict(PredictError::Failed(_)))
+        ));
     }
 
     #[tokio::test]
@@ -1355,11 +1751,7 @@ mod tests {
                 _ => panic!("fresh key must be MustCompute"),
             };
             rxs.push(rx);
-            q.submit(QueueItem {
-                input,
-                sink: ReplySink::cache(cache.clone(), key),
-                enqueued: Instant::now(),
-            });
+            q.submit(QueueItem::new(input, ReplySink::cache(cache.clone(), key)));
         }
         q.shutdown();
         q.drained().await;
@@ -1511,15 +1903,14 @@ mod tests {
             crate::cache::Lookup::MustCompute(rx) => rx,
             _ => panic!(),
         };
-        q.submit(QueueItem {
-            input,
-            sink: ReplySink::cache(cache.clone(), key),
-            enqueued: Instant::now(),
-        });
+        q.submit(QueueItem::new(input, ReplySink::cache(cache.clone(), key)));
         q.shutdown();
         q.drained().await;
         assert_eq!(cache.pending_len(), 0, "force-fail must settle the entry");
-        assert!(matches!(rx.await.unwrap(), Err(CacheFillError::Failed(_))));
+        assert!(matches!(
+            rx.await.unwrap(),
+            Err(CacheFillError::Predict(PredictError::Failed(_)))
+        ));
     }
 
     #[tokio::test]
@@ -1547,5 +1938,282 @@ mod tests {
             q.backlog_estimate_ns() < 1_000_000,
             "idle queue ≈ no backlog"
         );
+    }
+
+    #[tokio::test]
+    async fn retryable_failure_redispatches_through_the_hook() {
+        // Primary always drops the batch; the redispatch hook forwards
+        // the item onto a healthy sibling queue. The client must see a
+        // clean answer and the retried counter must tick.
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::Injected)
+            }));
+        let backup = spawn_replica_queue(
+            "m:1".into(),
+            echo_transport(),
+            QueueConfig::default(),
+            test_metrics(),
+        );
+        let backup_for_hook = backup.clone();
+        let hooks = QueueHooks {
+            redispatch: Some(Arc::new(move |item| backup_for_hook.try_submit(item))),
+            hedge_pick: None,
+        };
+        let metrics = test_metrics();
+        let q = spawn_replica_queue_with_hooks(
+            "m:0".into(),
+            flaky,
+            QueueConfig::default(),
+            metrics.clone(),
+            hooks,
+        );
+        let (tx, rx) = oneshot::channel();
+        q.submit(QueueItem::with_deadline(
+            Arc::new(vec![7.0]),
+            ReplySink::direct(tx),
+            Instant::now() + Duration::from_secs(5),
+        ));
+        let out = rx.await.unwrap().unwrap();
+        assert_eq!(out, Output::Class(7));
+        assert_eq!(metrics.retried.get(), 1);
+        assert_eq!(metrics.errors.get(), 0, "a rescued item is not an error");
+    }
+
+    #[tokio::test]
+    async fn budget_exhaustion_fail_fills_with_a_typed_error() {
+        // No sibling can take the item (hook refuses), so each attempt
+        // consumes budget until the typed Upstream error surfaces.
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::Timeout)
+            }));
+        let hooks = QueueHooks {
+            redispatch: Some(Arc::new(Err)), // nobody will take it
+            hedge_pick: None,
+        };
+        let q = spawn_replica_queue_with_hooks(
+            "m:0".into(),
+            flaky,
+            QueueConfig::default(),
+            test_metrics(),
+            hooks,
+        );
+        let (tx, rx) = oneshot::channel();
+        q.submit(QueueItem::with_deadline(
+            Arc::new(vec![1.0]),
+            ReplySink::direct(tx),
+            Instant::now() + Duration::from_secs(5),
+        ));
+        let err = rx.await.unwrap().unwrap_err();
+        assert!(matches!(
+            err,
+            PredictError::Upstream {
+                kind: UpstreamKind::Timeout,
+                retryable: true,
+                attempts: 1,
+            }
+        ));
+        assert_eq!(err.http_status(), 503, "retryable upstream is a 503");
+    }
+
+    #[tokio::test]
+    async fn breaker_opens_and_sheds_to_the_redispatch_hook() {
+        // Trip the breaker with a failure streak, then confirm the
+        // worker refuses batches up front (BreakerOpen) while the
+        // redispatch hook keeps rescuing in-budget items.
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::ConnectionClosed)
+            }));
+        let backup = spawn_replica_queue(
+            "m:1".into(),
+            echo_transport(),
+            QueueConfig::default(),
+            test_metrics(),
+        );
+        let backup_for_hook = backup.clone();
+        let hooks = QueueHooks {
+            redispatch: Some(Arc::new(move |item| backup_for_hook.try_submit(item))),
+            hedge_pick: None,
+        };
+        let cfg = QueueConfig {
+            strategy: BatchStrategy::NoBatching,
+            breaker: BreakerConfig {
+                streak: 2,
+                cooldown: Duration::from_secs(30),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let q = spawn_replica_queue_with_hooks("m:0".into(), flaky, cfg, test_metrics(), hooks);
+        for v in 0..6 {
+            let (tx, rx) = oneshot::channel();
+            q.submit(QueueItem::with_deadline(
+                Arc::new(vec![v as f32]),
+                ReplySink::direct(tx),
+                Instant::now() + Duration::from_secs(5),
+            ));
+            let out = rx.await.unwrap().unwrap();
+            assert_eq!(out, Output::Class(v));
+        }
+        assert_eq!(q.breaker().state(), BreakerState::Open);
+        assert!(q.is_suspect(), "an open breaker marks the queue suspect");
+        assert!(q.breaker().opened() >= 1);
+    }
+
+    #[tokio::test]
+    async fn breaker_open_and_drain_settle_every_sink_exactly_once() {
+        // Breaker-open shed racing a graceful drain on the same queue:
+        // every sink settles exactly once and the drain completes.
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::ConnectionClosed)
+            }));
+        let cfg = QueueConfig {
+            strategy: BatchStrategy::NoBatching,
+            breaker: BreakerConfig {
+                streak: 1,
+                cooldown: Duration::from_secs(30),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let q = spawn_replica_queue("m:0".into(), flaky, cfg, test_metrics());
+        let mut rxs = Vec::new();
+        for v in 0..16 {
+            let (tx, rx) = oneshot::channel();
+            q.submit(QueueItem::new(
+                Arc::new(vec![v as f32]),
+                ReplySink::direct(tx),
+            ));
+            rxs.push(rx);
+        }
+        q.shutdown();
+        q.shutdown(); // idempotent alongside the breaker trip
+        q.drained().await;
+        for rx in rxs {
+            assert!(rx.await.unwrap().is_err(), "all sinks settle with errors");
+        }
+        assert_eq!(q.state(), QueueState::Stopped);
+    }
+
+    #[tokio::test]
+    async fn redispatch_never_lands_on_a_draining_queue() {
+        // The sibling is draining: try_submit must bounce the item back
+        // so it fail-fills instead of sneaking into a closing backlog.
+        let flaky: Arc<dyn BatchTransport> =
+            Arc::new(FnTransport::new("flaky", |_: &[Input]| {
+                Err(clipper_rpc::RpcError::Injected)
+            }));
+        let draining = spawn_replica_queue(
+            "m:1".into(),
+            echo_transport(),
+            QueueConfig::default(),
+            test_metrics(),
+        );
+        draining.shutdown();
+        draining.drained().await;
+        let draining_for_hook = draining.clone();
+        let hooks = QueueHooks {
+            redispatch: Some(Arc::new(move |item| draining_for_hook.try_submit(item))),
+            hedge_pick: None,
+        };
+        let q = spawn_replica_queue_with_hooks(
+            "m:0".into(),
+            flaky,
+            QueueConfig::default(),
+            test_metrics(),
+            hooks,
+        );
+        let (tx, rx) = oneshot::channel();
+        q.submit(QueueItem::with_deadline(
+            Arc::new(vec![1.0]),
+            ReplySink::direct(tx),
+            Instant::now() + Duration::from_secs(5),
+        ));
+        let err = rx.await.unwrap().unwrap_err();
+        assert!(matches!(err, PredictError::Upstream { .. }));
+    }
+
+    #[tokio::test]
+    async fn hedge_rescues_a_straggling_primary() {
+        // Primary hangs far past the hedge delay; the hedge transport
+        // answers instantly and its result wins.
+        let stuck: Arc<dyn BatchTransport> = Arc::new(SlowFailTransport {
+            delay: Duration::from_secs(30),
+        });
+        let hooks = QueueHooks {
+            redispatch: None,
+            hedge_pick: Some(Arc::new(|| {
+                Some(Arc::new(FnTransport::new("backup", |inputs: &[Input]| {
+                    Ok(PredictReply {
+                        outputs: inputs
+                            .iter()
+                            .map(|x| WireOutput::Class(x[0] as u32))
+                            .collect(),
+                        queue_us: 0,
+                        compute_us: 0,
+                    })
+                })) as Arc<dyn BatchTransport>)
+            })),
+        };
+        let metrics = test_metrics();
+        let cfg = QueueConfig {
+            strategy: BatchStrategy::NoBatching,
+            hedge: Some(HedgeConfig {
+                delay_factor: 3.0,
+                min_delay: Duration::from_millis(5),
+            }),
+            ..Default::default()
+        };
+        let q = spawn_replica_queue_with_hooks("m:0".into(), stuck, cfg, metrics.clone(), hooks);
+        let (tx, rx) = oneshot::channel();
+        q.submit(QueueItem::new(Arc::new(vec![9.0]), ReplySink::direct(tx)));
+        let out = rx.await.unwrap().unwrap();
+        assert_eq!(out, Output::Class(9));
+        assert_eq!(metrics.hedged.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn hedge_with_both_sides_failing_settles_every_sink_once() {
+        // Primary is slow-then-dead, hedge fails fast: the batch must
+        // still settle exactly once per sink (pending_len bookkeeping
+        // proves no double-complete and no leak).
+        let slow_dead: Arc<dyn BatchTransport> = Arc::new(SlowFailTransport {
+            delay: Duration::from_millis(20),
+        });
+        let hooks = QueueHooks {
+            redispatch: None,
+            hedge_pick: Some(Arc::new(|| {
+                Some(Arc::new(FnTransport::new("bad-backup", |_: &[Input]| {
+                    Err(clipper_rpc::RpcError::ConnectionClosed)
+                })) as Arc<dyn BatchTransport>)
+            })),
+        };
+        let cfg = QueueConfig {
+            strategy: BatchStrategy::NoBatching,
+            hedge: Some(HedgeConfig {
+                delay_factor: 3.0,
+                min_delay: Duration::from_millis(2),
+            }),
+            ..Default::default()
+        };
+        let cache = PredictionCache::new(16);
+        let model = crate::types::ModelId::new("m", 1);
+        let input: Input = Arc::new(vec![4.0]);
+        let key = CacheKey::new(&model, &input);
+        let q = spawn_replica_queue_with_hooks("m:0".into(), slow_dead, cfg, test_metrics(), hooks);
+        let rx = match cache.lookup_or_pending(key) {
+            crate::cache::Lookup::MustCompute(rx) => rx,
+            _ => panic!(),
+        };
+        q.submit(QueueItem::new(input, ReplySink::cache(cache.clone(), key)));
+        let filled = rx.await.unwrap();
+        assert!(matches!(
+            filled,
+            Err(CacheFillError::Predict(PredictError::Upstream { .. }))
+        ));
+        assert_eq!(cache.pending_len(), 0, "every sink settled exactly once");
     }
 }

@@ -44,6 +44,10 @@ use tokio::sync::oneshot;
 pub enum CacheFillError {
     /// The model evaluation failed (carries a human-readable reason).
     Failed(String),
+    /// Typed predict failure passed through intact, so waiters — and the
+    /// HTTP error taxonomy behind them — keep the kind, retryability, and
+    /// status mapping instead of a flattened string.
+    Predict(crate::batching::queue::PredictError),
 }
 
 type FillResult = Result<Output, CacheFillError>;

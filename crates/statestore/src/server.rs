@@ -18,6 +18,10 @@ pub struct StateStoreServer {
     local_addr: SocketAddr,
     store: Arc<StateStore>,
     accept_task: tokio::task::JoinHandle<()>,
+    /// Live per-connection tasks, so shutdown (and crash injection via
+    /// [`sever_connections`](Self::sever_connections)) actually drops
+    /// established connections instead of leaking them past the server.
+    conns: Arc<parking_lot::Mutex<Vec<tokio::task::JoinHandle<()>>>>,
 }
 
 impl StateStoreServer {
@@ -26,18 +30,25 @@ impl StateStoreServer {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
         let s = store.clone();
+        let conns: Arc<parking_lot::Mutex<Vec<tokio::task::JoinHandle<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let conns_for_accept = conns.clone();
         let accept_task = tokio::spawn(async move {
             while let Ok((conn, _)) = listener.accept().await {
                 let store = s.clone();
-                tokio::spawn(async move {
+                let task = tokio::spawn(async move {
                     let _ = serve_conn(conn, store).await;
                 });
+                let mut live = conns_for_accept.lock();
+                live.retain(|t| !t.is_finished());
+                live.push(task);
             }
         });
         Ok(StateStoreServer {
             local_addr,
             store,
             accept_task,
+            conns,
         })
     }
 
@@ -50,11 +61,22 @@ impl StateStoreServer {
     pub fn store(&self) -> Arc<StateStore> {
         self.store.clone()
     }
+
+    /// Drop every established connection (the listener keeps accepting).
+    /// Crash injection for reconnect tests: clients observe exactly what
+    /// a server restart looks like — their connection dies mid-stream and
+    /// a fresh dial succeeds.
+    pub fn sever_connections(&self) {
+        for task in self.conns.lock().drain(..) {
+            task.abort();
+        }
+    }
 }
 
 impl Drop for StateStoreServer {
     fn drop(&mut self) {
         self.accept_task.abort();
+        self.sever_connections();
     }
 }
 

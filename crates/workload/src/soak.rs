@@ -32,7 +32,9 @@
 //!
 //! # Outcome taxonomy
 //!
-//! - **Ok** — completed (possibly degraded: stragglers substituted);
+//! - **Ok** — completed (possibly degraded: stragglers substituted;
+//!   possibly rescued: an upstream batch failure redispatched onto a
+//!   sibling replica inside the deadline budget);
 //! - **Shed** — refused by admission control (an answered 429);
 //! - **Refused** — the target frontend was down (crash window);
 //! - **Lost** — timed out past the client-side detector, hung, or
@@ -117,6 +119,19 @@ pub enum SoakAction {
         /// Replica index within that version's fleet.
         replica: usize,
     },
+    /// Make one fleet replica *flaky*: each request independently fails
+    /// with probability `drop_prob` — a transient-fault window (the
+    /// retry path should absorb it invisibly) rather than a black hole
+    /// (which the suspect/drain machinery handles). `drop_prob: 0.0`
+    /// restores a clean pass-through.
+    FlakyReplica {
+        /// Model version whose fleet the replica belongs to.
+        version: u32,
+        /// Replica index within that version's fleet.
+        replica: usize,
+        /// Per-request failure probability while the window is open.
+        drop_prob: f64,
+    },
     /// Every frontend hot-removes and drains the replicas its scheduler
     /// marked suspect ([`Clipper::drain_suspect_replicas`]).
     DrainSuspects,
@@ -151,6 +166,11 @@ impl SoakAction {
             SoakAction::SyncConfig(i) => format!("sync f{i}"),
             SoakAction::FaultOn { version, replica } => format!("fault on v{version}r{replica}"),
             SoakAction::FaultOff { version, replica } => format!("fault off v{version}r{replica}"),
+            SoakAction::FlakyReplica {
+                version,
+                replica,
+                drop_prob,
+            } => format!("flaky v{version}r{replica} p={drop_prob}"),
             SoakAction::DrainSuspects => "drain suspects".into(),
             SoakAction::RegisterReplica { version, via } => {
                 format!("register {FLEET_REPLICA} v{version} via f{via}")
@@ -218,6 +238,7 @@ impl SoakSpec {
     /// | offset | events |
     /// |--------|--------|
     /// | 15%    | phase `rollout`: roll `m`→v2 via f0's HTTP API, sync f1..N |
+    /// | 18–26% | phase `flaky`: one v2 replica drops 60% of requests — the retry path must absorb it |
     /// | 30%    | phase `crash`: drop frontend 1 |
     /// | 45%    | phase `recovery`: rebuild frontend 1 via `rehydrate()` |
     /// | 60%    | phase `chaos`: black-hole one v2 fleet replica |
@@ -243,6 +264,26 @@ impl SoakSpec {
             });
         }
         events.extend([
+            SoakEvent {
+                at: frac(0.18),
+                action: SoakAction::Phase("flaky".into()),
+            },
+            SoakEvent {
+                at: frac(0.18),
+                action: SoakAction::FlakyReplica {
+                    version: 2,
+                    replica: 1,
+                    drop_prob: 0.6,
+                },
+            },
+            SoakEvent {
+                at: frac(0.26),
+                action: SoakAction::FlakyReplica {
+                    version: 2,
+                    replica: 1,
+                    drop_prob: 0.0,
+                },
+            },
             SoakEvent {
                 at: frac(0.30),
                 action: SoakAction::Phase("crash".into()),
@@ -316,6 +357,14 @@ pub struct FrontendStats {
     pub refused: u64,
     /// Requests lost (timed out / hard-failed).
     pub lost: u64,
+    /// Queries rescued by deadline-budgeted retry: an upstream batch
+    /// failure redispatched onto a sibling replica instead of
+    /// fail-filling. Summed over the frontend's live queues at the end
+    /// of the run (drained queues unregister their counters).
+    pub retried: u64,
+    /// Batches re-dispatched by the hedging knob (0 unless hedging is
+    /// enabled on the model's queue config).
+    pub hedged: u64,
     /// End-of-run cache counters — the measured cross-frontend cache
     /// story (per-frontend caches, version-keyed, no invalidation).
     pub cache: CacheStats,
@@ -349,6 +398,16 @@ impl SoakReport {
     /// Queries lost across the whole run.
     pub fn lost(&self) -> u64 {
         self.totals.lost
+    }
+
+    /// Queries rescued by retry across every live frontend's queues.
+    pub fn retried(&self) -> u64 {
+        self.frontends.iter().map(|f| f.retried).sum()
+    }
+
+    /// Hedged batch dispatches across every live frontend's queues.
+    pub fn hedged(&self) -> u64 {
+        self.frontends.iter().map(|f| f.hedged).sum()
     }
 
     /// Whether every timeline action succeeded.
@@ -386,6 +445,13 @@ struct FrontendCounters {
     shed: Counter,
     refused: Counter,
     lost: Counter,
+    /// Peak observed `queue/*/retried` / `queue/*/hedged` sums for this
+    /// frontend. The per-queue counters unregister when a replica is
+    /// removed (rollback, drained suspects), so the harness re-samples at
+    /// every timeline action and keeps the high-water mark — otherwise a
+    /// run that ends in a rollback would report the recovery work as 0.
+    peak_retried: std::sync::atomic::AtomicU64,
+    peak_hedged: std::sync::atomic::AtomicU64,
 }
 
 impl FrontendCounters {
@@ -396,6 +462,8 @@ impl FrontendCounters {
             shed: Counter::new(),
             refused: Counter::new(),
             lost: Counter::new(),
+            peak_retried: std::sync::atomic::AtomicU64::new(0),
+            peak_hedged: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -505,6 +573,20 @@ impl Harness {
             .and_then(|s| s.read().as_ref().map(|slot| slot.frontend.local_addr()))
     }
 
+    /// Fold every live frontend's current `queue/*` recovery counters
+    /// into its high-water marks (see [`FrontendCounters`]). Called
+    /// before each timeline action so counts survive queue churn.
+    fn sample_recovery_counters(&self) {
+        use std::sync::atomic::Ordering;
+        for (i, counters) in self.counters.iter().enumerate() {
+            if let Some(c) = self.clipper(i) {
+                let (retried, hedged) = queue_recovery_counters(c.abstraction().registry());
+                counters.peak_retried.fetch_max(retried, Ordering::Relaxed);
+                counters.peak_hedged.fetch_max(hedged, Ordering::Relaxed);
+            }
+        }
+    }
+
     async fn apply(&self, action: &SoakAction) -> Result<String, String> {
         match action {
             SoakAction::Phase(name) => {
@@ -604,6 +686,21 @@ impl Harness {
                 t.fail_hard(false);
                 Ok(format!("v{version}r{replica} restored"))
             }
+            SoakAction::FlakyReplica {
+                version,
+                replica,
+                drop_prob,
+            } => {
+                let t = self
+                    .fleet
+                    .transport(*version, *replica)
+                    .ok_or_else(|| format!("no fleet replica v{version}r{replica}"))?;
+                t.set_config(FaultConfig {
+                    drop_prob: *drop_prob,
+                    ..FaultConfig::default()
+                });
+                Ok(format!("v{version}r{replica} drop_prob={drop_prob}"))
+            }
             SoakAction::DrainSuspects => {
                 let mut drained = Vec::new();
                 for i in 0..self.slots.len() {
@@ -676,6 +773,27 @@ impl Harness {
     }
 }
 
+/// Sum the `queue/*/retried` and `queue/*/hedged` counters across every
+/// live queue in `registry`. Queues removed from the fleet (drained
+/// suspects, rollback churn) unregister their counters, so a single
+/// end-of-run read can miss recovery work — the harness instead samples
+/// this before every timeline action and keeps per-frontend high-water
+/// marks (see [`FrontendCounters`]).
+fn queue_recovery_counters(registry: &clipper_metrics::Registry) -> (u64, u64) {
+    let snap = registry.snapshot();
+    let sum = |suffix: &str| -> u64 {
+        snap.values
+            .iter()
+            .filter(|(name, _)| name.starts_with("queue/") && name.ends_with(suffix))
+            .map(|(_, v)| match v {
+                clipper_metrics::MetricValue::Counter { value } => *value,
+                _ => 0,
+            })
+            .sum()
+    };
+    (sum("/retried"), sum("/hedged"))
+}
+
 /// Classify one client-visible result.
 fn classify(
     result: Result<Result<usize, PredictError>, tokio::time::error::Elapsed>,
@@ -722,6 +840,9 @@ pub async fn run_soak(spec: SoakSpec) -> SoakReport {
             for ev in events {
                 tokio::time::sleep_until((start + ev.at).into()).await;
                 let fired_at = start.elapsed();
+                // Capture recovery counters before the action can remove
+                // queues (rollback and drain churn unregister them).
+                harness.sample_recovery_counters();
                 let t0 = Instant::now();
                 let result = harness.apply(&ev.action).await;
                 outcomes.push(ActionOutcome {
@@ -850,8 +971,15 @@ pub async fn run_soak(spec: SoakSpec) -> SoakReport {
         .map(|r| r.current);
     let mut converged = persisted_current.is_some();
     let mut frontends = Vec::with_capacity(n);
+    harness.sample_recovery_counters();
     for i in 0..n {
         let counters = &harness.counters[i];
+        let retried = counters
+            .peak_retried
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let hedged = counters
+            .peak_hedged
+            .load(std::sync::atomic::Ordering::Relaxed);
         let (cache, pending_len, current_version, alive) = match harness.clipper(i) {
             Some(c) => {
                 let cur = c.current_version(MODEL);
@@ -873,6 +1001,8 @@ pub async fn run_soak(spec: SoakSpec) -> SoakReport {
             shed: counters.shed.get(),
             refused: counters.refused.get(),
             lost: counters.lost.get(),
+            retried,
+            hedged,
             cache,
             pending_len,
             current_version,
@@ -916,6 +1046,61 @@ mod tests {
         // Repeated inputs hit the per-frontend caches.
         let hits: u64 = report.frontends.iter().map(|f| f.cache.hits).sum();
         assert!(hits > 0, "cache warmed: {:?}", report.frontends);
+    }
+
+    /// A transient-fault window: one of two replicas drops most requests
+    /// for a stretch of the run. With deadline-budgeted retry on (the
+    /// default), every affected query is redispatched onto the healthy
+    /// sibling — zero client-visible errors, zero degraded fail-fills,
+    /// and the `retried` counters show the rescue actually happened.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn flaky_replica_window_is_invisible_to_clients() {
+        let mut spec = SoakSpec::new(1, 400.0, Duration::from_millis(900));
+        spec.input_space = 16_384; // miss-heavy: real batches reach the fleet
+        spec.slo = Duration::from_millis(250); // headroom against CI jitter
+        spec.events = vec![
+            SoakEvent {
+                at: Duration::from_millis(200),
+                action: SoakAction::Phase("flaky".into()),
+            },
+            SoakEvent {
+                at: Duration::from_millis(200),
+                action: SoakAction::FlakyReplica {
+                    version: 1,
+                    replica: 0,
+                    drop_prob: 0.7,
+                },
+            },
+            SoakEvent {
+                at: Duration::from_millis(600),
+                action: SoakAction::Phase("healed".into()),
+            },
+            SoakEvent {
+                at: Duration::from_millis(600),
+                action: SoakAction::FlakyReplica {
+                    version: 1,
+                    replica: 0,
+                    drop_prob: 0.0,
+                },
+            },
+        ];
+        let report = run_soak(spec).await;
+        assert!(report.all_actions_ok(), "{:?}", report.actions);
+        assert_eq!(report.lost(), 0, "zero lost: {:?}", report.totals);
+        assert!(report.is_lossless());
+        assert!(
+            report.retried() > 0,
+            "the flaky window must actually exercise the retry path: {:?}",
+            report.frontends
+        );
+        // The strong claim: failures were *survived*, not surfaced — no
+        // query had to fall back to the app's default output.
+        for (i, f) in report.frontends.iter().enumerate() {
+            assert_eq!(
+                f.degraded, 0,
+                "frontend {i} fail-filled despite a healthy sibling: {f:?}"
+            );
+        }
     }
 
     /// A crash window with no restart: the down frontend's arrivals are
